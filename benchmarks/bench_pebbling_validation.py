@@ -1,0 +1,40 @@
+"""V-pebble: the bounds hold against exact optimal pebblings.
+
+For each small concrete instance: evaluate the symbolic bound numerically,
+compute the exact optimal pebbling (Dijkstra over game states) and a greedy
+certified upper bound, and assert the sandwich
+
+    lower bound  <=  Q_opt  <=  greedy cost.
+"""
+
+import pytest
+
+from repro.kernels import get_kernel
+from repro.pebbling.validate import validate_bound
+
+CASES = [
+    ("gemm", {"N": 2}, 4),
+    ("gemm", {"N": 3}, 6),
+    ("jacobi1d", {"N": 6, "T": 3}, 4),
+    ("jacobi1d", {"N": 8, "T": 4}, 6),
+    ("atax", {"M": 3, "N": 3}, 4),
+    ("lu", {"N": 4}, 6),
+    ("cholesky", {"N": 4}, 6),
+    ("trisolv", {"N": 4}, 6),
+    ("gesummv", {"N": 3}, 4),
+]
+
+
+@pytest.mark.parametrize("name,params,s", CASES)
+def test_pebbling_sandwich(benchmark, name, params, s):
+    spec = get_kernel(name)
+    program = spec.build()
+    report = benchmark.pedantic(
+        validate_bound, args=(program, params, s), rounds=1, iterations=1
+    )
+    assert report.sound, (
+        f"{name}{params} S={s}: bound {report.lower_bound:.2f} exceeds "
+        f"achievable {report.optimal_cost or report.greedy_cost}"
+    )
+    if report.optimal_cost is not None:
+        assert report.optimal_cost <= report.greedy_cost

@@ -1,0 +1,65 @@
+"""V-solver: symbolic chi(X) vs independent numeric optima (Eq. 8).
+
+For every registered kernel, take each analyzable subgraph's fused problem,
+solve symbolically (timed) and numerically at a fresh X, and compare.
+"""
+
+import math
+
+import pytest
+import sympy as sp
+
+from repro.kernels import get_kernel
+from repro.opt.kkt import solve_chi
+from repro.opt.numeric import solve_numeric
+from repro.sdg.merge import fuse_statements
+from repro.symbolic.symbols import X_SYM
+
+KERNELS = ["gemm", "atax", "jacobi1d", "jacobi2d", "fdtd2d", "cholesky", "syr2k"]
+
+
+def _fused_problem(name):
+    spec = get_kernel(name)
+    program = spec.build()
+    computed = program.computed_arrays()
+    return fuse_statements(program, tuple(computed), policy=spec.policy)
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_symbolic_chi_matches_numeric(benchmark, name):
+    fused = _fused_problem(name)
+    if any(t.coeff.free_symbols for t in fused.constraint.terms):
+        pytest.skip("symbolic coefficients: no parameter-free numeric check")
+    chi = benchmark.pedantic(
+        solve_chi,
+        args=(fused.objective, fused.constraint, fused.extents),
+        rounds=1,
+        iterations=1,
+    )
+    x_check = 4.0e7  # different from the solver's internal probe
+    numeric = solve_numeric(fused.objective, fused.constraint, x_check)
+    symbolic_value = float(chi.chi.subs(X_SYM, x_check))
+    assert math.isclose(symbolic_value, numeric.objective_value, rel_tol=2e-2), (
+        f"{name}: chi={chi.chi} -> {symbolic_value} vs numeric "
+        f"{numeric.objective_value}"
+    )
+
+
+def test_ablation_overlap_policy(benchmark):
+    """Section 5.1 ablation: 'sum' (paper) vs conservative 'max' on LU.
+
+    The disjointness assumption is what gives LU its sqrt(S)/2 intensity;
+    the conservative mode must never *exceed* the paper-mode bound.
+    """
+    from repro.analysis import analyze_program
+    from repro.symbolic.symbols import S_SYM
+
+    program = get_kernel("lu").build()
+    paper_mode = benchmark.pedantic(
+        analyze_program, args=(program,), kwargs={"policy": "sum"}, rounds=1, iterations=1
+    )
+    conservative = analyze_program(program, policy="max")
+    N = sp.Symbol("N", positive=True)
+    ratio = sp.simplify(conservative.bound / paper_mode.bound)
+    value = float(ratio.subs({N: 1e9, S_SYM: 1e4}))
+    assert value <= 1.0 + 1e-9

@@ -1,0 +1,27 @@
+"""T2-nn: regenerate the neural-network rows of Table 2.
+
+Covers direct convolution (both Section 5.3 stride regimes), softmax, the
+MLP, LeNet-5 and the BERT encoder (plus the FFN extension kernel).  The
+BERT row is an *exact* reproduction: 4*B*H*P*L*(L + 2*H*P)/sqrt(S).
+"""
+
+import pytest
+import sympy as sp
+
+from repro.analysis import analyze_kernel
+from repro.kernels import kernel_names
+
+NN = kernel_names("nn")
+
+
+@pytest.mark.parametrize("name", NN)
+def test_table2_nn_row(benchmark, name, expected_bound):
+    result = benchmark.pedantic(analyze_kernel, args=(name,), rounds=1, iterations=1)
+    assert sp.simplify(result.bound - expected_bound(name)) == 0
+
+
+def test_bert_exact_reproduction(expected_bound):
+    from repro.kernels import get_kernel
+
+    paper = get_kernel("bert-encoder").paper_bound_expr()
+    assert sp.simplify(expected_bound("bert-encoder") - paper) == 0

@@ -1,0 +1,21 @@
+"""T2-polybench: regenerate the 30 Polybench rows of Table 2.
+
+Each benchmark times the *full* analysis pipeline of one kernel (projection
+-> SDG enumeration -> fused KKT solves -> Theorem 1) and asserts the derived
+leading-order bound against the locked expectation, which in turn is
+shape-checked against the paper's expression by the test suite.
+"""
+
+import pytest
+import sympy as sp
+
+from repro.analysis import analyze_kernel
+from repro.kernels import kernel_names
+
+POLYBENCH = kernel_names("polybench")
+
+
+@pytest.mark.parametrize("name", POLYBENCH)
+def test_table2_polybench_row(benchmark, name, expected_bound):
+    result = benchmark.pedantic(analyze_kernel, args=(name,), rounds=1, iterations=1)
+    assert sp.simplify(result.bound - expected_bound(name)) == 0

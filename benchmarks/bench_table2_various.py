@@ -1,0 +1,22 @@
+"""T2-various: LULESH and the COSMO weather stencils (first-ever bounds)."""
+
+import pytest
+import sympy as sp
+
+from repro.analysis import analyze_kernel
+from repro.kernels import kernel_names
+
+VARIOUS = kernel_names("various")
+
+
+@pytest.mark.parametrize("name", VARIOUS)
+def test_table2_various_row(benchmark, name, expected_bound):
+    result = benchmark.pedantic(analyze_kernel, args=(name,), rounds=1, iterations=1)
+    assert sp.simplify(result.bound - expected_bound(name)) == 0
+
+
+def test_horizontal_diffusion_matches_paper_exactly(expected_bound):
+    import sympy as sp
+
+    I, J, K = (sp.Symbol(s, positive=True) for s in "IJK")
+    assert sp.simplify(expected_bound("horizontal-diffusion") - 2 * I * J * K) == 0

@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark target regenerates one artifact of the paper's evaluation
+(see DESIGN.md §3, experiment index) and *asserts* the regenerated content
+against the regression-locked expectations while pytest-benchmark times the
+analysis.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+import sympy as sp
+
+from repro.kernels.expected import EXPECTED_BOUNDS
+from repro.symbolic.parsing import parse_bound
+
+
+@pytest.fixture(scope="session")
+def expected_bound():
+    def lookup(name: str) -> sp.Expr:
+        return parse_bound(EXPECTED_BOUNDS[name])
+
+    return lookup

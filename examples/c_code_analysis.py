@@ -1,0 +1,47 @@
+"""Analyze C code directly (the paper: "derive lower bounds directly from
+provided C code").
+
+Run:  python examples/c_code_analysis.py
+"""
+
+from repro import analyze_source
+from repro.symbolic.printing import bound_str
+
+LU_C = """
+/* LU factorization without pivoting -- paper Examples 4 and 5. */
+for (int k = 0; k < N; k++) {
+  for (int i = k + 1; i < N; i++) {
+    A[i][k] = A[i][k] / A[k][k];            /* column scaling */
+  }
+  for (int i = k + 1; i < N; i++) {
+    for (int j = k + 1; j < N; j++) {
+      A[i][j] = A[i][j] - A[i][k] * A[k][j];  /* trailing update */
+    }
+  }
+}
+"""
+
+FW_C = """
+// Floyd-Warshall all-pairs shortest paths.
+for (int k = 0; k < N; k++)
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      P[i][j] = min(P[i][j], P[i][k] + P[k][j]);
+"""
+
+
+def main() -> None:
+    for title, source in (("LU factorization", LU_C), ("Floyd-Warshall", FW_C)):
+        result = analyze_source(source, name=title, language="c")
+        print(f"{title}:")
+        print(f"  Q >= {bound_str(result.bound)}")
+        for array, analysis in sorted(result.per_array.items()):
+            print(f"    {array}: rho = {analysis.rho} via {analysis.arrays}")
+        print()
+    print("Both analyses apply the Section 5 projections automatically:")
+    print("LU's triple self-access is split per Section 5.1 and versioned")
+    print("per Section 5.2 before the combinatorial counting runs.")
+
+
+if __name__ == "__main__":
+    main()

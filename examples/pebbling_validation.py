@@ -1,0 +1,41 @@
+"""Ground-truth validation: symbolic bounds vs exact optimal pebblings.
+
+Materializes small CDAGs, plays the red-blue pebble game optimally (exact
+Dijkstra over game states) and greedily (certified Belady schedule), and
+shows the sandwich  lower bound <= Q_opt <= greedy.
+
+Run:  python examples/pebbling_validation.py
+"""
+
+from repro.kernels import get_kernel
+from repro.pebbling.validate import validate_bound
+
+CASES = [
+    ("gemm", {"N": 2}, 4),
+    ("gemm", {"N": 3}, 6),
+    ("jacobi1d", {"N": 6, "T": 3}, 4),
+    ("atax", {"M": 3, "N": 3}, 4),
+    ("lu", {"N": 4}, 6),
+    ("cholesky", {"N": 4}, 6),
+]
+
+
+def main() -> None:
+    header = f"{'kernel':10s} {'params':16s} {'S':>3s} {'|V|':>5s} {'bound':>8s} {'Q_opt':>6s} {'greedy':>7s} {'gap':>6s}"
+    print(header)
+    print("-" * len(header))
+    for name, params, s in CASES:
+        report = validate_bound(get_kernel(name).build(), params, s)
+        opt = str(report.optimal_cost) if report.optimal_cost is not None else "-"
+        print(
+            f"{name:10s} {str(params):16s} {s:>3d} {report.n_vertices:>5d} "
+            f"{report.lower_bound:>8.1f} {opt:>6s} {report.greedy_cost:>7d} "
+            f"{report.gap:>5.2f}x"
+        )
+        assert report.sound, "bound exceeded an achievable pebbling!"
+    print("\nEvery symbolic bound is below the certified achievable cost;")
+    print("gaps reflect leading-order truncation and small-instance effects.")
+
+
+if __name__ == "__main__":
+    main()

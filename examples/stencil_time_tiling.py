@@ -1,0 +1,52 @@
+"""Stencil compositions: how fusion + time tiling changes the bound.
+
+The paper's headline stencil result: treating a ping-pong Jacobi sweep
+statement-by-statement gives a bandwidth-style bound, while the SDG fusion
+detects the space-time tile reuse and produces the much lower (and far more
+informative) S-dependent bound.
+
+Run:  python examples/stencil_time_tiling.py
+"""
+
+import sympy as sp
+
+from repro.analysis import analyze_kernel, analyze_program
+from repro.kernels import get_kernel
+from repro.sdg.bounds import sdg_bound
+from repro.symbolic.printing import bound_str
+from repro.symbolic.symbols import S_SYM
+
+
+def main() -> None:
+    for name in ("jacobi1d", "jacobi2d", "heat3d", "seidel2d", "fdtd2d"):
+        result = analyze_kernel(name)
+        print(f"{name:10s}  Q >= {bound_str(result.bound)}")
+        best = next(iter(result.program_bound.per_array.values()))
+        print(f"{'':12s}fused subgraph {best.arrays}, intensity {best.rho}, "
+              f"X0 = {best.intensity.x0}")
+    print()
+
+    # Where the reuse comes from: compare fused vs unfused jacobi1d.  The
+    # per-statement view needs the permissive solver mode (each sweep's
+    # intensity is bounded only by the loop extents) and yields a vacuous
+    # T-free bound; the fused space-time tile exposes the true S-scaling.
+    program = get_kernel("jacobi1d").build()
+    fused = sdg_bound(program)
+    unfused = sdg_bound(program, max_subgraph_size=1, allow_pinning=True)
+    print("jacobi1d with SDG fusion   :", bound_str(fused.bound))
+    print("jacobi1d statements alone  :", bound_str(unfused.bound))
+    ratio = sp.simplify(fused.bound / unfused.bound)
+    print(f"fusion changes the bound by a factor of {ratio} "
+          "(the time-tile structure a per-statement analysis cannot see)")
+
+    # Concrete numbers for a realistic machine: 32 KiB of doubles.
+    s_value = 4096
+    n, t = 100_000, 1000
+    value = fused.bound.subs({sp.Symbol("N", positive=True): n,
+                              sp.Symbol("T", positive=True): t,
+                              S_SYM: s_value})
+    print(f"\nAt N={n}, T={t}, S={s_value} doubles: Q >= {float(value):,.0f} words")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Dominator and minimum sets on concrete CDAGs (paper Section 2.2).
+
+``Dom(H)``: every path from an input to a vertex of ``H`` passes through the
+set.  The *minimum* dominator is a minimum vertex cut between the inputs and
+``H``, computed by max-flow on the standard vertex-split transformation
+(each vertex ``v`` becomes ``v_in -> v_out`` with unit capacity; edges get
+infinite capacity).  Vertices of ``H`` that are themselves inputs, and input
+vertices in general, may belong to the dominator.
+
+``Min(H)``: the vertices of ``H`` without children in ``H``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+
+def min_dominator_size(graph: nx.DiGraph, targets: Iterable) -> int:
+    """Size of a minimum dominator set of ``targets`` in ``graph``.
+
+    Inputs (in-degree-0 vertices) are the sources.  A target that is itself
+    an input contributes 1 (it must be in any dominator of itself).
+    """
+    targets = set(targets)
+    sources = {v for v in graph.nodes if graph.in_degree(v) == 0}
+    if not targets:
+        return 0
+
+    flow = nx.DiGraph()
+    super_source = ("__super_source__",)
+    super_sink = ("__super_sink__",)
+    for v in graph.nodes:
+        flow.add_edge((v, "in"), (v, "out"), capacity=1)
+    for u, v in graph.edges:
+        flow.add_edge((u, "out"), (v, "in"), capacity=float("inf"))
+    for s in sources:
+        flow.add_edge(super_source, (s, "in"), capacity=float("inf"))
+    for t in targets:
+        flow.add_edge((t, "out"), super_sink, capacity=float("inf"))
+    value, _ = nx.maximum_flow(flow, super_source, super_sink)
+    return int(value)
+
+
+def min_set(graph: nx.DiGraph, subset: Iterable) -> set:
+    """``Min(H)``: vertices of ``H`` with no child inside ``H``."""
+    subset = set(subset)
+    return {
+        v
+        for v in subset
+        if not any(child in subset for child in graph.successors(v))
+    }

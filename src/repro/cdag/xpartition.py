@@ -1,0 +1,120 @@
+"""X-partition validation (paper Section 2.2, Kwasniewski et al. SC'19).
+
+An ``X``-partition of a CDAG is a disjoint cover of the *computed* vertices
+by subcomputations ``H_1..H_s`` such that:
+
+1. no cyclic dependencies between subcomputations (the quotient order is
+   acyclic);
+2. every subcomputation's minimum dominator set has size ``<= X``;
+3. every subcomputation's minimum set (vertices without children in the
+   subcomputation) has size ``<= X``.
+
+The paper's bound rests on ``|P_min(X)| >= |V| / chi(X)``; this module lets
+tests check concrete partitions -- including tilings produced from the
+analyzer's optimal tile sizes -- against the definition, and compute the
+implied lower bound ``(X - S) * (s - 1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import networkx as nx
+
+from repro.cdag.dominator import min_dominator_size, min_set
+
+
+@dataclass
+class XPartitionReport:
+    valid: bool
+    violations: tuple[str, ...]
+    n_subcomputations: int
+    max_dominator: int
+    max_min_set: int
+
+    def implied_bound(self, x: int, s: int) -> int:
+        """``Q >= (X - S) * (h - 1)`` for any valid X-partition of size h."""
+        if not self.valid:
+            raise ValueError("not a valid X-partition")
+        return max(0, (x - s) * (self.n_subcomputations - 1))
+
+
+def check_x_partition(
+    graph: nx.DiGraph,
+    partition: Sequence[set[Hashable]],
+    x: int,
+) -> XPartitionReport:
+    """Validate ``partition`` against the three X-partition conditions."""
+    violations: list[str] = []
+    inputs = {v for v in graph.nodes if graph.in_degree(v) == 0}
+    computed = set(graph.nodes) - inputs
+
+    covered: set[Hashable] = set()
+    for index, part in enumerate(partition):
+        overlap = covered & set(part)
+        if overlap:
+            violations.append(f"subcomputation {index} overlaps earlier parts")
+        covered |= set(part)
+        stray = set(part) - computed
+        if stray:
+            violations.append(f"subcomputation {index} contains input vertices")
+    if covered != computed:
+        violations.append("partition does not cover all computed vertices")
+
+    # Condition 1: the quotient graph over subcomputations is acyclic.
+    owner: dict[Hashable, int] = {}
+    for index, part in enumerate(partition):
+        for v in part:
+            owner[v] = index
+    quotient = nx.DiGraph()
+    quotient.add_nodes_from(range(len(partition)))
+    for u, v in graph.edges:
+        iu, iv = owner.get(u), owner.get(v)
+        if iu is not None and iv is not None and iu != iv:
+            quotient.add_edge(iu, iv)
+    if not nx.is_directed_acyclic_graph(quotient):
+        violations.append("cyclic dependencies between subcomputations")
+
+    # Conditions 2 and 3: dominator and minimum set sizes.
+    max_dom = 0
+    max_min = 0
+    for index, part in enumerate(partition):
+        dom = min_dominator_size(graph, part)
+        mset = len(min_set(graph, part))
+        max_dom = max(max_dom, dom)
+        max_min = max(max_min, mset)
+        if dom > x:
+            violations.append(
+                f"subcomputation {index}: |Dom_min| = {dom} > X = {x}"
+            )
+        if mset > x:
+            violations.append(
+                f"subcomputation {index}: |Min| = {mset} > X = {x}"
+            )
+
+    return XPartitionReport(
+        valid=not violations,
+        violations=tuple(violations),
+        n_subcomputations=len(partition),
+        max_dominator=max_dom,
+        max_min_set=max_min,
+    )
+
+
+def tiling_partition(
+    vertices: Sequence[Hashable],
+    point_of,
+    tile_sizes: dict[str, int],
+    variable_order: Sequence[str],
+) -> list[set[Hashable]]:
+    """Group computed vertices into tiles (the analyzer's derived tiling)."""
+    tiles: dict[tuple, set[Hashable]] = {}
+    for v in vertices:
+        point = point_of(v) or {}
+        key = tuple(
+            point.get(var, 0) // max(1, tile_sizes.get(var, 1))
+            for var in variable_order
+        )
+        tiles.setdefault(key, set()).add(v)
+    return [tiles[k] for k in sorted(tiles)]

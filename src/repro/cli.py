@@ -1,0 +1,137 @@
+"""Command-line interface.
+
+Usage examples::
+
+    soap-analyze analyze kernel.py                 # Python loop nests
+    soap-analyze analyze kernel.c --language c     # C loop nests
+    soap-analyze kernel cholesky                   # a Table 2 kernel
+    soap-analyze table2 --category polybench       # regenerate Table 2
+    soap-analyze validate gemm --params N=4 --S 8  # pebbling sandwich check
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import sympy as sp
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="soap-analyze",
+        description="I/O lower bounds for statically analyzable programs "
+        "(SPAA'21 SOAP analysis)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser("analyze", help="analyze a source file")
+    p_analyze.add_argument("path", type=Path)
+    p_analyze.add_argument("--language", choices=("python", "c"), default=None)
+    p_analyze.add_argument("--policy", choices=("sum", "max"), default="sum")
+
+    p_kernel = sub.add_parser("kernel", help="analyze a registered Table 2 kernel")
+    p_kernel.add_argument("name")
+
+    p_table = sub.add_parser("table2", help="regenerate the Table 2 comparison")
+    p_table.add_argument("--category", choices=("polybench", "nn", "various"), default=None)
+
+    p_val = sub.add_parser("validate", help="pebbling sandwich check on a concrete instance")
+    p_val.add_argument("name")
+    p_val.add_argument("--params", nargs="+", default=[], metavar="NAME=VALUE")
+    p_val.add_argument("--S", dest="s", type=int, default=8)
+
+    p_list = sub.add_parser("list", help="list registered kernels")
+
+    args = parser.parse_args(argv)
+    return {
+        "analyze": _cmd_analyze,
+        "kernel": _cmd_kernel,
+        "table2": _cmd_table2,
+        "validate": _cmd_validate,
+        "list": _cmd_list,
+    }[args.command](args)
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis import analyze_source
+    from repro.symbolic.printing import bound_str
+
+    language = args.language
+    if language is None:
+        language = "c" if args.path.suffix in (".c", ".h") else "python"
+    source = args.path.read_text()
+    result = analyze_source(source, name=args.path.stem, language=language, policy=args.policy)
+    print(f"program: {args.path.stem} ({language})")
+    print(f"I/O lower bound (Theorem 1): Q >= {bound_str(result.bound)}")
+    if result.io_floor != 0:
+        print(f"cold input/output floor:     Q >= {bound_str(result.io_floor)}")
+    for array, analysis in sorted(result.per_array.items()):
+        print(
+            f"  array {array}: intensity rho = {analysis.rho} "
+            f"via subgraph {analysis.arrays}"
+        )
+    return 0
+
+
+def _cmd_kernel(args) -> int:
+    from repro.analysis import analyze_kernel
+    from repro.opt.tiling import tiles_at_x0
+    from repro.symbolic.printing import bound_str
+
+    result = analyze_kernel(args.name)
+    print(f"kernel: {args.name}")
+    print(f"  ours : Q >= {bound_str(result.bound)}")
+    print(f"  paper: Q >= {bound_str(result.paper_bound)}")
+    print(f"  ratio: {result.ratio}  shape match: {result.shape_matches}")
+    for array, analysis in sorted(result.program_bound.per_array.items()):
+        tiles = tiles_at_x0(analysis.intensity)
+        tile_txt = ", ".join(f"{v}={e}" for v, e in sorted(tiles.items())) or "-"
+        print(
+            f"  array {array}: rho = {analysis.rho} "
+            f"(X0 = {analysis.intensity.x0}; tiles: {tile_txt})"
+        )
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from repro.reporting.table import render_table2, table2_rows
+
+    rows = table2_rows(args.category)
+    sys.stdout.write(render_table2(rows))
+    exact = sum(1 for r in rows if r.ratio == "1")
+    shaped = sum(1 for r in rows if r.shape_matches)
+    print(f"\n{exact}/{len(rows)} exact, {shaped}/{len(rows)} shape matches")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.kernels import get_kernel
+    from repro.pebbling.validate import validate_bound
+
+    params = {}
+    for item in args.params:
+        key, _, value = item.partition("=")
+        params[key] = int(value)
+    spec = get_kernel(args.name)
+    report = validate_bound(spec.build(), params, args.s)
+    print(f"kernel {args.name} params={params} S={args.s}")
+    print(f"  CDAG vertices : {report.n_vertices}")
+    print(f"  lower bound   : {report.lower_bound:.2f}")
+    print(f"  optimal Q     : {report.optimal_cost}")
+    print(f"  greedy upper  : {report.greedy_cost}")
+    print(f"  sound         : {report.sound}   gap: {report.gap:.2f}x")
+    return 0 if report.sound else 1
+
+
+def _cmd_list(args) -> int:
+    from repro.kernels import all_kernels
+
+    for spec in all_kernels():
+        print(f"{spec.name:24s} [{spec.category}] {spec.description}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

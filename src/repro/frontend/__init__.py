@@ -1,0 +1,15 @@
+"""Source-code frontends.
+
+The paper's tool "can derive lower bounds directly from provided C code";
+this package provides two independent frontends producing the same IR:
+
+* :mod:`repro.frontend.python_frontend` -- restricted Python loop nests
+  (the paper's listing syntax), parsed with the standard :mod:`ast` module;
+* :mod:`repro.frontend.c_frontend` -- a C loop-nest subset, parsed with a
+  hand-written lexer and recursive-descent parser.
+"""
+
+from repro.frontend.python_frontend import parse_python
+from repro.frontend.c_frontend import parse_c
+
+__all__ = ["parse_python", "parse_c"]

@@ -1,0 +1,43 @@
+"""Shared loop-bound arithmetic for the frontends.
+
+Loop extents may depend on enclosing variables (triangular nests).  The
+symbolic analysis needs a *dependency-free cap* on each variable's value
+range; :func:`extreme_value` substitutes every enclosing variable by its own
+maximum or minimum depending on the sign of its coefficient, yielding a
+valid upper (or lower) bound on the expression over the whole nest.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import sympy as sp
+
+
+def loop_symbol(name: str) -> sp.Symbol:
+    """The canonical symbol used for a loop variable or parameter in bounds."""
+    return sp.Symbol(name, positive=True)
+
+
+def extreme_value(
+    expr: sp.Expr,
+    maxima: Mapping[sp.Symbol, sp.Expr],
+    minima: Mapping[sp.Symbol, sp.Expr],
+    *,
+    want_max: bool = True,
+) -> sp.Expr:
+    """Bound ``expr`` over the box ``minima <= var <= maxima``.
+
+    ``expr`` must be affine in the bound variables (guaranteed by the
+    frontend grammars); each variable is replaced by the endpoint matching
+    its coefficient sign.
+    """
+    expr = sp.expand(expr)
+    for sym in sorted(expr.free_symbols & set(maxima), key=lambda s: s.name):
+        coeff = expr.coeff(sym)
+        if coeff.is_negative:
+            endpoint = minima[sym] if want_max else maxima[sym]
+        else:
+            endpoint = maxima[sym] if want_max else minima[sym]
+        expr = sp.expand(expr.subs(sym, endpoint))
+    return sp.simplify(expr)

@@ -1,0 +1,18 @@
+"""C loop-nest frontend: lexer, recursive-descent parser, IR lowering.
+
+Supports the C subset the paper's evaluation kernels are written in::
+
+    for (int k = 0; k < N; k++) {
+      for (int i = k + 1; i < N; i++) {
+        for (int j = k + 1; j < N; j++) {
+          A[i][j] = A[i][j] - A[i][k] * A[k][j];
+        }
+      }
+    }
+
+See :mod:`repro.frontend.c_frontend.cparser` for the accepted grammar.
+"""
+
+from repro.frontend.c_frontend.lower import parse_c
+
+__all__ = ["parse_c"]

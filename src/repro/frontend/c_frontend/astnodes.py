@@ -1,0 +1,60 @@
+"""AST node types produced by the C parser."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+Expr = Union["Num", "Var", "ArrayRef", "BinOp", "UnaryOp", "Call"]
+
+
+@dataclass(frozen=True)
+class Num:
+    value: float
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    array: str
+    indices: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # "+", "-", "*", "/"
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str  # "-"
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Call:
+    func: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    target: ArrayRef
+    op: str  # "=", "+=", "-=", "*=", "/="
+    value: Expr
+    line: int
+
+
+@dataclass(frozen=True)
+class ForLoop:
+    var: str
+    start: Expr
+    stop: Expr  # exclusive bound (normalized from < / <=)
+    body: tuple[Union["ForLoop", Assignment], ...]
+    line: int

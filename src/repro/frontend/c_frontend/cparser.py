@@ -1,0 +1,215 @@
+"""Recursive-descent parser for the C loop-nest subset.
+
+Grammar::
+
+    program    := toplevel*
+    toplevel   := for_loop | assignment
+    for_loop   := "for" "(" ["int"] IDENT "=" expr ";"
+                   IDENT ("<" | "<=") expr ";"
+                   IDENT "++" | "++" IDENT | IDENT "+=" NUMBER ")"
+                   (block | toplevel)
+    block      := "{" toplevel* "}"
+    assignment := array_ref ("=" | "+=" | "-=" | "*=" | "/=") expr ";"
+    array_ref  := IDENT ("[" expr "]")+
+    expr       := additive with standard precedence, unary minus, calls
+
+``<=`` upper bounds are normalized to exclusive ``< bound + 1``.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.c_frontend.astnodes import (
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Call,
+    Expr,
+    ForLoop,
+    Num,
+    UnaryOp,
+    Var,
+)
+from repro.frontend.c_frontend.lexer import Token, tokenize
+from repro.util.errors import FrontendError
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.pos += 1
+        return token
+
+    def expect(self, text: str) -> Token:
+        if self.current.text != text:
+            raise FrontendError(
+                f"line {self.current.line}: expected {text!r}, "
+                f"found {self.current.text!r}"
+            )
+        return self.advance()
+
+    def accept(self, text: str) -> bool:
+        if self.current.text == text:
+            self.advance()
+            return True
+        return False
+
+    # -- grammar -------------------------------------------------------------
+    def parse_program(self) -> list[ForLoop | Assignment]:
+        items: list[ForLoop | Assignment] = []
+        while self.current.kind != "eof":
+            items.append(self.parse_toplevel())
+        return items
+
+    def parse_toplevel(self) -> ForLoop | Assignment:
+        if self.current.text == "for":
+            return self.parse_for()
+        return self.parse_assignment()
+
+    def parse_for(self) -> ForLoop:
+        line = self.current.line
+        self.expect("for")
+        self.expect("(")
+        while self.current.kind == "keyword" and self.current.text in (
+            "int",
+            "long",
+            "const",
+        ):
+            self.advance()
+        var = self._expect_ident()
+        self.expect("=")
+        start = self.parse_expr()
+        self.expect(";")
+        cond_var = self._expect_ident()
+        if cond_var != var:
+            raise FrontendError(
+                f"line {line}: loop condition must test {var!r}"
+            )
+        if self.accept("<"):
+            stop = self.parse_expr()
+        elif self.accept("<="):
+            stop = BinOp("+", self.parse_expr(), Num(1))
+        else:
+            raise FrontendError(f"line {line}: loop condition must use < or <=")
+        self.expect(";")
+        self._parse_increment(var, line)
+        self.expect(")")
+        body: list[ForLoop | Assignment] = []
+        if self.accept("{"):
+            while not self.accept("}"):
+                body.append(self.parse_toplevel())
+        else:
+            body.append(self.parse_toplevel())
+        return ForLoop(var, start, stop, tuple(body), line)
+
+    def _parse_increment(self, var: str, line: int) -> None:
+        if self.accept("++"):
+            self._expect_specific_ident(var, line)
+            return
+        name = self._expect_ident()
+        if name != var:
+            raise FrontendError(f"line {line}: increment must update {var!r}")
+        if self.accept("++"):
+            return
+        if self.accept("+="):
+            step = self.parse_expr()
+            if not (isinstance(step, Num) and step.value == 1):
+                raise FrontendError(
+                    f"line {line}: only unit-stride loops supported"
+                )
+            return
+        raise FrontendError(f"line {line}: unsupported loop increment")
+
+    def _expect_specific_ident(self, var: str, line: int) -> None:
+        name = self._expect_ident()
+        if name != var:
+            raise FrontendError(f"line {line}: increment must update {var!r}")
+
+    def parse_assignment(self) -> Assignment:
+        line = self.current.line
+        target = self.parse_postfix()
+        if not isinstance(target, ArrayRef):
+            raise FrontendError(
+                f"line {line}: assignment target must be an array element"
+            )
+        op = self.current.text
+        if op not in ("=", "+=", "-=", "*=", "/="):
+            raise FrontendError(f"line {line}: expected assignment operator")
+        self.advance()
+        value = self.parse_expr()
+        self.expect(";")
+        return Assignment(target, op, value, line)
+
+    # -- expressions -----------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        return self.parse_additive()
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while self.current.text in ("+", "-"):
+            op = self.advance().text
+            right = self.parse_multiplicative()
+            left = BinOp(op, left, right)
+        return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while self.current.text in ("*", "/"):
+            op = self.advance().text
+            right = self.parse_unary()
+            left = BinOp(op, left, right)
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.accept("-"):
+            return UnaryOp("-", self.parse_unary())
+        self.accept("+")
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Expr:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            return Num(float(token.text))
+        if token.text == "(":
+            self.advance()
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        name = self._expect_ident()
+        if self.current.text == "(":
+            self.advance()
+            args: list[Expr] = []
+            if self.current.text != ")":
+                args.append(self.parse_expr())
+                while self.accept(","):
+                    args.append(self.parse_expr())
+            self.expect(")")
+            return Call(name, tuple(args))
+        if self.current.text == "[":
+            indices: list[Expr] = []
+            while self.accept("["):
+                indices.append(self.parse_expr())
+                self.expect("]")
+            return ArrayRef(name, tuple(indices))
+        return Var(name)
+
+    def _expect_ident(self) -> str:
+        if self.current.kind != "ident":
+            raise FrontendError(
+                f"line {self.current.line}: expected identifier, "
+                f"found {self.current.text!r}"
+            )
+        return self.advance().text
+
+
+def parse_source(source: str) -> list[ForLoop | Assignment]:
+    return Parser(source).parse_program()

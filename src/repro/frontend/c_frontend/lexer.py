@@ -1,0 +1,58 @@
+"""Tokenizer for the C loop-nest subset."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.util.errors import FrontendError
+
+KEYWORDS = {"for", "int", "long", "float", "double", "const"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<line_comment>//[^\n]*)
+  | (?P<block_comment>/\*.*?\*/)
+  | (?P<number>\d+(\.\d+)?([eE][+-]?\d+)?)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<op>\+\+|--|\+=|-=|\*=|/=|<=|>=|==|!=|&&|\|\||[-+*/<>=!;,(){}\[\]])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "number" | "ident" | "keyword" | "op" | "eof"
+    text: str
+    line: int
+
+    def __str__(self) -> str:
+        return f"{self.text!r}@{self.line}"
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    line = 1
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise FrontendError(
+                f"line {line}: unexpected character {source[pos]!r}"
+            )
+        text = match.group(0)
+        kind = match.lastgroup
+        if kind in ("ws", "line_comment", "block_comment"):
+            line += text.count("\n")
+        elif kind == "ident":
+            tokens.append(
+                Token("keyword" if text in KEYWORDS else "ident", text, line)
+            )
+        else:
+            tokens.append(Token(kind, text, line))
+        pos = match.end()
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,202 @@
+"""Lowering the C AST to the SOAP IR (mirrors the Python frontend)."""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from repro.frontend.c_frontend import astnodes as A
+from repro.frontend.c_frontend.cparser import parse_source
+from repro.ir.access import AccessComponent, AffineIndex, ArrayAccess
+from repro.ir.domain import IterationDomain
+from repro.ir.program import Program
+from repro.ir.statement import Statement
+from repro.frontend.bounds_util import extreme_value, loop_symbol
+from repro.util.errors import FrontendError
+
+
+def parse_c(source: str, *, name: str = "program") -> Program:
+    """Parse a C loop-nest subset into an IR :class:`Program`."""
+    ast = parse_source(source)
+    statements: list[Statement] = []
+    _walk(ast, [], statements)
+    if not statements:
+        raise FrontendError("no array statements found")
+    return Program.make(name, statements)
+
+
+def _walk(items, loops: list[A.ForLoop], out: list[Statement]) -> None:
+    for item in items:
+        if isinstance(item, A.ForLoop):
+            _walk(item.body, loops + [item], out)
+        elif isinstance(item, A.Assignment):
+            out.append(_lower_assignment(item, loops, len(out)))
+        else:  # pragma: no cover - parser produces only the two kinds
+            raise FrontendError(f"unexpected AST node {item!r}")
+
+
+def _lower_assignment(
+    node: A.Assignment, loops: list[A.ForLoop], index: int
+) -> Statement:
+    if not loops:
+        raise FrontendError(f"line {node.line}: statement outside any loop")
+    loop_vars = [l.var for l in loops]
+    out_array = node.target.array
+    out_component = _component(node.target, loop_vars)
+
+    reads: dict[str, list[AccessComponent]] = {}
+    order: list[str] = []
+
+    def record(ref: A.ArrayRef) -> None:
+        component = _component(ref, loop_vars)
+        if ref.array not in reads:
+            reads[ref.array] = []
+            order.append(ref.array)
+        if component not in reads[ref.array]:
+            reads[ref.array].append(component)
+
+    if node.op != "=":
+        record(node.target)
+    _collect(node.value, record)
+
+    domain, guard = _domain_and_guard(loops)
+    return Statement(
+        name=f"st{index}",
+        domain=domain,
+        output=ArrayAccess(out_array, (out_component,)),
+        inputs=tuple(ArrayAccess(a, tuple(reads[a])) for a in order),
+        guard=guard,
+    )
+
+
+def _collect(expr: A.Expr, record) -> None:
+    if isinstance(expr, A.ArrayRef):
+        record(expr)
+    elif isinstance(expr, A.BinOp):
+        _collect(expr.left, record)
+        _collect(expr.right, record)
+    elif isinstance(expr, A.UnaryOp):
+        _collect(expr.operand, record)
+    elif isinstance(expr, A.Call):
+        for arg in expr.args:
+            _collect(arg, record)
+    # Num / Var: scalars, no vertices.
+
+
+# ---------------------------------------------------------------------------
+# affine extraction
+# ---------------------------------------------------------------------------
+
+
+def _component(ref: A.ArrayRef, loop_vars: list[str]) -> AccessComponent:
+    return tuple(_affine_index(idx, loop_vars) for idx in ref.indices)
+
+
+def _affine_index(expr: A.Expr, loop_vars: list[str]) -> AffineIndex:
+    coeffs, offset = _affine_parts(expr, loop_vars)
+    return AffineIndex.make(coeffs, offset)
+
+
+def _affine_parts(expr: A.Expr, loop_vars: list[str]) -> tuple[dict[str, int], int]:
+    if isinstance(expr, A.Num):
+        if expr.value != int(expr.value):
+            raise FrontendError(f"non-integer index constant {expr.value}")
+        return {}, int(expr.value)
+    if isinstance(expr, A.Var):
+        if expr.name not in loop_vars:
+            raise FrontendError(
+                f"index uses {expr.name!r} which is not a loop variable"
+            )
+        return {expr.name: 1}, 0
+    if isinstance(expr, A.UnaryOp) and expr.op == "-":
+        coeffs, offset = _affine_parts(expr.operand, loop_vars)
+        return {v: -c for v, c in coeffs.items()}, -offset
+    if isinstance(expr, A.BinOp) and expr.op in ("+", "-"):
+        lc, lo = _affine_parts(expr.left, loop_vars)
+        rc, ro = _affine_parts(expr.right, loop_vars)
+        sign = 1 if expr.op == "+" else -1
+        merged = dict(lc)
+        for v, c in rc.items():
+            merged[v] = merged.get(v, 0) + sign * c
+        return merged, lo + sign * ro
+    if isinstance(expr, A.BinOp) and expr.op == "*":
+        for a, b in ((expr.left, expr.right), (expr.right, expr.left)):
+            if isinstance(a, A.Num) and a.value == int(a.value):
+                coeffs, offset = _affine_parts(b, loop_vars)
+                k = int(a.value)
+                return {v: k * c for v, c in coeffs.items()}, k * offset
+        raise FrontendError("index products must be const * var")
+    raise FrontendError(f"non-affine index expression: {expr!r}")
+
+
+def _bound_to_sympy(expr: A.Expr) -> sp.Expr:
+    if isinstance(expr, A.Num):
+        if expr.value != int(expr.value):
+            raise FrontendError(f"non-integer loop bound {expr.value}")
+        return sp.Integer(int(expr.value))
+    if isinstance(expr, A.Var):
+        return loop_symbol(expr.name)
+    if isinstance(expr, A.UnaryOp) and expr.op == "-":
+        return -_bound_to_sympy(expr.operand)
+    if isinstance(expr, A.BinOp) and expr.op in ("+", "-", "*", "/"):
+        left = _bound_to_sympy(expr.left)
+        right = _bound_to_sympy(expr.right)
+        return {
+            "+": left + right,
+            "-": left - right,
+            "*": left * right,
+            "/": left / right,
+        }[expr.op]
+    raise FrontendError(f"unsupported loop bound: {expr!r}")
+
+
+def _bound_to_source(expr: A.Expr) -> str:
+    if isinstance(expr, A.Num):
+        return str(int(expr.value))
+    if isinstance(expr, A.Var):
+        return expr.name
+    if isinstance(expr, A.UnaryOp):
+        return f"(-{_bound_to_source(expr.operand)})"
+    if isinstance(expr, A.BinOp):
+        op = "//" if expr.op == "/" else expr.op
+        return f"({_bound_to_source(expr.left)} {op} {_bound_to_source(expr.right)})"
+    raise FrontendError(f"unsupported loop bound: {expr!r}")
+
+
+def _domain_and_guard(loops: list[A.ForLoop]):
+    loop_syms = {l.var: loop_symbol(l.var) for l in loops}
+    extents: dict[str, sp.Expr] = {}
+    max_value: dict[sp.Symbol, sp.Expr] = {}
+    min_value: dict[sp.Symbol, sp.Expr] = {}
+    starts: dict[str, sp.Expr] = {}
+    stops: dict[str, sp.Expr] = {}
+    for loop in loops:
+        starts[loop.var] = _bound_to_sympy(loop.start)
+        stops[loop.var] = _bound_to_sympy(loop.stop)
+        stop_max = extreme_value(stops[loop.var], max_value, min_value, want_max=True)
+        extents[loop.var] = sp.simplify(stop_max)
+        max_value[loop_syms[loop.var]] = stop_max - 1
+        min_value[loop_syms[loop.var]] = extreme_value(
+            starts[loop.var], max_value, min_value, want_max=False
+        )
+
+    total: sp.Expr = sp.Integer(1)
+    for loop in reversed(loops):
+        size = sp.expand(stops[loop.var] - starts[loop.var])
+        var = loop_syms[loop.var]
+        if total.has(var) or size.free_symbols & set(loop_syms.values()):
+            total = sp.summation(total, (var, starts[loop.var], stops[loop.var] - 1))
+        else:
+            total = total * size
+
+    conditions = []
+    loop_var_names = set(loop_syms)
+    for loop in loops:
+        size = sp.expand(stops[loop.var] - starts[loop.var])
+        dependent = any(s.name in loop_var_names for s in size.free_symbols)
+        if dependent or starts[loop.var] != 0:
+            conditions.append(
+                f"({_bound_to_source(loop.start)}) <= {loop.var} "
+                f"< ({_bound_to_source(loop.stop)})"
+            )
+    guard = " and ".join(conditions) if conditions else None
+    return IterationDomain.make(extents, total=sp.expand(total)), guard

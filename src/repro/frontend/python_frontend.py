@@ -1,0 +1,318 @@
+"""Python loop-nest frontend.
+
+Accepts the restricted Python the paper uses in its listings::
+
+    for t in range(1, T):
+        for i in range(t, N - t):
+            A[i, t + 1] = (A[i - 1, t] + A[i, t] + A[i + 1, t]) / 3 + B[i]
+
+Grammar (checked, not assumed):
+
+* ``for <var> in range(<stop>)`` or ``range(<start>, <stop>)`` with affine
+  bounds over parameters and enclosing loop variables;
+* assignments ``A[idx, ...] = expr`` / ``A[...] += expr`` (and ``-=``,
+  ``*=``) whose right-hand side is an arbitrary arithmetic expression over
+  array subscripts, loop variables, parameters and calls (``sqrt``, ``min``,
+  ``exp``, ...);
+* subscripts are affine in the loop variables.
+
+Loop extents depending on outer variables (triangular nests) produce exact
+symbolic point counts via summation (``|D| = sum_k (N - k - 1) = ...``) and
+a concrete ``guard`` for CDAG materialization.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+import sympy as sp
+
+from repro.ir.access import AccessComponent, AffineIndex, ArrayAccess
+from repro.ir.domain import IterationDomain
+from repro.ir.program import Program
+from repro.ir.statement import Statement
+from repro.frontend.bounds_util import extreme_value, loop_symbol
+from repro.util.errors import FrontendError
+
+
+@dataclass
+class _Loop:
+    var: str
+    start: sp.Expr
+    stop: sp.Expr
+    start_src: str
+    stop_src: str
+
+
+def parse_python(source: str, *, name: str = "program") -> Program:
+    """Parse restricted-Python loop nests into an IR :class:`Program`."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as err:
+        raise FrontendError(f"invalid Python: {err}") from err
+    statements: list[Statement] = []
+    _walk_block(tree.body, [], statements)
+    if not statements:
+        raise FrontendError("no array statements found")
+    return Program.make(name, statements)
+
+
+# ---------------------------------------------------------------------------
+# traversal
+# ---------------------------------------------------------------------------
+
+
+def _walk_block(body: list[ast.stmt], loops: list[_Loop], out: list[Statement]) -> None:
+    for node in body:
+        if isinstance(node, ast.For):
+            loop = _parse_for(node, loops)
+            _walk_block(node.body, loops + [loop], out)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            out.append(_parse_assignment(node, loops, index=len(out)))
+        elif isinstance(node, (ast.Expr, ast.Pass)):
+            continue  # docstrings / no-ops
+        else:
+            raise FrontendError(
+                f"unsupported construct at line {node.lineno}: "
+                f"{type(node).__name__}"
+            )
+
+
+def _parse_for(node: ast.For, outer: list[_Loop]) -> _Loop:
+    if not isinstance(node.target, ast.Name):
+        raise FrontendError(f"line {node.lineno}: loop target must be a name")
+    var = node.target.id
+    call = node.iter
+    if not (
+        isinstance(call, ast.Call)
+        and isinstance(call.func, ast.Name)
+        and call.func.id == "range"
+        and 1 <= len(call.args) <= 2
+    ):
+        raise FrontendError(
+            f"line {node.lineno}: loops must iterate over range(...)"
+        )
+    if len(call.args) == 1:
+        start_node: ast.expr | None = None
+        stop_node = call.args[0]
+    else:
+        start_node, stop_node = call.args
+    known = {l.var for l in outer}
+    start = _affine_to_sympy(start_node, known) if start_node is not None else sp.Integer(0)
+    stop = _affine_to_sympy(stop_node, known)
+    start_src = ast.unparse(start_node) if start_node is not None else "0"
+    stop_src = ast.unparse(stop_node)
+    return _Loop(var, start, stop, start_src, stop_src)
+
+
+def _parse_assignment(
+    node: ast.Assign | ast.AugAssign, loops: list[_Loop], index: int
+) -> Statement:
+    if not loops:
+        raise FrontendError(f"line {node.lineno}: statement outside any loop")
+    if isinstance(node, ast.Assign):
+        if len(node.targets) != 1:
+            raise FrontendError(f"line {node.lineno}: single target required")
+        target = node.targets[0]
+        rhs = node.value
+        self_read = False
+    else:
+        target = node.target
+        rhs = node.value
+        self_read = True
+    if not isinstance(target, ast.Subscript):
+        raise FrontendError(f"line {node.lineno}: target must be an array element")
+
+    loop_vars = [l.var for l in loops]
+    out_array, out_component = _parse_subscript(target, loop_vars)
+
+    reads: dict[str, list[AccessComponent]] = {}
+    order: list[str] = []
+
+    def record(array: str, component: AccessComponent) -> None:
+        if array not in reads:
+            reads[array] = []
+            order.append(array)
+        if component not in reads[array]:
+            reads[array].append(component)
+
+    if self_read:
+        record(out_array, out_component)
+    _collect_reads(rhs, loop_vars, record)
+
+    domain = _build_domain(loops)
+    guard = _build_guard(loops)
+    return Statement(
+        name=f"st{index}",
+        domain=domain,
+        output=ArrayAccess(out_array, (out_component,)),
+        inputs=tuple(ArrayAccess(a, tuple(reads[a])) for a in order),
+        guard=guard,
+    )
+
+
+def _collect_reads(node: ast.expr, loop_vars: list[str], record) -> None:
+    if isinstance(node, ast.Subscript):
+        array, component = _parse_subscript(node, loop_vars)
+        record(array, component)
+        return
+    if isinstance(node, ast.BinOp):
+        _collect_reads(node.left, loop_vars, record)
+        _collect_reads(node.right, loop_vars, record)
+        return
+    if isinstance(node, ast.UnaryOp):
+        _collect_reads(node.operand, loop_vars, record)
+        return
+    if isinstance(node, ast.Call):
+        for arg in node.args:
+            _collect_reads(arg, loop_vars, record)
+        return
+    if isinstance(node, ast.Compare):
+        _collect_reads(node.left, loop_vars, record)
+        for comp in node.comparators:
+            _collect_reads(comp, loop_vars, record)
+        return
+    if isinstance(node, (ast.Name, ast.Constant)):
+        return  # scalars and parameters carry no CDAG vertices
+    raise FrontendError(
+        f"unsupported expression node {type(node).__name__} at line "
+        f"{getattr(node, 'lineno', '?')}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# subscripts and affine expressions
+# ---------------------------------------------------------------------------
+
+
+def _parse_subscript(node: ast.Subscript, loop_vars: list[str]):
+    if not isinstance(node.value, ast.Name):
+        raise FrontendError("nested subscripts unsupported")
+    array = node.value.id
+    index = node.slice
+    indices = list(index.elts) if isinstance(index, ast.Tuple) else [index]
+    component = tuple(_affine_to_index(idx, loop_vars) for idx in indices)
+    return array, component
+
+
+def _affine_to_index(node: ast.expr, loop_vars: list[str]) -> AffineIndex:
+    coeffs, offset = _affine_parts(node, loop_vars)
+    return AffineIndex.make(coeffs, offset)
+
+
+def _affine_parts(node: ast.expr, loop_vars: list[str]) -> tuple[dict[str, int], int]:
+    if isinstance(node, ast.Constant):
+        if not isinstance(node.value, int):
+            raise FrontendError(f"non-integer index constant {node.value!r}")
+        return {}, node.value
+    if isinstance(node, ast.Name):
+        if node.id not in loop_vars:
+            raise FrontendError(
+                f"index uses {node.id!r} which is not a loop variable"
+            )
+        return {node.id: 1}, 0
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        coeffs, offset = _affine_parts(node.operand, loop_vars)
+        return {v: -c for v, c in coeffs.items()}, -offset
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            left_c, left_o = _affine_parts(node.left, loop_vars)
+            right_c, right_o = _affine_parts(node.right, loop_vars)
+            sign = 1 if isinstance(node.op, ast.Add) else -1
+            merged = dict(left_c)
+            for v, c in right_c.items():
+                merged[v] = merged.get(v, 0) + sign * c
+            return merged, left_o + sign * right_o
+        if isinstance(node.op, ast.Mult):
+            const, var_node = None, None
+            for a, b in ((node.left, node.right), (node.right, node.left)):
+                if isinstance(a, ast.Constant) and isinstance(a.value, int):
+                    const, var_node = a.value, b
+                    break
+            if const is None:
+                raise FrontendError("index products must be const * var")
+            coeffs, offset = _affine_parts(var_node, loop_vars)
+            return {v: const * c for v, c in coeffs.items()}, const * offset
+    raise FrontendError(
+        f"non-affine index expression: {ast.unparse(node)}"
+    )
+
+
+def _affine_to_sympy(node: ast.expr, known_vars: set[str]) -> sp.Expr:
+    """Loop bounds: affine over parameters and enclosing loop variables."""
+    if isinstance(node, ast.Constant):
+        if not isinstance(node.value, int):
+            raise FrontendError(f"non-integer loop bound {node.value!r}")
+        return sp.Integer(node.value)
+    if isinstance(node, ast.Name):
+        return loop_symbol(node.id)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return -_affine_to_sympy(node.operand, known_vars)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub, ast.Mult, ast.FloorDiv, ast.Div)):
+        left = _affine_to_sympy(node.left, known_vars)
+        right = _affine_to_sympy(node.right, known_vars)
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        if isinstance(node.op, ast.Mult):
+            return left * right
+        return left / right
+    raise FrontendError(f"unsupported loop bound: {ast.unparse(node)}")
+
+
+# ---------------------------------------------------------------------------
+# domains
+# ---------------------------------------------------------------------------
+
+
+def _build_domain(loops: list[_Loop]) -> IterationDomain:
+    """Extents (dependency-free caps) plus the exact symbolic point count.
+
+    Each variable's *extent* is an upper bound on the values it takes
+    (0-based): the loop's stop bound maximized over the enclosing variables'
+    value boxes (sign-aware, see :mod:`repro.frontend.bounds_util`).
+    Non-rectangular structure is captured exactly by the ``total`` point
+    count (symbolic summation) and, for CDAG materialization, by the
+    statement guard.
+    """
+    extents: dict[str, sp.Expr] = {}
+    loop_syms = {l.var: loop_symbol(l.var) for l in loops}
+    max_value: dict[sp.Symbol, sp.Expr] = {}
+    min_value: dict[sp.Symbol, sp.Expr] = {}
+    for loop in loops:
+        stop_max = extreme_value(loop.stop, max_value, min_value, want_max=True)
+        extents[loop.var] = sp.simplify(stop_max)
+        max_value[loop_syms[loop.var]] = stop_max - 1
+        min_value[loop_syms[loop.var]] = extreme_value(
+            loop.start, max_value, min_value, want_max=False
+        )
+
+    total: sp.Expr = sp.Integer(1)
+    for loop in reversed(loops):
+        size = sp.expand(loop.stop - loop.start)
+        var = loop_syms[loop.var]
+        if total.has(var) or size.free_symbols & set(loop_syms.values()):
+            total = sp.summation(total, (var, loop.start, loop.stop - 1))
+        else:
+            total = total * size
+    return IterationDomain.make(extents, total=sp.expand(total))
+
+
+def _build_guard(loops: list[_Loop]) -> str | None:
+    """Concrete guard for CDAG materialization.
+
+    Emitted whenever a loop does not start at 0 or has bounds depending on
+    enclosing variables; evaluated with loop variables *and* program
+    parameters in scope.
+    """
+    conditions = []
+    loop_vars = {l.var for l in loops}
+    for loop in loops:
+        dependent = any(
+            s.name in loop_vars for s in sp.sympify(loop.stop - loop.start).free_symbols
+        )
+        if dependent or loop.start != 0:
+            conditions.append(f"({loop.start_src}) <= {loop.var} < ({loop.stop_src})")
+    return " and ".join(conditions) if conditions else None

@@ -1,0 +1,34 @@
+"""Program intermediate representation.
+
+A *program* is an ordered list of *statements*; each statement is one array
+assignment nested in a loop nest (the SOAP grammar of Section 3):
+
+.. code-block:: none
+
+    for psi_1 in D_1:
+      ...
+        for psi_l in D_l:
+          St:  A0[phi_0(psi)] = f(A1[phi_1(psi)], ..., Am[phi_m(psi)])
+
+The IR is deliberately *syntactic*: access functions are affine index
+expressions; SOAP-specific structure (translation vectors, offset sets,
+simple-overlap groups) is recovered by :mod:`repro.soap.classify`, and
+programs that violate SOAP restrictions are rewritten by
+:mod:`repro.soap.projections`.
+"""
+
+from repro.ir.access import AffineIndex, AccessComponent, ArrayAccess
+from repro.ir.array import Array
+from repro.ir.domain import IterationDomain
+from repro.ir.statement import Statement
+from repro.ir.program import Program
+
+__all__ = [
+    "AffineIndex",
+    "AccessComponent",
+    "ArrayAccess",
+    "Array",
+    "IterationDomain",
+    "Statement",
+    "Program",
+]

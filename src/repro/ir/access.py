@@ -1,0 +1,183 @@
+"""Affine access functions.
+
+``A[i+1, 2*k, 5]`` is represented as an :class:`AccessComponent` -- a tuple of
+:class:`AffineIndex` objects, one per array dimension.  Each index is a linear
+combination of iteration variables plus an integer offset.
+
+An :class:`ArrayAccess` bundles *all* components through which one statement
+references one array (the paper's access function vector
+``phi_j = [phi_{j,1}, ..., phi_{j,n_j}]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+
+@dataclass(frozen=True, order=True)
+class AffineIndex:
+    """``sum(coeff * var) + offset`` with integer coefficients.
+
+    ``coeffs`` is a sorted tuple of ``(variable_name, coefficient)`` pairs
+    with zero coefficients removed, making equal indices compare equal.
+    """
+
+    coeffs: tuple[tuple[str, int], ...]
+    offset: int = 0
+
+    @staticmethod
+    def make(coeffs: Mapping[str, int] | Iterable[tuple[str, int]] = (), offset: int = 0) -> "AffineIndex":
+        if isinstance(coeffs, Mapping):
+            items = coeffs.items()
+        else:
+            items = coeffs
+        merged: dict[str, int] = {}
+        for var, coeff in items:
+            merged[var] = merged.get(var, 0) + int(coeff)
+        cleaned = tuple(sorted((v, c) for v, c in merged.items() if c != 0))
+        return AffineIndex(cleaned, int(offset))
+
+    @staticmethod
+    def var(name: str, offset: int = 0) -> "AffineIndex":
+        """The common case: a single iteration variable plus constant."""
+        return AffineIndex.make({name: 1}, offset)
+
+    @staticmethod
+    def const(value: int) -> "AffineIndex":
+        return AffineIndex.make({}, value)
+
+    # -- structure queries -------------------------------------------------
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    @property
+    def is_single_var(self) -> bool:
+        """True for ``var + offset`` with unit coefficient."""
+        return len(self.coeffs) == 1 and self.coeffs[0][1] == 1
+
+    @property
+    def single_var(self) -> str:
+        if not self.is_single_var:
+            raise ValueError(f"{self} is not a single-variable index")
+        return self.coeffs[0][0]
+
+    @property
+    def linear_part(self) -> tuple[tuple[str, int], ...]:
+        return self.coeffs
+
+    def variables(self) -> tuple[str, ...]:
+        return tuple(v for v, _ in self.coeffs)
+
+    # -- arithmetic ---------------------------------------------------------
+    def shifted(self, delta: int) -> "AffineIndex":
+        return AffineIndex(self.coeffs, self.offset + delta)
+
+    def renamed(self, mapping: Mapping[str, str]) -> "AffineIndex":
+        return AffineIndex.make(
+            [(mapping.get(v, v), c) for v, c in self.coeffs], self.offset
+        )
+
+    def difference_offset(self, other: "AffineIndex") -> int | None:
+        """``self - other`` if it is a constant, else ``None``.
+
+        Two indices whose difference is constant share a linear part -- the
+        defining property of a *simple overlap* in one dimension.
+        """
+        if self.coeffs != other.coeffs:
+            return None
+        return self.offset - other.offset
+
+    def evaluate(self, point: Mapping[str, int]) -> int:
+        return sum(c * point[v] for v, c in self.coeffs) + self.offset
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for var, coeff in self.coeffs:
+            if coeff == 1:
+                parts.append(var)
+            elif coeff == -1:
+                parts.append(f"-{var}")
+            else:
+                parts.append(f"{coeff}*{var}")
+        if self.offset or not parts:
+            parts.append(str(self.offset))
+        out = "+".join(parts)
+        return out.replace("+-", "-")
+
+
+AccessComponent = tuple[AffineIndex, ...]
+
+
+def component(*indices: AffineIndex | str | int) -> AccessComponent:
+    """Convenience constructor: strings become variables, ints constants."""
+    result: list[AffineIndex] = []
+    for idx in indices:
+        if isinstance(idx, AffineIndex):
+            result.append(idx)
+        elif isinstance(idx, str):
+            result.append(AffineIndex.var(idx))
+        else:
+            result.append(AffineIndex.const(idx))
+    return tuple(result)
+
+
+@dataclass(frozen=True)
+class ArrayAccess:
+    """All references of one statement to one array.
+
+    ``components`` is the access function vector: ``n_j`` tuples of affine
+    indices, each of length ``dim(array)``.
+    """
+
+    array: str
+    components: tuple[AccessComponent, ...]
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError(f"access to {self.array!r} needs >= 1 component")
+        dims = {len(c) for c in self.components}
+        if len(dims) != 1:
+            raise ValueError(f"inconsistent ranks in access to {self.array!r}: {dims}")
+
+    @staticmethod
+    def make(array: str, *components: Iterable[AffineIndex | str | int]) -> "ArrayAccess":
+        return ArrayAccess(array, tuple(component(*c) for c in components))
+
+    @property
+    def dim(self) -> int:
+        return len(self.components[0])
+
+    @property
+    def n_components(self) -> int:
+        return len(self.components)
+
+    def variables(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for comp in self.components:
+            for idx in comp:
+                for v in idx.variables():
+                    seen.setdefault(v)
+        return tuple(seen)
+
+    def renamed(self, mapping: Mapping[str, str]) -> "ArrayAccess":
+        return ArrayAccess(
+            self.array,
+            tuple(tuple(idx.renamed(mapping) for idx in comp) for comp in self.components),
+        )
+
+    def merged_with(self, other: "ArrayAccess") -> "ArrayAccess":
+        """Union of the two component lists (same array, duplicates removed)."""
+        if other.array != self.array:
+            raise ValueError("cannot merge accesses to different arrays")
+        seen: dict[AccessComponent, None] = dict.fromkeys(self.components)
+        for comp in other.components:
+            seen.setdefault(comp)
+        return ArrayAccess(self.array, tuple(seen))
+
+    def __str__(self) -> str:
+        rendered = ", ".join(
+            f"{self.array}[{', '.join(map(str, comp))}]" for comp in self.components
+        )
+        return rendered

@@ -1,0 +1,26 @@
+"""Array declarations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import sympy as sp
+
+
+@dataclass(frozen=True)
+class Array:
+    """A named multi-dimensional array.
+
+    ``element_count`` is the total number of CDAG vertices attributable to the
+    array (``|A|`` in Theorem 1).  For a computed array this is the number of
+    statement executions writing it (versions included, per Section 5.2);
+    for a program input it is the array's footprint.  It may be ``None`` for
+    arrays whose count the analyzer derives from statement domains.
+    """
+
+    name: str
+    dim: int
+    element_count: sp.Expr | None = None
+
+    def __str__(self) -> str:
+        return f"{self.name}<{self.dim}d>"

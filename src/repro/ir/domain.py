@@ -1,0 +1,99 @@
+"""Iteration domains.
+
+The SOAP analysis needs two facts about a statement's loop nest:
+
+1. the *extent* ``|𝒟_t|`` of every iteration variable (symbolic, e.g. ``N``),
+   used to cap tile sizes;
+2. the total iteration-domain size ``|𝒟|`` (number of statement executions),
+   which is *not* always the product of extents -- triangular nests such as
+   LU's ``k < j < i`` iterate over ``~N^3/6`` points.
+
+``total_size`` therefore defaults to the product but can be overridden with
+the exact (or leading-order) point count of the nest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import sympy as sp
+
+from repro.symbolic.symbols import param
+
+
+def _as_expr(value) -> sp.Expr:
+    if isinstance(value, str):
+        return param(value)
+    return sp.sympify(value)
+
+
+@dataclass(frozen=True)
+class IterationDomain:
+    """Per-variable extents plus the total point count of a loop nest."""
+
+    extents: tuple[tuple[str, sp.Expr], ...]
+    total: sp.Expr
+
+    @staticmethod
+    def make(
+        extents: Mapping[str, object],
+        total: object | None = None,
+    ) -> "IterationDomain":
+        items = tuple((var, _as_expr(size)) for var, size in extents.items())
+        if total is None:
+            total_expr = sp.Mul(*(size for _, size in items)) if items else sp.Integer(1)
+        else:
+            total_expr = _as_expr(total)
+        return IterationDomain(items, total_expr)
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return tuple(v for v, _ in self.extents)
+
+    def extent(self, var: str) -> sp.Expr:
+        for v, size in self.extents:
+            if v == var:
+                return size
+        raise KeyError(var)
+
+    def has_variable(self, var: str) -> bool:
+        return any(v == var for v, _ in self.extents)
+
+    def with_variable(self, var: str, extent: object, *, count_in_total: bool = True) -> "IterationDomain":
+        """Extended domain with one more loop variable.
+
+        ``count_in_total=False`` adds a *version* dimension (Section 5.2)
+        whose extent does not multiply the statement-execution count (the
+        version index is tied to an existing loop variable).
+        """
+        if self.has_variable(var):
+            raise ValueError(f"variable {var!r} already in domain")
+        extents = self.extents + ((var, _as_expr(extent)),)
+        total = self.total if not count_in_total else self.total * _as_expr(extent)
+        return IterationDomain(extents, total)
+
+    def renamed(self, mapping: Mapping[str, str]) -> "IterationDomain":
+        return IterationDomain(
+            tuple((mapping.get(v, v), size) for v, size in self.extents), self.total
+        )
+
+    def merged_with(self, other: "IterationDomain") -> "IterationDomain":
+        """Union of variables; shared variables keep the larger extent.
+
+        Total point counts do not compose generically, so the merged total is
+        the product of (merged) extents -- callers performing statement fusion
+        track per-statement vertex counts separately.
+        """
+        extents: dict[str, sp.Expr] = dict(self.extents)
+        for var, size in other.extents:
+            if var in extents:
+                extents[var] = sp.Max(extents[var], size)
+            else:
+                extents[var] = size
+        items = tuple(extents.items())
+        return IterationDomain(items, sp.Mul(*(s for _, s in items)))
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{v}:{size}" for v, size in self.extents)
+        return f"Domain({inner}; |D|={self.total})"

@@ -1,0 +1,94 @@
+"""SOAP statements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Mapping
+
+import sympy as sp
+
+from repro.ir.access import ArrayAccess
+from repro.ir.domain import IterationDomain
+from repro.util.errors import NotSoapError
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One array assignment in a loop nest.
+
+    ``output`` has exactly one component (the write ``A0[phi_0(psi)]``);
+    ``inputs`` holds one :class:`ArrayAccess` per *distinct array* read, each
+    possibly with several components.  Reading the output array is expressed
+    by an input access with ``array == output.array`` -- Section 5.2
+    versioning rewrites such statements before analysis.
+    """
+
+    name: str
+    domain: IterationDomain
+    output: ArrayAccess
+    inputs: tuple[ArrayAccess, ...]
+    #: Optional Python expression over the iteration variables selecting the
+    #: points of a non-rectangular nest (e.g. ``"k < j <= i"`` for Cholesky).
+    #: Used only when materializing concrete CDAGs; the symbolic analysis
+    #: relies on ``domain.total`` instead.
+    guard: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.output.n_components != 1:
+            raise NotSoapError(
+                f"statement {self.name!r}: output must be a single access, "
+                f"got {self.output.n_components}"
+            )
+        arrays = [acc.array for acc in self.inputs]
+        if len(set(arrays)) != len(arrays):
+            raise NotSoapError(
+                f"statement {self.name!r}: inputs must be grouped per array"
+            )
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def iteration_vars(self) -> tuple[str, ...]:
+        return self.domain.variables
+
+    @property
+    def vertex_count(self) -> sp.Expr:
+        """Number of CDAG vertices this statement computes (= |𝒟|)."""
+        return self.domain.total
+
+    def input_access(self, array: str) -> ArrayAccess | None:
+        for acc in self.inputs:
+            if acc.array == array:
+                return acc
+        return None
+
+    def arrays_read(self) -> tuple[str, ...]:
+        return tuple(acc.array for acc in self.inputs)
+
+    def arrays_written(self) -> tuple[str, ...]:
+        return (self.output.array,)
+
+    @property
+    def updates_output(self) -> bool:
+        """True when the output array is also read (``A[..] = f(A[..], ...)``)."""
+        return any(acc.array == self.output.array for acc in self.inputs)
+
+    # -- rewriting -----------------------------------------------------------
+    def renamed(self, mapping: Mapping[str, str]) -> "Statement":
+        guard = self.guard
+        if guard is not None:
+            for old, new in mapping.items():
+                guard = guard.replace(old, new)
+        return Statement(
+            self.name,
+            self.domain.renamed(mapping),
+            self.output.renamed(mapping),
+            tuple(acc.renamed(mapping) for acc in self.inputs),
+            guard,
+        )
+
+    def with_inputs(self, inputs: Iterable[ArrayAccess]) -> "Statement":
+        return replace(self, inputs=tuple(inputs))
+
+    def __str__(self) -> str:
+        reads = ", ".join(str(acc) for acc in self.inputs)
+        return f"{self.name}: {self.output} = f({reads})  over {self.domain}"

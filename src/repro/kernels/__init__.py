@@ -1,0 +1,26 @@
+"""The paper's 38-application evaluation suite, encoded as IR programs.
+
+Three families, matching Table 2:
+
+* :mod:`repro.kernels.polybench` -- the 30 Polybench kernels;
+* :mod:`repro.kernels.nn`        -- deep-learning workloads (direct
+  convolution, softmax, MLP, LeNet-5, BERT encoder);
+* :mod:`repro.kernels.apps`      -- LULESH, COSMO horizontal diffusion and
+  vertical advection.
+
+Every kernel is a :class:`repro.kernels.registry.KernelSpec`: the IR program,
+the paper's Table 2 leading-order bound, the improvement factor the paper
+reports over prior state of the art, and the overlap policy (Section 5.1
+assumption) under which the paper's analysis runs.
+
+Importing this package populates the registry.
+"""
+
+from repro.kernels.registry import KernelSpec, all_kernels, get_kernel, kernel_names
+
+# Importing the families registers their kernels.
+from repro.kernels import polybench as _polybench  # noqa: F401
+from repro.kernels import nn as _nn  # noqa: F401
+from repro.kernels import apps as _apps  # noqa: F401
+
+__all__ = ["KernelSpec", "all_kernels", "get_kernel", "kernel_names"]

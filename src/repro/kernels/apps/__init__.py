@@ -1,0 +1,7 @@
+"""Full-application kernels: LULESH hydrodynamics and COSMO weather stencils.
+
+These fall outside affine/polyhedral tools (unstructured meshes,
+tridiagonal recurrences); the paper reports the first I/O lower bounds.
+"""
+
+from repro.kernels.apps import lulesh, cosmo  # noqa: F401

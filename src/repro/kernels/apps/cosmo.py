@@ -1,0 +1,119 @@
+"""COSMO weather-model benchmark stencils (paper Section 7.1).
+
+* **Horizontal diffusion**: a composition of four elementwise/stencil sweeps
+  (laplacian, x-flux, y-flux, output) over an I x J x K grid.  All four fuse
+  perfectly, so the bound is footprint-scale: the paper reports ``2*I*J*K``
+  (read the input field, write the output field).
+* **Vertical advection**: a vertical (k-direction) tridiagonal solve with
+  forward/backward substitution sweeps.  Recurrences along ``k`` admit
+  recomputation that polyhedral tools cannot model; the paper reports
+  ``5*I*J*K`` -- the five field-sized operands the solver must touch.
+"""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from repro.ir.array import Array
+from repro.ir.program import Program
+from repro.kernels.common import ref, stmt, sym
+from repro.kernels.registry import KernelSpec, register
+
+I, J, K = sym("I"), sym("J"), sym("K")
+
+
+def build_horizontal_diffusion() -> Program:
+    lap = stmt(
+        "lap",
+        {"i": I, "j": J, "k": K},
+        ref("lap", "i,j,k"),
+        ref("inp", "i,j,k", "i-1,j,k", "i+1,j,k", "i,j-1,k", "i,j+1,k"),
+    )
+    flx = stmt(
+        "flx",
+        {"i2": I, "j2": J, "k2": K},
+        ref("flx", "i2,j2,k2"),
+        ref("lap", "i2,j2,k2", "i2+1,j2,k2"),
+        ref("inp", "i2,j2,k2", "i2+1,j2,k2"),
+    )
+    fly = stmt(
+        "fly",
+        {"i3": I, "j3": J, "k3": K},
+        ref("fly", "i3,j3,k3"),
+        ref("lap", "i3,j3,k3", "i3,j3+1,k3"),
+        ref("inp", "i3,j3,k3", "i3,j3+1,k3"),
+    )
+    out = stmt(
+        "out",
+        {"i4": I, "j4": J, "k4": K},
+        ref("out", "i4,j4,k4"),
+        ref("inp", "i4,j4,k4"),
+        ref("flx", "i4,j4,k4", "i4-1,j4,k4"),
+        ref("fly", "i4,j4,k4", "i4,j4-1,k4"),
+    )
+    arrays = (Array("inp", 3, I * J * K), Array("out", 3, I * J * K))
+    return Program.make("horizontal_diffusion", [lap, flx, fly, out], arrays)
+
+
+register(
+    KernelSpec(
+        name="horizontal-diffusion",
+        category="various",
+        build=build_horizontal_diffusion,
+        paper_bound=2 * I * J * K,
+        improvement="(first bound)",
+        use_floor=True,
+        description="COSMO hdiff: lap/flx/fly/out sweep composition",
+    )
+)
+
+
+def build_vertical_advection() -> Program:
+    ccol = stmt(
+        "ccol_fwd",
+        {"i": I, "j": J, "k": K},
+        ref("ccol", "i,j,k"),
+        ref("ccol", "i,j,k-1"),
+        ref("wcon", "i,j,k", "i,j,k+1"),
+    )
+    dcol = stmt(
+        "dcol_fwd",
+        {"i2": I, "j2": J, "k2": K},
+        ref("dcol", "i2,j2,k2"),
+        ref("dcol", "i2,j2,k2-1"),
+        ref("ccol", "i2,j2,k2-1"),
+        ref("ustage", "i2,j2,k2-1", "i2,j2,k2", "i2,j2,k2+1"),
+        ref("utens", "i2,j2,k2"),
+        ref("utensstage", "i2,j2,k2"),
+        ref("upos", "i2,j2"),
+    )
+    back = stmt(
+        "backward",
+        {"i3": I, "j3": J, "k3": K},
+        ref("outf", "i3,j3,k3"),
+        ref("outf", "i3,j3,k3+1"),
+        ref("ccol", "i3,j3,k3"),
+        ref("dcol", "i3,j3,k3"),
+    )
+    arrays = (
+        Array("wcon", 3, I * J * K),
+        Array("ustage", 3, I * J * K),
+        Array("utens", 3, I * J * K),
+        Array("utensstage", 3, I * J * K),
+        Array("upos", 2, I * J),
+        Array("outf", 3, I * J * K),
+    )
+    return Program.make("vertical_advection", [ccol, dcol, back], arrays)
+
+
+register(
+    KernelSpec(
+        name="vertical-advection",
+        category="various",
+        build=build_vertical_advection,
+        paper_bound=5 * I * J * K,
+        improvement="(first bound)",
+        use_floor=True,
+        description="COSMO vadv: vertical tridiagonal solve (fwd/bwd sweeps)",
+    )
+)

@@ -1,0 +1,53 @@
+"""LULESH main kernel (CalcFBHourglassForceForElems-dominated step).
+
+The unstructured mesh's gather/scatter indirection is data-dependent and
+outside SOAP; the paper lower-bounds its access sets with a SOAP projection
+in which each of the per-element operands is a disjoint stream (8 nodal
+coordinates x/y/z gathered per element plus element-local state -- 22
+element-sized operands in the paper's accounting).  Per element, every
+operand element is touched once, yielding the bandwidth bound
+``22 * numElem``.
+"""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from repro.ir.array import Array
+from repro.ir.program import Program
+from repro.kernels.common import ref, stmt, sym
+from repro.kernels.registry import KernelSpec, register
+
+E = sym("numElem")
+
+#: The paper's 22 element-sized operand streams: 8 gathered nodal values per
+#: coordinate would overcount shared nodes, so the projection keeps one
+#: stream per distinct operand *array* touched by the kernel body.
+_N_STREAMS = 22
+
+
+def build_lulesh() -> Program:
+    reads = [ref(f"op{i}", "e") for i in range(_N_STREAMS)]
+    force = stmt(
+        "hourglass_force",
+        {"e": E},
+        ref("F", "e"),
+        *reads,
+    )
+    arrays = tuple(Array(f"op{i}", 1, E) for i in range(_N_STREAMS)) + (
+        Array("F", 1, E),
+    )
+    return Program.make("lulesh", [force], arrays)
+
+
+register(
+    KernelSpec(
+        name="lulesh",
+        category="various",
+        build=build_lulesh,
+        paper_bound=22 * E,
+        improvement="(first bound)",
+        use_floor=True,
+        description="LULESH hourglass-force kernel over an unstructured mesh",
+    )
+)

@@ -1,0 +1,111 @@
+"""Compact builders for kernel encodings.
+
+Kernels are written with :func:`ref`, which parses index strings::
+
+    ref("A", "i-1,t", "i,t", "i+1,t")   ->  ArrayAccess with 3 components
+
+Index atoms are affine: ``i``, ``i+2``, ``-i+k-1``, ``2*w+r``, ``0``.
+"""
+
+from __future__ import annotations
+
+import re
+
+import sympy as sp
+
+from repro.ir.access import AffineIndex, ArrayAccess
+from repro.ir.domain import IterationDomain
+from repro.ir.statement import Statement
+from repro.util.errors import FrontendError
+
+_TERM_RE = re.compile(r"([+-]?)\s*(\d+\s*\*\s*)?([A-Za-z_]\w*|\d+)")
+
+
+def parse_index(text: str) -> AffineIndex:
+    """Parse one affine index expression (e.g. ``"i-1"``, ``"2*w+r"``)."""
+    text = text.strip()
+    coeffs: dict[str, int] = {}
+    offset = 0
+    pos = 0
+    while pos < len(text):
+        match = _TERM_RE.match(text, pos)
+        if match is None:
+            raise FrontendError(f"cannot parse index {text!r} at position {pos}")
+        sign = -1 if match.group(1) == "-" else 1
+        coeff_text = match.group(2)
+        coeff = sign * (int(coeff_text.rstrip(" *")) if coeff_text else 1)
+        atom = match.group(3)
+        if atom.isdigit():
+            offset += coeff * int(atom)
+        else:
+            coeffs[atom] = coeffs.get(atom, 0) + coeff
+        pos = match.end()
+        while pos < len(text) and text[pos] == " ":
+            pos += 1
+    return AffineIndex.make(coeffs, offset)
+
+
+def parse_component(text: str) -> tuple[AffineIndex, ...]:
+    return tuple(parse_index(part) for part in text.split(","))
+
+
+def ref(array: str, *components: str) -> ArrayAccess:
+    """Array access with one component per index string."""
+    return ArrayAccess(array, tuple(parse_component(c) for c in components))
+
+
+def stmt(
+    name: str,
+    loops: dict[str, object],
+    out: ArrayAccess,
+    *reads: ArrayAccess,
+    total: object | None = None,
+) -> Statement:
+    """Statement with loop extents ``loops`` and optional exact |D| ``total``."""
+    return Statement(
+        name=name,
+        domain=IterationDomain.make(loops, total=total),
+        output=out,
+        inputs=tuple(reads),
+    )
+
+
+def star5(array: str, i: str = "i", j: str = "j") -> ArrayAccess:
+    """5-point 2D stencil read (von Neumann neighborhood)."""
+    return ref(
+        array,
+        f"{i},{j}",
+        f"{i}-1,{j}",
+        f"{i}+1,{j}",
+        f"{i},{j}-1",
+        f"{i},{j}+1",
+    )
+
+
+def star7_3d(array: str, i: str = "i", j: str = "j", k: str = "k") -> ArrayAccess:
+    """7-point 3D stencil read."""
+    return ref(
+        array,
+        f"{i},{j},{k}",
+        f"{i}-1,{j},{k}",
+        f"{i}+1,{j},{k}",
+        f"{i},{j}-1,{k}",
+        f"{i},{j}+1,{k}",
+        f"{i},{j},{k}-1",
+        f"{i},{j},{k}+1",
+    )
+
+
+def box9(array: str, i: str = "i", j: str = "j") -> ArrayAccess:
+    """9-point 2D stencil read (Moore neighborhood, seidel-2d)."""
+    comps = []
+    for di in (-1, 0, 1):
+        for dj in (-1, 0, 1):
+            pi = f"{i}{di:+d}" if di else i
+            pj = f"{j}{dj:+d}" if dj else j
+            comps.append(f"{pi},{pj}")
+    return ref(array, *comps)
+
+
+def sym(name: str) -> sp.Symbol:
+    return sp.Symbol(name, positive=True)

@@ -1,0 +1,9 @@
+"""Deep-learning workloads: operators and full networks (paper Section 7).
+
+The paper derives the first I/O lower bounds for complete networks by
+analyzing them as multi-statement SOAPs: convolution layers use the Section
+5.3 non-injective projection, accumulations the Section 5.2 versioning, and
+layer chaining is handled by the SDG.
+"""
+
+from repro.kernels.nn import conv, softmax, mlp, lenet5, bert  # noqa: F401

@@ -1,0 +1,132 @@
+"""BERT Transformer encoder self-attention block.
+
+Matches the paper's composition ``4*B*H*P*L*(L + 2*H*P)/sqrt(S)``:
+
+* Q/K/V projections (three GEMMs over the hidden dimension ``H*P``),
+* attention scores ``Q K^T`` and the attention-weighted values,
+* softmax over scores (bandwidth-bound, lower order),
+* output projection.
+
+Feed-forward layers are not part of the paper's reported expression and are
+provided as the separate ``bert-ffn`` kernel for completeness.
+"""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from repro.ir.array import Array
+from repro.ir.program import Program
+from repro.kernels.common import ref, stmt, sym
+from repro.kernels.registry import KernelSpec, register
+
+B, L, H, P = sym("B"), sym("L"), sym("H"), sym("P")
+S = sp.Symbol("S", positive=True)
+
+_HIDDEN = H * P
+
+
+def _projection(name: str, out: str, loop_suffix: str) -> object:
+    n, l, h, p, e = (v + loop_suffix for v in ("n", "l", "h", "p", "e"))
+    return stmt(
+        name,
+        {n: B, l: L, h: H, p: P, e: _HIDDEN},
+        ref(out, f"{n},{h},{l},{p}"),
+        ref(out, f"{n},{h},{l},{p}"),
+        ref("x", f"{n},{l},{e}"),
+        ref("W" + out, f"{h},{p},{e}"),
+    )
+
+
+def build_bert() -> Program:
+    q = _projection("q_proj", "q", "1")
+    k = _projection("k_proj", "k", "2")
+    v = _projection("v_proj", "v", "3")
+    scores = stmt(
+        "scores",
+        {"n4": B, "h4": H, "i4": L, "j4": L, "p4": P},
+        ref("sc", "n4,h4,i4,j4"),
+        ref("sc", "n4,h4,i4,j4"),
+        ref("q", "n4,h4,i4,p4"),
+        ref("k", "n4,h4,j4,p4"),
+    )
+    smax = stmt(
+        "softmax",
+        {"n5": B, "h5": H, "i5": L, "j5": L},
+        ref("sm", "n5,h5,i5,j5"),
+        ref("sc", "n5,h5,i5,j5"),
+    )
+    attnv = stmt(
+        "attnv",
+        {"n6": B, "h6": H, "i6": L, "j6": L, "p6": P},
+        ref("av", "n6,h6,i6,p6"),
+        ref("av", "n6,h6,i6,p6"),
+        ref("sm", "n6,h6,i6,j6"),
+        ref("v", "n6,h6,j6,p6"),
+    )
+    proj = stmt(
+        "out_proj",
+        {"n7": B, "l7": L, "h7": H, "p7": P, "e7": _HIDDEN},
+        ref("y", "n7,l7,e7"),
+        ref("y", "n7,l7,e7"),
+        ref("av", "n7,h7,l7,p7"),
+        ref("Wo", "e7,h7,p7"),
+    )
+    arrays = (
+        Array("x", 3, B * L * _HIDDEN),
+        Array("Wq", 3, _HIDDEN**2),
+        Array("Wk", 3, _HIDDEN**2),
+        Array("Wv", 3, _HIDDEN**2),
+        Array("Wo", 3, _HIDDEN**2),
+    )
+    return Program.make("bert", [q, k, v, scores, smax, attnv, proj], arrays)
+
+
+register(
+    KernelSpec(
+        name="bert-encoder",
+        category="nn",
+        build=build_bert,
+        paper_bound=4 * B * H * P * L * (L + 2 * H * P) / sp.sqrt(S),
+        improvement="(first bound)",
+        description="BERT self-attention block (QKV, scores, softmax, AV, proj)",
+    )
+)
+
+
+def build_bert_ffn() -> Program:
+    up = stmt(
+        "ffn_up",
+        {"n": B, "l": L, "f": 4 * _HIDDEN, "e": _HIDDEN},
+        ref("h1", "n,l,f"),
+        ref("h1", "n,l,f"),
+        ref("y", "n,l,e"),
+        ref("W1", "f,e"),
+    )
+    down = stmt(
+        "ffn_down",
+        {"n2": B, "l2": L, "e2": _HIDDEN, "f2": 4 * _HIDDEN},
+        ref("h2", "n2,l2,e2"),
+        ref("h2", "n2,l2,e2"),
+        ref("h1", "n2,l2,f2"),
+        ref("W2", "e2,f2"),
+    )
+    arrays = (
+        Array("y", 3, B * L * _HIDDEN),
+        Array("W1", 2, 4 * _HIDDEN**2),
+        Array("W2", 2, 4 * _HIDDEN**2),
+    )
+    return Program.make("bert_ffn", [up, down], arrays)
+
+
+register(
+    KernelSpec(
+        name="bert-ffn",
+        category="nn",
+        build=build_bert_ffn,
+        # Two GEMMs of shape (B*L) x (H*P) x (4*H*P): 2 * 2 * 4 * BL(HP)^2.
+        paper_bound=16 * B * L * (H * P) ** 2 / sp.sqrt(S),
+        improvement="(extension)",
+        description="Transformer feed-forward block (two GEMMs)",
+    )
+)

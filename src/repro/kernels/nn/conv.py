@@ -1,0 +1,102 @@
+"""Direct convolution (paper Example 6 and Table 2).
+
+The seven-loop single-statement layer::
+
+    Out[k,h,w,b] += Image[r + sw*w, s + sh*h, c, b] * Filter[k,r,s,c]
+
+has a non-injective Image access for small strides.  The paper's Section 5.3
+analysis is *conditional*:
+
+* case (1), ``sw >= |D_r|`` (large stride / injective): the image access set
+  is bounded below by the full six-variable product -- modeled here by an
+  Image array indexed ``[r, w, s, h, c, b]``;
+* case (2), ``sw = sh = 1``: the bound keeps ``max(|D_r|,|D_w|)`` per spatial
+  dimension -- modeled by an Image indexed ``[w, h, c, b]``.
+
+Two kernel variants expose the two cases (Table 2 reports the injective
+case, improving Zhang et al. by 8x; ``conv-unit-stride`` is the S/2-intensity
+regime the paper discusses).
+"""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from repro.ir.array import Array
+from repro.ir.program import Program
+from repro.kernels.common import ref, stmt, sym
+from repro.kernels.registry import KernelSpec, register
+
+B = sym("B")  # batch
+CIN, COUT = sym("Cin"), sym("Cout")
+HOUT, WOUT = sym("Hout"), sym("Wout")
+HKER, WKER = sym("Hker"), sym("Wker")
+S = sp.Symbol("S", positive=True)
+
+_LOOPS = {
+    "b": B,
+    "c": CIN,
+    "k": COUT,
+    "w": WOUT,
+    "h": HOUT,
+    "r": WKER,
+    "s": HKER,
+}
+
+
+def build_conv_injective() -> Program:
+    update = stmt(
+        "conv",
+        dict(_LOOPS),
+        ref("Out", "k,h,w,b"),
+        ref("Out", "k,h,w,b"),
+        ref("Image", "r,w,s,h,c,b"),
+        ref("Filter", "k,r,s,c"),
+    )
+    arrays = (
+        Array("Image", 6, WKER * WOUT * HKER * HOUT * CIN * B),
+        Array("Filter", 4, COUT * WKER * HKER * CIN),
+    )
+    return Program.make("conv", [update], arrays)
+
+
+def build_conv_unit_stride() -> Program:
+    update = stmt(
+        "conv",
+        dict(_LOOPS),
+        ref("Out", "k,h,w,b"),
+        ref("Out", "k,h,w,b"),
+        ref("Image", "r+w,s+h,c,b"),
+        ref("Filter", "k,r,s,c"),
+    )
+    arrays = (
+        Array("Image", 4, WOUT * HOUT * CIN * B),
+        Array("Filter", 4, COUT * WKER * HKER * CIN),
+    )
+    return Program.make("conv_unit_stride", [update], arrays)
+
+
+register(
+    KernelSpec(
+        name="conv",
+        category="nn",
+        build=build_conv_injective,
+        paper_bound=2 * CIN * COUT * HOUT * B * WOUT * WKER * HKER / sp.sqrt(S),
+        improvement="8",
+        allow_pinning=True,
+        description="direct convolution, injective (large-stride) case",
+    )
+)
+
+register(
+    KernelSpec(
+        name="conv-unit-stride",
+        category="nn",
+        build=build_conv_unit_stride,
+        # The paper's case (2): intensity rho_max = S/2, i.e. Q >= 2|D|/S.
+        paper_bound=2 * CIN * COUT * HOUT * B * WOUT * WKER * HKER / S,
+        improvement="(conditional case 2)",
+        allow_pinning=True,
+        description="direct convolution, unit-stride (maximal overlap) case",
+    )
+)

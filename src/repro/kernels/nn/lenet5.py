@@ -1,0 +1,105 @@
+"""LeNet-5 (LeCun et al. 1998) as a multi-statement SOAP.
+
+Full network: conv(6@5x5) -> pool -> conv(16@5x5) -> pool -> fc120 -> fc84
+-> fc10, batched over ``N`` images of ``C x H x W``.  Architecture constants
+(6, 16, 5, 120, 84, 10) stay literal; the batch and image shape stay
+symbolic, so the derived bound's leading term is comparable with the paper's
+``300*sqrt(2)*C*H*N*W/sqrt(S)`` (dominated by the first convolution).
+
+Convolutions use the Section 5.3 unit-stride projection (``r + w`` image
+indices); pooling's strided access ``2*h2 + ph`` likewise.
+"""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from repro.ir.array import Array
+from repro.ir.program import Program
+from repro.kernels.common import ref, stmt, sym
+from repro.kernels.registry import KernelSpec, register
+
+N, C, H, W = sym("N"), sym("C"), sym("H"), sym("W")
+S = sp.Symbol("S", positive=True)
+
+
+def build_lenet5() -> Program:
+    # First convolution in the Section 5.3 injective projection (the Table 2
+    # convolution row's regime); deeper layers use the unit-stride form.
+    conv1 = stmt(
+        "conv1",
+        {"n": N, "c": C, "k": 6, "h": H, "w": W, "r": 5, "s": 5},
+        ref("C1", "k,h,w,n"),
+        ref("C1", "k,h,w,n"),
+        ref("img", "r,w,s,h,c,n"),
+        ref("F1", "k,r,s,c"),
+    )
+    pool1 = stmt(
+        "pool1",
+        {"n2": N, "k2": 6, "h2": H / 2, "w2": W / 2, "ph": 2, "pw": 2},
+        ref("P1", "k2,h2,w2,n2"),
+        ref("P1", "k2,h2,w2,n2"),
+        ref("C1", "k2,2*h2+ph,2*w2+pw,n2"),
+    )
+    conv2 = stmt(
+        "conv2",
+        {"n3": N, "c3": 6, "k3": 16, "h3": H / 2, "w3": W / 2, "r3": 5, "s3": 5},
+        ref("C2", "k3,h3,w3,n3"),
+        ref("C2", "k3,h3,w3,n3"),
+        ref("P1", "c3,r3+w3,s3+h3,n3"),
+        ref("F2", "k3,r3,s3,c3"),
+    )
+    pool2 = stmt(
+        "pool2",
+        {"n4": N, "k4": 16, "h4": H / 4, "w4": W / 4, "ph4": 2, "pw4": 2},
+        ref("P2", "k4,h4,w4,n4"),
+        ref("P2", "k4,h4,w4,n4"),
+        ref("C2", "k4,2*h4+ph4,2*w4+pw4,n4"),
+    )
+    fc1 = stmt(
+        "fc1",
+        {"n5": N, "f5": 120, "k5": 16, "h5": H / 4, "w5": W / 4},
+        ref("A1", "f5,n5"),
+        ref("A1", "f5,n5"),
+        ref("P2", "k5,h5,w5,n5"),
+        ref("Wf1", "f5,k5,h5,w5"),
+    )
+    fc2 = stmt(
+        "fc2",
+        {"n6": N, "f6": 84, "g6": 120},
+        ref("A2", "f6,n6"),
+        ref("A2", "f6,n6"),
+        ref("A1", "g6,n6"),
+        ref("Wf2", "f6,g6"),
+    )
+    fc3 = stmt(
+        "fc3",
+        {"n7": N, "f7": 10, "g7": 84},
+        ref("A3", "f7,n7"),
+        ref("A3", "f7,n7"),
+        ref("A2", "g7,n7"),
+        ref("Wf3", "f7,g7"),
+    )
+    arrays = (
+        Array("img", 6, 25 * C * H * W * N),
+        Array("F1", 4, 6 * 25 * C),
+        Array("F2", 4, 16 * 25 * 6),
+        Array("Wf1", 4, 120 * 16 * H * W / 16),
+        Array("Wf2", 2, 84 * 120),
+        Array("Wf3", 2, 10 * 84),
+    )
+    return Program.make(
+        "lenet5", [conv1, pool1, conv2, pool2, fc1, fc2, fc3], arrays
+    )
+
+
+register(
+    KernelSpec(
+        name="lenet5",
+        category="nn",
+        build=build_lenet5,
+        paper_bound=300 * sp.sqrt(2) * C * H * N * W / sp.sqrt(S),
+        improvement="(first bound)",
+        description="LeNet-5 CNN, batched; first conv layer dominates",
+    )
+)

@@ -1,0 +1,78 @@
+"""Multi-layer perceptron: two fully-connected layers over a batch.
+
+The paper's bound ``2 N (fc1*fc2 + fc1*inp + fc2*out) / sqrt(S)`` is the sum
+of the three chained GEMM bounds (batch N): layer products dominate and the
+SDG analysis confirms no fusion reduces the leading term (each GEMM has its
+own weight matrix).
+"""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from repro.ir.array import Array
+from repro.ir.program import Program
+from repro.kernels.common import ref, stmt, sym
+from repro.kernels.registry import KernelSpec, register
+
+N = sym("N")  # batch size
+INP, FC1, FC2, OUT = sym("inp"), sym("fc1"), sym("fc2"), sym("out")
+S = sp.Symbol("S", positive=True)
+
+
+def build_mlp() -> Program:
+    layer1 = stmt(
+        "fc1",
+        {"n": N, "i": FC1, "j": INP},
+        ref("h1", "n,i"),
+        ref("h1", "n,i"),
+        ref("x", "n,j"),
+        ref("W1", "i,j"),
+    )
+    act1 = stmt(
+        "relu1",
+        {"n2": N, "i2": FC1},
+        ref("a1", "n2,i2"),
+        ref("h1", "n2,i2"),
+    )
+    layer2 = stmt(
+        "fc2",
+        {"n3": N, "i3": FC2, "j3": FC1},
+        ref("h2", "n3,i3"),
+        ref("h2", "n3,i3"),
+        ref("a1", "n3,j3"),
+        ref("W2", "i3,j3"),
+    )
+    act2 = stmt(
+        "relu2",
+        {"n4": N, "i4": FC2},
+        ref("a2", "n4,i4"),
+        ref("h2", "n4,i4"),
+    )
+    layer3 = stmt(
+        "fcout",
+        {"n5": N, "i5": OUT, "j5": FC2},
+        ref("y", "n5,i5"),
+        ref("y", "n5,i5"),
+        ref("a2", "n5,j5"),
+        ref("W3", "i5,j5"),
+    )
+    arrays = (
+        Array("x", 2, N * INP),
+        Array("W1", 2, FC1 * INP),
+        Array("W2", 2, FC2 * FC1),
+        Array("W3", 2, OUT * FC2),
+    )
+    return Program.make("mlp", [layer1, act1, layer2, act2, layer3], arrays)
+
+
+register(
+    KernelSpec(
+        name="mlp",
+        category="nn",
+        build=build_mlp,
+        paper_bound=2 * N * (FC1 * FC2 + FC1 * INP + FC2 * OUT) / sp.sqrt(S),
+        improvement="(first bound)",
+        description="3-layer MLP (batched GEMM chain with activations)",
+    )
+)

@@ -1,0 +1,60 @@
+"""Softmax operator over attention-shaped tensors (B x H x M x N).
+
+Three row sweeps: running maximum, exponential-sum, normalization.  A
+bandwidth-bound kernel: every element of the input is needed once per sweep
+but the sweeps fuse perfectly, so the Theorem 1 bound is the footprint-scale
+``Theta(BHMN)`` (the paper reports 4BHMN counting the operator's reads and
+writes of its tensor-sized operands).
+"""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from repro.ir.array import Array
+from repro.ir.program import Program
+from repro.kernels.common import ref, stmt, sym
+from repro.kernels.registry import KernelSpec, register
+
+B, H, M, N = sym("B"), sym("H"), sym("M"), sym("N")
+
+
+def build_softmax() -> Program:
+    rowmax = stmt(
+        "rowmax",
+        {"b": B, "h": H, "m": M, "n": N},
+        ref("mx", "b,h,m"),
+        ref("mx", "b,h,m"),
+        ref("inp", "b,h,m,n"),
+    )
+    expsum = stmt(
+        "expsum",
+        {"b2": B, "h2": H, "m2": M, "n2": N},
+        ref("den", "b2,h2,m2"),
+        ref("den", "b2,h2,m2"),
+        ref("inp", "b2,h2,m2,n2"),
+        ref("mx", "b2,h2,m2"),
+    )
+    norm = stmt(
+        "normalize",
+        {"b3": B, "h3": H, "m3": M, "n3": N},
+        ref("out", "b3,h3,m3,n3"),
+        ref("inp", "b3,h3,m3,n3"),
+        ref("mx", "b3,h3,m3"),
+        ref("den", "b3,h3,m3"),
+    )
+    arrays = (Array("inp", 4, B * H * M * N), Array("out", 4, B * H * M * N))
+    return Program.make("softmax", [rowmax, expsum, norm], arrays)
+
+
+register(
+    KernelSpec(
+        name="softmax",
+        category="nn",
+        build=build_softmax,
+        paper_bound=4 * B * H * M * N,
+        improvement="(first bound)",
+        use_floor=True,
+        description="softmax over the last axis of a B x H x M x N tensor",
+    )
+)

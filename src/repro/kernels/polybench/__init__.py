@@ -1,0 +1,18 @@
+"""Polybench/C 4.2 kernels (30), encoded as SOAP IR programs.
+
+Encodings follow the paper's Section 5 projections:
+
+* in-place factorizations expose their per-statement dataflow (each
+  statement's output is its own SDG vertex, the Section 5.2 versioned view);
+* same-array reads through different linear signatures stay on one array and
+  are combined under the Section 5.1 "sum" (disjoint access sets) policy;
+* triangular loop nests carry exact leading-order point counts ``|D|``.
+"""
+
+from repro.kernels.polybench import (  # noqa: F401
+    datamining,
+    linear_algebra,
+    medley,
+    solvers,
+    stencils,
+)

@@ -1,0 +1,94 @@
+"""Polybench data-mining kernels: correlation, covariance."""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from repro.ir.array import Array
+from repro.ir.program import Program
+from repro.kernels.common import ref, stmt, sym
+from repro.kernels.registry import KernelSpec, register
+
+N, M = sym("N"), sym("M")
+S = sp.Symbol("S", positive=True)
+
+
+def _mean_and_center(data: str, centered: str) -> list:
+    mean = stmt(
+        "mean",
+        {"j": M, "i": N},
+        ref("mean", "j"),
+        ref("mean", "j"),
+        ref(data, "i,j"),
+        total=M * N,
+    )
+    center = stmt(
+        "center",
+        {"i2": N, "j2": M},
+        ref(centered, "i2,j2"),
+        ref(data, "i2,j2"),
+        ref("mean", "j2"),
+        total=M * N,
+    )
+    return [mean, center]
+
+
+def build_covariance() -> Program:
+    head = _mean_and_center("data", "cdata")
+    cov = stmt(
+        "cov",
+        {"i3": M, "j3": M, "k3": N},
+        ref("cov", "i3,j3"),
+        ref("cov", "i3,j3"),
+        ref("cdata", "k3,i3", "k3,j3"),
+        total=M**2 * N / 2,
+    )
+    arrays = (Array("data", 2, M * N),)
+    return Program.make("covariance", head + [cov], arrays)
+
+
+register(
+    KernelSpec(
+        name="covariance",
+        category="polybench",
+        build=build_covariance,
+        paper_bound=M**2 * N / sp.sqrt(S),
+        improvement="2",
+        description="covariance matrix of N samples x M features (j3 >= i3)",
+    )
+)
+
+
+def build_correlation() -> Program:
+    head = _mean_and_center("data", "cdata")
+    stddev = stmt(
+        "stddev",
+        {"j4": M, "i4": N},
+        ref("stddev", "j4"),
+        ref("stddev", "j4"),
+        ref("data", "i4,j4"),
+        ref("mean", "j4"),
+        total=M * N,
+    )
+    corr = stmt(
+        "corr",
+        {"i5": M, "j5": M, "k5": N},
+        ref("corr", "i5,j5"),
+        ref("corr", "i5,j5"),
+        ref("cdata", "k5,i5", "k5,j5"),
+        total=M**2 * N / 2,
+    )
+    arrays = (Array("data", 2, M * N),)
+    return Program.make("correlation", head + [stddev, corr], arrays)
+
+
+register(
+    KernelSpec(
+        name="correlation",
+        category="polybench",
+        build=build_correlation,
+        paper_bound=M**2 * N / sp.sqrt(S),
+        improvement="2",
+        description="correlation matrix (covariance + normalization)",
+    )
+)

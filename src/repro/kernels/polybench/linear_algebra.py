@@ -1,0 +1,509 @@
+"""Polybench linear-algebra kernels (BLAS-like + doitgen)."""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from repro.ir.array import Array
+from repro.ir.program import Program
+from repro.kernels.common import ref, stmt, sym
+from repro.kernels.registry import KernelSpec, register
+
+N, M, K = sym("N"), sym("M"), sym("K")
+S = sp.Symbol("S", positive=True)
+
+
+# ---------------------------------------------------------------------------
+# gemm: C += alpha * A @ B  (cubic single statement; the Hong-Kung classic)
+# ---------------------------------------------------------------------------
+
+def build_gemm() -> Program:
+    update = stmt(
+        "gemm",
+        {"i": N, "j": N, "k": N},
+        ref("C", "i,j"),
+        ref("C", "i,j"),
+        ref("A", "i,k"),
+        ref("B", "k,j"),
+    )
+    arrays = (
+        Array("A", 2, N**2),
+        Array("B", 2, N**2),
+    )
+    return Program.make("gemm", [update], arrays)
+
+
+register(
+    KernelSpec(
+        name="gemm",
+        category="polybench",
+        build=build_gemm,
+        paper_bound=2 * N**3 / sp.sqrt(S),
+        improvement="1",
+        description="dense matrix-matrix multiply C += A@B",
+        source=(
+            "for i in range(N):\n"
+            "    for j in range(N):\n"
+            "        for k in range(N):\n"
+            "            C[i, j] = C[i, j] + A[i, k] * B[k, j]\n"
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# 2mm / 3mm: chained matrix products
+# ---------------------------------------------------------------------------
+
+def build_2mm() -> Program:
+    first = stmt(
+        "mm1",
+        {"i": N, "j": N, "k": N},
+        ref("tmp", "i,j"),
+        ref("tmp", "i,j"),
+        ref("A", "i,k"),
+        ref("B", "k,j"),
+    )
+    second = stmt(
+        "mm2",
+        {"i2": N, "l": N, "m": N},
+        ref("D", "i2,l"),
+        ref("D", "i2,l"),
+        ref("tmp", "i2,m"),
+        ref("C", "m,l"),
+    )
+    return Program.make("2mm", [first, second])
+
+
+register(
+    KernelSpec(
+        name="2mm",
+        category="polybench",
+        build=build_2mm,
+        paper_bound=4 * N**3 / sp.sqrt(S),
+        improvement="1",
+        description="D = tmp @ C with tmp = A @ B",
+    )
+)
+
+
+def build_3mm() -> Program:
+    e = stmt(
+        "mm1",
+        {"i": N, "j": N, "k": N},
+        ref("E", "i,j"),
+        ref("E", "i,j"),
+        ref("A", "i,k"),
+        ref("B", "k,j"),
+    )
+    f = stmt(
+        "mm2",
+        {"i2": N, "j2": N, "k2": N},
+        ref("F", "i2,j2"),
+        ref("F", "i2,j2"),
+        ref("C", "i2,k2"),
+        ref("D", "k2,j2"),
+    )
+    g = stmt(
+        "mm3",
+        {"i3": N, "j3": N, "k3": N},
+        ref("G", "i3,j3"),
+        ref("G", "i3,j3"),
+        ref("E", "i3,k3"),
+        ref("F", "k3,j3"),
+    )
+    return Program.make("3mm", [e, f, g])
+
+
+register(
+    KernelSpec(
+        name="3mm",
+        category="polybench",
+        build=build_3mm,
+        paper_bound=6 * N**3 / sp.sqrt(S),
+        improvement="1",
+        description="G = (A@B) @ (C@D)",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# atax / bicg: matrix-vector products sharing the matrix
+# ---------------------------------------------------------------------------
+
+def build_atax() -> Program:
+    first = stmt(
+        "Ax",
+        {"i": M, "j": N},
+        ref("tmp", "i"),
+        ref("tmp", "i"),
+        ref("A", "i,j"),
+        ref("x", "j"),
+    )
+    second = stmt(
+        "Aty",
+        {"i": M, "j": N},
+        ref("y", "j"),
+        ref("y", "j"),
+        ref("A", "i,j"),
+        ref("tmp", "i"),
+    )
+    arrays = (Array("A", 2, M * N), Array("x", 1, N))
+    return Program.make("atax", [first, second], arrays)
+
+
+register(
+    KernelSpec(
+        name="atax",
+        category="polybench",
+        build=build_atax,
+        paper_bound=M * N,
+        improvement="1",
+        description="y = A^T (A x): two MV products reusing A",
+        source=(
+            "for i in range(M):\n"
+            "    for j in range(N):\n"
+            "        tmp[i] = tmp[i] + A[i, j] * x[j]\n"
+            "for i in range(M):\n"
+            "    for j in range(N):\n"
+            "        y[j] = y[j] + A[i, j] * tmp[i]\n"
+        ),
+    )
+)
+
+
+def build_bicg() -> Program:
+    q = stmt(
+        "q",
+        {"i": N, "j": M},
+        ref("q", "i"),
+        ref("q", "i"),
+        ref("A", "i,j"),
+        ref("p", "j"),
+    )
+    s = stmt(
+        "s",
+        {"i": N, "j": M},
+        ref("s", "j"),
+        ref("s", "j"),
+        ref("A", "i,j"),
+        ref("r", "i"),
+    )
+    arrays = (Array("A", 2, M * N),)
+    return Program.make("bicg", [q, s], arrays)
+
+
+register(
+    KernelSpec(
+        name="bicg",
+        category="polybench",
+        build=build_bicg,
+        paper_bound=M * N,
+        improvement="1",
+        description="BiCG subkernel: q = A p, s = A^T r",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# mvt: two MV products, one transposed
+# ---------------------------------------------------------------------------
+
+def build_mvt() -> Program:
+    x1 = stmt(
+        "x1",
+        {"i": N, "j": N},
+        ref("x1", "i"),
+        ref("x1", "i"),
+        ref("A", "i,j"),
+        ref("y1", "j"),
+    )
+    x2 = stmt(
+        "x2",
+        {"i2": N, "j2": N},
+        ref("x2", "i2"),
+        ref("x2", "i2"),
+        ref("A", "j2,i2"),
+        ref("y2", "j2"),
+    )
+    arrays = (Array("A", 2, N**2),)
+    return Program.make("mvt", [x1, x2], arrays)
+
+
+register(
+    KernelSpec(
+        name="mvt",
+        category="polybench",
+        build=build_mvt,
+        paper_bound=N**2,
+        improvement="1",
+        description="x1 += A y1, x2 += A^T y2",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# gemver: rank-2 update followed by two MV products
+# ---------------------------------------------------------------------------
+
+def build_gemver() -> Program:
+    update = stmt(
+        "rank2",
+        {"i": N, "j": N},
+        ref("Ah", "i,j"),
+        ref("A", "i,j"),
+        ref("u1", "i"),
+        ref("v1", "j"),
+        ref("u2", "i"),
+        ref("v2", "j"),
+    )
+    xs = stmt(
+        "xsweep",
+        {"i2": N, "j2": N},
+        ref("x", "i2"),
+        ref("x", "i2"),
+        ref("Ah", "j2,i2"),
+        ref("y", "j2"),
+    )
+    xz = stmt(
+        "xplusz",
+        {"i3": N},
+        ref("x2", "i3"),
+        ref("x", "i3"),
+        ref("z", "i3"),
+    )
+    w = stmt(
+        "wsweep",
+        {"i4": N, "j4": N},
+        ref("w", "i4"),
+        ref("w", "i4"),
+        ref("Ah", "i4,j4"),
+        ref("x2", "j4"),
+    )
+    arrays = (Array("A", 2, N**2),)
+    return Program.make("gemver", [update, xs, xz, w], arrays)
+
+
+register(
+    KernelSpec(
+        name="gemver",
+        category="polybench",
+        build=build_gemver,
+        paper_bound=N**2,
+        improvement="1",
+        description="Ah = A + u1 v1^T + u2 v2^T; x = beta Ah^T y + z; w = alpha Ah x",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# gesummv: y = alpha A x + beta B x
+# ---------------------------------------------------------------------------
+
+def build_gesummv() -> Program:
+    tmp = stmt(
+        "tmpsweep",
+        {"i": N, "j": N},
+        ref("tmp", "i"),
+        ref("tmp", "i"),
+        ref("A", "i,j"),
+        ref("x", "j"),
+    )
+    yb = stmt(
+        "ysweep",
+        {"i2": N, "j2": N},
+        ref("yb", "i2"),
+        ref("yb", "i2"),
+        ref("B", "i2,j2"),
+        ref("x", "j2"),
+    )
+    combine = stmt(
+        "combine",
+        {"i3": N},
+        ref("y", "i3"),
+        ref("tmp", "i3"),
+        ref("yb", "i3"),
+    )
+    arrays = (Array("A", 2, N**2), Array("B", 2, N**2))
+    return Program.make("gesummv", [tmp, yb, combine], arrays)
+
+
+register(
+    KernelSpec(
+        name="gesummv",
+        category="polybench",
+        build=build_gesummv,
+        paper_bound=2 * N**2,
+        improvement="1",
+        description="y = alpha A x + beta B x (two independent matrices)",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# symm: symmetric matrix multiply (triangular access of A)
+# ---------------------------------------------------------------------------
+
+def build_symm() -> Program:
+    below = stmt(
+        "below",
+        {"i": M, "j": N, "k": M},
+        ref("C", "k,j"),
+        ref("C", "k,j"),
+        ref("B", "i,j"),
+        ref("A", "i,k"),
+        total=M**2 * N / 2,
+    )
+    temp2 = stmt(
+        "temp2",
+        {"i2": M, "j2": N, "k2": M},
+        ref("T2", "i2,j2"),
+        ref("T2", "i2,j2"),
+        ref("B", "k2,j2"),
+        ref("A", "i2,k2"),
+        total=M**2 * N / 2,
+    )
+    final = stmt(
+        "final",
+        {"i3": M, "j3": N},
+        ref("Cout", "i3,j3"),
+        ref("C", "i3,j3"),
+        ref("B", "i3,j3"),
+        ref("T2", "i3,j3"),
+    )
+    arrays = (Array("A", 2, M**2 / 2), Array("B", 2, M * N))
+    return Program.make("symm", [below, temp2, final], arrays)
+
+
+register(
+    KernelSpec(
+        name="symm",
+        category="polybench",
+        build=build_symm,
+        paper_bound=2 * M**2 * N / sp.sqrt(S),
+        improvement="1",
+        description="C = alpha A B + beta C with symmetric A (lower triangle stored)",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# syrk / syr2k: symmetric rank-k updates
+# ---------------------------------------------------------------------------
+
+def build_syrk() -> Program:
+    update = stmt(
+        "syrk",
+        {"i": N, "j": N, "k": M},
+        ref("C", "i,j"),
+        ref("C", "i,j"),
+        ref("A", "i,k", "j,k"),
+        total=N**2 * M / 2,
+    )
+    arrays = (Array("A", 2, N * M),)
+    return Program.make("syrk", [update], arrays)
+
+
+register(
+    KernelSpec(
+        name="syrk",
+        category="polybench",
+        build=build_syrk,
+        paper_bound=M * N**2 / sp.sqrt(S),
+        improvement="2",
+        description="C += alpha A A^T (triangular j <= i)",
+    )
+)
+
+
+def build_syr2k() -> Program:
+    update = stmt(
+        "syr2k",
+        {"i": N, "j": N, "k": M},
+        ref("C", "i,j"),
+        ref("C", "i,j"),
+        ref("A", "i,k", "j,k"),
+        ref("B", "i,k", "j,k"),
+        total=N**2 * M / 2,
+    )
+    arrays = (Array("A", 2, N * M), Array("B", 2, N * M))
+    return Program.make("syr2k", [update], arrays)
+
+
+register(
+    KernelSpec(
+        name="syr2k",
+        category="polybench",
+        build=build_syr2k,
+        paper_bound=2 * M * N**2 / sp.sqrt(S),
+        improvement="2",
+        description="C += A B^T + B A^T (triangular j <= i)",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# trmm: triangular matrix multiply (in place)
+# ---------------------------------------------------------------------------
+
+def build_trmm() -> Program:
+    update = stmt(
+        "trmm",
+        {"i": M, "j": N, "k": M},
+        ref("B", "i,j"),
+        ref("B", "i,j", "k,j"),
+        ref("A", "k,i"),
+        total=M**2 * N / 2,
+    )
+    arrays = (Array("A", 2, M**2 / 2),)
+    return Program.make("trmm", [update], arrays)
+
+
+register(
+    KernelSpec(
+        name="trmm",
+        category="polybench",
+        build=build_trmm,
+        paper_bound=M**2 * N / sp.sqrt(S),
+        improvement="1",
+        description="B = A^T B with unit-lower-triangular A (k > i)",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# doitgen: tensor contraction sum[r,q,p] = A[r,q,s] C4[s,p]
+# ---------------------------------------------------------------------------
+
+NR, NQ, NP = sym("NR"), sym("NQ"), sym("NP")
+
+
+def build_doitgen() -> Program:
+    contract = stmt(
+        "contract",
+        {"r": NR, "q": NQ, "p": NP, "s": NP},
+        ref("sum_", "r,q,p"),
+        ref("sum_", "r,q,p"),
+        ref("A", "r,q,s"),
+        ref("C4", "s,p"),
+    )
+    copy = stmt(
+        "copyback",
+        {"r2": NR, "q2": NQ, "p2": NP},
+        ref("A2", "r2,q2,p2"),
+        ref("sum_", "r2,q2,p2"),
+    )
+    arrays = (Array("A", 3, NR * NQ * NP), Array("C4", 2, NP**2))
+    return Program.make("doitgen", [contract, copy], arrays)
+
+
+register(
+    KernelSpec(
+        name="doitgen",
+        category="polybench",
+        build=build_doitgen,
+        paper_bound=2 * NP**2 * NQ * NR / sp.sqrt(S),
+        improvement="1",
+        description="multi-resolution analysis contraction",
+    )
+)

@@ -1,0 +1,138 @@
+"""Polybench medley kernels: deriche, floyd-warshall, nussinov."""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from repro.ir.array import Array
+from repro.ir.program import Program
+from repro.kernels.common import ref, stmt, sym
+from repro.kernels.registry import KernelSpec, register
+
+N = sym("N")
+H, W = sym("H"), sym("W")
+S = sp.Symbol("S", positive=True)
+
+
+# ---------------------------------------------------------------------------
+# deriche: recursive edge-detection filter (2 horizontal + 2 vertical IIR
+# sweeps plus two combination passes)
+# ---------------------------------------------------------------------------
+
+def build_deriche() -> Program:
+    y1 = stmt(
+        "hforward",
+        {"i": H, "j": W},
+        ref("y1", "i,j"),
+        ref("y1", "i,j-1", "i,j-2"),
+        ref("img", "i,j", "i,j-1"),
+    )
+    y2 = stmt(
+        "hbackward",
+        {"i2": H, "j2": W},
+        ref("y2", "i2,j2"),
+        ref("y2", "i2,j2+1", "i2,j2+2"),
+        ref("img", "i2,j2+1", "i2,j2+2"),
+    )
+    t1 = stmt(
+        "hcombine",
+        {"i3": H, "j3": W},
+        ref("t1", "i3,j3"),
+        ref("y1", "i3,j3"),
+        ref("y2", "i3,j3"),
+    )
+    z1 = stmt(
+        "vforward",
+        {"i4": H, "j4": W},
+        ref("z1", "i4,j4"),
+        ref("z1", "i4-1,j4", "i4-2,j4"),
+        ref("t1", "i4,j4", "i4-1,j4"),
+    )
+    z2 = stmt(
+        "vbackward",
+        {"i5": H, "j5": W},
+        ref("z2", "i5,j5"),
+        ref("z2", "i5+1,j5", "i5+2,j5"),
+        ref("t1", "i5+1,j5", "i5+2,j5"),
+    )
+    out = stmt(
+        "vcombine",
+        {"i6": H, "j6": W},
+        ref("out", "i6,j6"),
+        ref("z1", "i6,j6"),
+        ref("z2", "i6,j6"),
+    )
+    arrays = (Array("img", 2, H * W), Array("out", 2, H * W))
+    return Program.make("deriche", [y1, y2, t1, z1, z2, out], arrays)
+
+
+register(
+    KernelSpec(
+        name="deriche",
+        category="polybench",
+        build=build_deriche,
+        paper_bound=3 * H * W,
+        improvement="3",
+        use_floor=True,
+        description="Deriche recursive filter: IIR sweeps over an H x W image",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# floyd-warshall: all-pairs shortest paths
+# ---------------------------------------------------------------------------
+
+def build_floyd_warshall() -> Program:
+    update = stmt(
+        "relax",
+        {"k": N, "i": N, "j": N},
+        ref("P", "i,j"),
+        ref("P", "i,j", "i,k", "k,j"),
+    )
+    return Program.make("floyd_warshall", [update])
+
+
+register(
+    KernelSpec(
+        name="floyd-warshall",
+        category="polybench",
+        build=build_floyd_warshall,
+        paper_bound=2 * N**3 / sp.sqrt(S),
+        improvement="2",
+        description="P[i,j] = min(P[i,j], P[i,k] + P[k,j]) -- Section 5.1 + 5.2",
+        source=(
+            "for k in range(N):\n"
+            "    for i in range(N):\n"
+            "        for j in range(N):\n"
+            "            P[i, j] = min(P[i, j], P[i, k] + P[k, j])\n"
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# nussinov: RNA secondary-structure dynamic programming
+# ---------------------------------------------------------------------------
+
+def build_nussinov() -> Program:
+    update = stmt(
+        "dp",
+        {"i": N, "j": N, "k": N},
+        ref("table", "i,j"),
+        ref("table", "i,j", "i,k", "k+1,j"),
+        total=N**3 / 6,
+    )
+    return Program.make("nussinov", [update])
+
+
+register(
+    KernelSpec(
+        name="nussinov",
+        category="polybench",
+        build=build_nussinov,
+        paper_bound=N**3 / (3 * sp.sqrt(S)),
+        improvement="2",
+        description="table[i,j] = max_k(table[i,k] + table[k+1,j]) on i<k<j",
+    )
+)

@@ -1,0 +1,288 @@
+"""Polybench direct solvers and factorizations.
+
+In-place factorizations are encoded in the Section 5.2 *versioned dataflow*
+view: each statement writes its own SDG vertex (``A1`` = diagonal values,
+``A2`` = scaled column, ``A3`` = trailing submatrix versions, ...), which is
+exactly the array-granularity dataflow the paper's SDG models for these
+kernels (cf. paper Examples 4-5 for LU).
+"""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from repro.ir.array import Array
+from repro.ir.program import Program
+from repro.kernels.common import ref, stmt, sym
+from repro.kernels.registry import KernelSpec, register
+
+N, M = sym("N"), sym("M")
+S = sp.Symbol("S", positive=True)
+
+
+# ---------------------------------------------------------------------------
+# cholesky
+# ---------------------------------------------------------------------------
+
+def build_cholesky() -> Program:
+    diag = stmt(
+        "diag",
+        {"k": N},
+        ref("A1", "k"),
+        ref("A3", "k,k"),
+        total=N,
+    )
+    scale = stmt(
+        "scale",
+        {"k": N, "i": N},
+        ref("A2", "i,k"),
+        ref("A3", "i,k"),
+        ref("A1", "k"),
+        total=N**2 / 2,
+    )
+    update = stmt(
+        "update",
+        {"k": N, "i": N, "j": N},
+        ref("A3", "i,j"),
+        ref("A3", "i,j"),
+        ref("A2", "i,k", "j,k"),
+        total=N**3 / 6,
+    )
+    arrays = (Array("A3", 2, None),)
+    return Program.make("cholesky", [diag, scale, update], arrays)
+
+
+register(
+    KernelSpec(
+        name="cholesky",
+        category="polybench",
+        build=build_cholesky,
+        paper_bound=N**3 / (3 * sp.sqrt(S)),
+        improvement="2",
+        description="Cholesky factorization A = L L^T (trailing update dominates)",
+        source=(
+            "for k in range(N):\n"
+            "    A[k, k] = sqrt(A[k, k])\n"
+            "    for i in range(k + 1, N):\n"
+            "        A[i, k] = A[i, k] / A[k, k]\n"
+            "    for i in range(k + 1, N):\n"
+            "        for j in range(k + 1, i + 1):\n"
+            "            A[i, j] = A[i, j] - A[i, k] * A[j, k]\n"
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# lu / ludcmp
+# ---------------------------------------------------------------------------
+
+def _lu_statements(prefix: str = "") -> list:
+    scale = stmt(
+        prefix + "scale",
+        {"k": N, "i": N},
+        ref("L", "i,k"),
+        ref("A", "i,k"),
+        total=N**2 / 2,
+    )
+    update = stmt(
+        prefix + "update",
+        {"k": N, "i": N, "j": N},
+        ref("A", "i,j"),
+        ref("A", "i,j", "k,j"),
+        ref("L", "i,k"),
+        total=N**3 / 3,
+    )
+    return [scale, update]
+
+
+def build_lu() -> Program:
+    return Program.make("lu", _lu_statements())
+
+
+register(
+    KernelSpec(
+        name="lu",
+        category="polybench",
+        build=build_lu,
+        paper_bound=2 * N**3 / (3 * sp.sqrt(S)),
+        improvement="1",
+        description="LU factorization without pivoting (Example 4/5 of the paper)",
+        source=(
+            "for k in range(N):\n"
+            "    for i in range(k + 1, N):\n"
+            "        A[i, k] = A[i, k] / A[k, k]\n"
+            "    for i in range(k + 1, N):\n"
+            "        for j in range(k + 1, N):\n"
+            "            A[i, j] = A[i, j] - A[i, k] * A[k, j]\n"
+        ),
+    )
+)
+
+
+def build_ludcmp() -> Program:
+    forward = stmt(
+        "fwd",
+        {"i2": N, "j2": N},
+        ref("w", "i2"),
+        ref("w", "i2"),
+        ref("A", "i2,j2"),
+        ref("b", "j2"),
+        total=N**2 / 2,
+    )
+    backward = stmt(
+        "bwd",
+        {"i3": N, "j3": N},
+        ref("x", "i3"),
+        ref("x", "i3"),
+        ref("A", "i3,j3"),
+        ref("w", "i3"),
+        total=N**2 / 2,
+    )
+    return Program.make("ludcmp", _lu_statements("lu_") + [forward, backward])
+
+
+register(
+    KernelSpec(
+        name="ludcmp",
+        category="polybench",
+        build=build_ludcmp,
+        paper_bound=2 * N**3 / (3 * sp.sqrt(S)),
+        improvement="1",
+        description="LU factorization + triangular solves",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# trisolv: forward substitution
+# ---------------------------------------------------------------------------
+
+def build_trisolv() -> Program:
+    solve = stmt(
+        "solve",
+        {"i": N, "j": N},
+        ref("x", "i"),
+        ref("x", "i", "j"),
+        ref("L", "i,j"),
+        ref("b", "i"),
+        total=N**2 / 2,
+    )
+    arrays = (Array("L", 2, N**2 / 2),)
+    return Program.make("trisolv", [solve], arrays)
+
+
+register(
+    KernelSpec(
+        name="trisolv",
+        category="polybench",
+        build=build_trisolv,
+        paper_bound=N**2 / 2,
+        improvement="1",
+        description="lower-triangular solve L x = b (j < i)",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# durbin: Levinson-Durbin recursion
+# ---------------------------------------------------------------------------
+
+def build_durbin() -> Program:
+    dots = stmt(
+        "dots",
+        {"k": N, "i": N},
+        ref("sum_", "k"),
+        ref("sum_", "k"),
+        ref("r", "k-i-1"),
+        ref("y", "i"),
+        total=N**2 / 2,
+    )
+    zsweep = stmt(
+        "zsweep",
+        {"k2": N, "i2": N},
+        ref("z", "i2"),
+        ref("y", "i2", "k2-i2-1"),
+        ref("sum_", "k2"),
+        total=N**2 / 2,
+    )
+    ysweep = stmt(
+        "ysweep",
+        {"k3": N, "i3": N},
+        ref("y", "i3"),
+        ref("z", "i3"),
+        total=N**2 / 2,
+    )
+    arrays = (Array("r", 1, N),)
+    return Program.make("durbin", [dots, zsweep, ysweep], arrays)
+
+
+register(
+    KernelSpec(
+        name="durbin",
+        category="polybench",
+        build=build_durbin,
+        paper_bound=3 * N**2 / 2,
+        improvement="3",
+        max_subgraph_size=1,
+        description=(
+            "Toeplitz solver; reversed access r[k-i-1] via Section 5.3. "
+            "Statements are analyzed unfused: the anti-diagonal recursion "
+            "makes fused time tiles vacuous (paper analyzes them separately)"
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# gramschmidt
+# ---------------------------------------------------------------------------
+
+def build_gramschmidt() -> Program:
+    norm = stmt(
+        "norm",
+        {"k": N, "i": M},
+        ref("nrm", "k"),
+        ref("nrm", "k"),
+        ref("A", "i,k"),
+        total=M * N,
+    )
+    qcol = stmt(
+        "qcol",
+        {"k2": N, "i2": M},
+        ref("Q", "i2,k2"),
+        ref("A", "i2,k2"),
+        ref("nrm", "k2"),
+        total=M * N,
+    )
+    rrow = stmt(
+        "rrow",
+        {"k3": N, "j3": N, "i3": M},
+        ref("R", "k3,j3"),
+        ref("R", "k3,j3"),
+        ref("Q", "i3,k3"),
+        ref("A", "i3,j3"),
+        total=M * N**2 / 2,
+    )
+    aupd = stmt(
+        "aupd",
+        {"k4": N, "j4": N, "i4": M},
+        ref("A", "i4,j4"),
+        ref("A", "i4,j4"),
+        ref("Q", "i4,k4"),
+        ref("R", "k4,j4"),
+        total=M * N**2 / 2,
+    )
+    return Program.make("gramschmidt", [norm, qcol, rrow, aupd])
+
+
+register(
+    KernelSpec(
+        name="gramschmidt",
+        category="polybench",
+        build=build_gramschmidt,
+        paper_bound=M * N**2 / sp.sqrt(S),
+        improvement="1",
+        description="modified Gram-Schmidt QR",
+    )
+)

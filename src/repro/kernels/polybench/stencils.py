@@ -1,0 +1,263 @@
+"""Polybench stencil kernels (time-iterated sweeps)."""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from repro.ir.array import Array
+from repro.ir.program import Program
+from repro.kernels.common import box9, ref, star5, star7_3d, stmt, sym
+from repro.kernels.registry import KernelSpec, register
+
+N, T = sym("N"), sym("T")
+NX, NY = sym("NX"), sym("NY")
+S = sp.Symbol("S", positive=True)
+
+
+# ---------------------------------------------------------------------------
+# jacobi-1d: ping-pong 3-point stencil
+# ---------------------------------------------------------------------------
+
+def build_jacobi1d() -> Program:
+    sweep_b = stmt(
+        "sweepB",
+        {"t": T, "i": N},
+        ref("B", "i"),
+        ref("A", "i-1", "i", "i+1"),
+    )
+    sweep_a = stmt(
+        "sweepA",
+        {"t": T, "i": N},
+        ref("A", "i"),
+        ref("B", "i-1", "i", "i+1"),
+    )
+    return Program.make("jacobi1d", [sweep_b, sweep_a])
+
+
+register(
+    KernelSpec(
+        name="jacobi1d",
+        category="polybench",
+        build=build_jacobi1d,
+        paper_bound=2 * N * T / S,
+        improvement="8",
+        description="1D 3-point ping-pong Jacobi sweep",
+        source=(
+            "for t in range(T):\n"
+            "    for i in range(1, N - 1):\n"
+            "        B[i] = (A[i - 1] + A[i] + A[i + 1]) / 3\n"
+            "    for i in range(1, N - 1):\n"
+            "        A[i] = (B[i - 1] + B[i] + B[i + 1]) / 3\n"
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# jacobi-2d: ping-pong 5-point stencil
+# ---------------------------------------------------------------------------
+
+def build_jacobi2d() -> Program:
+    sweep_b = stmt(
+        "sweepB",
+        {"t": T, "i": N, "j": N},
+        ref("B", "i,j"),
+        star5("A"),
+    )
+    sweep_a = stmt(
+        "sweepA",
+        {"t": T, "i": N, "j": N},
+        ref("A", "i,j"),
+        star5("B"),
+    )
+    return Program.make("jacobi2d", [sweep_b, sweep_a])
+
+
+register(
+    KernelSpec(
+        name="jacobi2d",
+        category="polybench",
+        build=build_jacobi2d,
+        paper_bound=4 * N**2 * T / sp.sqrt(S),
+        improvement="6*sqrt(3)",
+        description="2D 5-point ping-pong Jacobi sweep",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# heat-3d: ping-pong 7-point stencil
+# ---------------------------------------------------------------------------
+
+def build_heat3d() -> Program:
+    sweep_b = stmt(
+        "sweepB",
+        {"t": T, "i": N, "j": N, "k": N},
+        ref("B", "i,j,k"),
+        star7_3d("A"),
+    )
+    sweep_a = stmt(
+        "sweepA",
+        {"t": T, "i": N, "j": N, "k": N},
+        ref("A", "i,j,k"),
+        star7_3d("B"),
+    )
+    return Program.make("heat3d", [sweep_b, sweep_a])
+
+
+register(
+    KernelSpec(
+        name="heat3d",
+        category="polybench",
+        build=build_heat3d,
+        paper_bound=6 * N**3 * T / sp.cbrt(S),
+        improvement="32/(3*3**(1/3))",
+        description="3D 7-point ping-pong heat equation sweep",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# seidel-2d: in-place 9-point Gauss-Seidel
+# ---------------------------------------------------------------------------
+
+def build_seidel2d() -> Program:
+    sweep = stmt(
+        "sweep",
+        {"t": T, "i": N, "j": N},
+        ref("A", "i,j"),
+        box9("A"),
+    )
+    return Program.make("seidel2d", [sweep])
+
+
+register(
+    KernelSpec(
+        name="seidel2d",
+        category="polybench",
+        build=build_seidel2d,
+        paper_bound=4 * N**2 * T / sp.sqrt(S),
+        improvement="6*sqrt(3)",
+        description="in-place 9-point Gauss-Seidel sweep (single statement)",
+        source=(
+            "for t in range(T):\n"
+            "    for i in range(1, N - 1):\n"
+            "        for j in range(1, N - 1):\n"
+            "            A[i, j] = (A[i - 1, j - 1] + A[i - 1, j] + A[i - 1, j + 1]\n"
+            "                       + A[i, j - 1] + A[i, j] + A[i, j + 1]\n"
+            "                       + A[i + 1, j - 1] + A[i + 1, j] + A[i + 1, j + 1]) / 9\n"
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# fdtd-2d: 2D finite-difference time domain (3 coupled field sweeps)
+# ---------------------------------------------------------------------------
+
+def build_fdtd2d() -> Program:
+    ey = stmt(
+        "ey",
+        {"t": T, "i": NX, "j": NY},
+        ref("ey", "i,j"),
+        ref("ey", "i,j"),
+        ref("hz", "i,j", "i-1,j"),
+    )
+    ex = stmt(
+        "ex",
+        {"t": T, "i": NX, "j": NY},
+        ref("ex", "i,j"),
+        ref("ex", "i,j"),
+        ref("hz", "i,j", "i,j-1"),
+    )
+    hz = stmt(
+        "hz",
+        {"t": T, "i": NX, "j": NY},
+        ref("hz", "i,j"),
+        ref("hz", "i,j"),
+        ref("ex", "i,j", "i,j+1"),
+        ref("ey", "i,j", "i+1,j"),
+    )
+    return Program.make("fdtd2d", [ey, ex, hz])
+
+
+register(
+    KernelSpec(
+        name="fdtd2d",
+        category="polybench",
+        build=build_fdtd2d,
+        paper_bound=2 * sp.sqrt(3) * NX * NY * T / sp.sqrt(S),
+        improvement="6*sqrt(6)",
+        description="FDTD: ey/ex/hz coupled 2D field updates",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# adi: alternating direction implicit solver (two tridiagonal sweeps per step)
+# ---------------------------------------------------------------------------
+
+def build_adi() -> Program:
+    # Column sweep: forward recurrences for p, q; backward substitution for v.
+    pcol = stmt(
+        "pcol",
+        {"t": T, "i": N, "j": N},
+        ref("p", "i,j"),
+        ref("p", "i,j-1"),
+    )
+    qcol = stmt(
+        "qcol",
+        {"t": T, "i": N, "j": N},
+        ref("q", "i,j"),
+        ref("q", "i,j-1"),
+        ref("p", "i,j-1"),
+        ref("u", "j,i-1", "j,i", "j,i+1"),
+    )
+    vcol = stmt(
+        "vcol",
+        {"t": T, "i": N, "j": N},
+        ref("v", "j,i"),
+        ref("v", "j+1,i"),
+        ref("p", "i,j"),
+        ref("q", "i,j"),
+    )
+    # Row sweep (mirrored): forward recurrences p2/q2 on v, backward for u.
+    prow = stmt(
+        "prow",
+        {"t": T, "i": N, "j": N},
+        ref("p2", "i,j"),
+        ref("p2", "i,j-1"),
+    )
+    qrow = stmt(
+        "qrow",
+        {"t": T, "i": N, "j": N},
+        ref("q2", "i,j"),
+        ref("q2", "i,j-1"),
+        ref("p2", "i,j-1"),
+        ref("v", "j-1,i", "j,i", "j+1,i"),
+    )
+    urow = stmt(
+        "urow",
+        {"t": T, "i": N, "j": N},
+        ref("u", "i,j"),
+        ref("u", "i,j+1"),
+        ref("p2", "i,j"),
+        ref("q2", "i,j"),
+    )
+    return Program.make("adi", [pcol, qcol, vcol, prow, qrow, urow])
+
+
+register(
+    KernelSpec(
+        name="adi",
+        category="polybench",
+        build=build_adi,
+        paper_bound=12 * N**2 * T / sp.sqrt(S),
+        improvement="12/sqrt(S)",
+        max_subgraph_size=6,
+        description=(
+            "ADI solver; the derived time tiling relaxes loop-carried "
+            "dependencies (paper Section 7 discussion)"
+        ),
+    )
+)

@@ -1,0 +1,28 @@
+"""Solvers for optimization problem (8) and the intensity minimization.
+
+The paper's pipeline (Section 4.5) is:
+
+1. ``chi(X) = max prod_t |D_t|  s.t.  sum_j |A_j| <= X,  |D_t| >= 1``
+   -- a geometric program whose symbolic solution is computed by
+   :mod:`repro.opt.kkt` (guided and cross-checked by the scipy solver in
+   :mod:`repro.opt.numeric`);
+2. ``X0 = argmin_X chi(X)/(X-S)`` and the computational intensity
+   ``rho = chi(X0)/(X0-S)`` -- :mod:`repro.opt.rho`;
+3. the optimal tile sizes ``|D_t|(X0)`` -- :mod:`repro.opt.tiling`.
+"""
+
+from repro.opt.kkt import ChiSolution, solve_chi
+from repro.opt.numeric import NumericSolution, solve_numeric
+from repro.opt.rho import IntensityResult, intensity_from_chi, compare_intensity
+from repro.opt.tiling import tiles_at_x0
+
+__all__ = [
+    "ChiSolution",
+    "solve_chi",
+    "NumericSolution",
+    "solve_numeric",
+    "IntensityResult",
+    "intensity_from_chi",
+    "compare_intensity",
+    "tiles_at_x0",
+]

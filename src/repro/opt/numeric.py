@@ -1,0 +1,168 @@
+"""Numeric geometric-program solver (scipy) for optimization problem (8).
+
+Solved in log space, where the problem is convex:
+
+    maximize   log( sum_p c_p * exp(<a_p, x>) )
+    subject to log( sum_r k_r * exp(<e_r, x>) ) <= log(X)
+               x >= 0                            (tile sizes >= 1)
+
+The numeric solution serves two purposes:
+
+* it *guides* the symbolic KKT solver (:mod:`repro.opt.kkt`): which
+  constraint terms are active at the optimum and the approximate dual
+  weights ``y_r = lambda * m_r``, which the symbolic solver rationalizes and
+  then verifies exactly;
+* it *cross-checks* every closed-form ``chi(X)`` in the test suite.
+
+Coefficients must be numeric: callers substitute program parameters before
+invoking (the leading-order posynomials built by the analyzer have integer
+coefficients already).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import sympy as sp
+from scipy import optimize
+
+from repro.symbolic.posynomial import Posynomial
+from repro.util.errors import SolverError
+
+
+@dataclass(frozen=True)
+class NumericSolution:
+    """Numeric optimum of problem (8) for one concrete ``X``."""
+
+    variables: tuple[sp.Symbol, ...]
+    tile_values: dict[sp.Symbol, float]
+    objective_value: float
+    constraint_terms: tuple[float, ...]  #: values m_r of each constraint monomial
+    active: tuple[bool, ...]  #: m_r / X above the activity threshold
+    dual_weights: tuple[float, ...]  #: y_r = m_r / sum(active m), ~ lambda*m_r/lambda*X
+
+    def tiles_by_name(self) -> dict[str, float]:
+        return {v.name: val for v, val in self.tile_values.items()}
+
+
+def _matrix_form(posy: Posynomial, variables: list[sp.Symbol]):
+    """(coeffs, exponent matrix) of a posynomial over ``variables``."""
+    coeffs = []
+    exps = []
+    for term in posy.terms:
+        coeff = sp.nsimplify(term.coeff)
+        value = float(coeff)
+        if value <= 0:
+            raise SolverError(f"non-positive coefficient {coeff} in posynomial")
+        coeffs.append(value)
+        exps.append([float(term.exponent(v)) for v in variables])
+    return np.asarray(coeffs), np.asarray(exps)
+
+
+def solve_numeric(
+    objective: Posynomial,
+    constraint: Posynomial,
+    x_value: float,
+    *,
+    activity_threshold: float = 1e-4,
+    restarts: int = 4,
+) -> NumericSolution:
+    """Solve problem (8) numerically for ``X = x_value``.
+
+    Raises :class:`SolverError` when the optimizer fails to converge or the
+    constraint contains a variable-free structure it cannot handle.
+    """
+    variables = list(dict.fromkeys(list(objective.variables()) + list(constraint.variables())))
+    if not variables:
+        raise SolverError("no tile variables in problem (8)")
+    if len(constraint) == 0:
+        raise SolverError("empty constraint: chi is unbounded (cap extents first)")
+
+    c_obj, a_obj = _matrix_form(objective, variables)
+    k_con, e_con = _matrix_form(constraint, variables)
+    log_x = np.log(x_value)
+
+    def neg_log_objective(x: np.ndarray) -> float:
+        return -_logsumexp(np.log(c_obj) + a_obj @ x)
+
+    def neg_log_objective_grad(x: np.ndarray) -> np.ndarray:
+        w = _softmax(np.log(c_obj) + a_obj @ x)
+        return -(a_obj.T @ w)
+
+    def constraint_slack(x: np.ndarray) -> float:
+        return log_x - _logsumexp(np.log(k_con) + e_con @ x)
+
+    def constraint_slack_grad(x: np.ndarray) -> np.ndarray:
+        w = _softmax(np.log(k_con) + e_con @ x)
+        return -(e_con.T @ w)
+
+    n = len(variables)
+    upper = np.log(x_value) - np.log(np.min(k_con)) + 2.0
+    best = None
+    rng = np.random.default_rng(1234)
+    for trial in range(restarts * 2):
+        if trial == 0:
+            x0 = np.full(n, min(np.log(x_value) / max(2.0, n), upper / 2))
+        else:
+            x0 = rng.uniform(0.0, upper * 0.6, size=n)
+        result = optimize.minimize(
+            neg_log_objective,
+            x0,
+            jac=neg_log_objective_grad,
+            bounds=[(0.0, upper)] * n,
+            constraints=[
+                {"type": "ineq", "fun": constraint_slack, "jac": constraint_slack_grad}
+            ],
+            method="SLSQP",
+            options={"maxiter": 500, "ftol": 1e-12},
+        )
+        if result.success and (best is None or result.fun < best.fun):
+            best = result
+        if best is not None and trial >= restarts - 1:
+            break
+    if best is None:
+        # SLSQP can stall on nearly-degenerate geometries; trust-constr is
+        # slower but markedly more robust.
+        constraint_obj = optimize.NonlinearConstraint(
+            lambda x: constraint_slack(x), 0.0, np.inf, jac=lambda x: constraint_slack_grad(x).reshape(1, -1)
+        )
+        x0 = np.full(n, min(np.log(x_value) / max(2.0, n), upper / 2))
+        result = optimize.minimize(
+            neg_log_objective,
+            x0,
+            jac=neg_log_objective_grad,
+            bounds=optimize.Bounds(np.zeros(n), np.full(n, upper)),
+            constraints=[constraint_obj],
+            method="trust-constr",
+            options={"maxiter": 2000, "gtol": 1e-12, "xtol": 1e-14},
+        )
+        if result.fun is not None and np.isfinite(result.fun):
+            best = result
+    if best is None:
+        raise SolverError("failed to solve problem (8) numerically")
+
+    x_star = best.x
+    tile_values = {v: float(np.exp(val)) for v, val in zip(variables, x_star)}
+    m_values = k_con * np.exp(e_con @ x_star)
+    active = tuple(bool(m / x_value > activity_threshold) for m in m_values)
+    active_mass = float(np.sum(m_values[np.asarray(active)])) or 1.0
+    duals = tuple(float(m / active_mass) for m in m_values)
+    return NumericSolution(
+        variables=tuple(variables),
+        tile_values=tile_values,
+        objective_value=float(np.exp(-best.fun)),
+        constraint_terms=tuple(float(m) for m in m_values),
+        active=active,
+        dual_weights=duals,
+    )
+
+
+def _logsumexp(values: np.ndarray) -> float:
+    top = float(np.max(values))
+    return top + float(np.log(np.sum(np.exp(values - top))))
+
+
+def _softmax(values: np.ndarray) -> np.ndarray:
+    shifted = np.exp(values - np.max(values))
+    return shifted / np.sum(shifted)

@@ -1,0 +1,33 @@
+"""Optimal tile extraction (Section 4.5, last paragraph).
+
+Substituting ``X0`` back into the tile closed forms ``|D_t|(X)`` yields the
+loop tiling of the maximal subcomputation.  The paper notes these tilings are
+derived after relaxing loop-carried dependencies and integrality, so they are
+*guidelines*: when a legal schedule with these tile sizes exists, it is
+provably I/O-optimal (the bound is attained at leading order).
+"""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from repro.opt.rho import IntensityResult
+from repro.symbolic.symbols import X_SYM
+
+
+def tiles_at_x0(result: IntensityResult) -> dict[str, sp.Expr]:
+    """Tile sizes of the maximal subcomputation at the optimal ``X0``.
+
+    For bandwidth-bound kernels (``alpha == 1``, ``X0 = oo``) the tiles grow
+    without bound; the symbolic forms in ``X`` are returned unchanged so the
+    caller can still inspect the tile *shape* (ratios between tiles).
+    """
+    solution = result.chi_solution
+    if solution is None:
+        return {}
+    if result.x0 is sp.oo:
+        return dict(solution.tiles)
+    return {
+        var: sp.simplify(sp.powsimp(expr.subs(X_SYM, result.x0), force=True))
+        for var, expr in solution.tiles.items()
+    }

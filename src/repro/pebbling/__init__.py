@@ -1,0 +1,30 @@
+"""Red-blue pebble game substrate (paper Section 2.1).
+
+The execution model the bounds are proven against: a two-level memory with
+``S`` red pebbles (fast memory) and unlimited blue pebbles (slow memory),
+and four moves -- load, store, compute, discard.  This package provides:
+
+* :mod:`repro.pebbling.game`    -- game state, legality, move sequences;
+* :mod:`repro.pebbling.optimal` -- exact optimal pebbling cost via Dijkstra
+  over game states (tiny CDAGs);
+* :mod:`repro.pebbling.greedy`  -- Belady-evicting scheduler producing valid
+  pebblings (upper bounds on Q) for arbitrary topological orders, including
+  tile-blocked orders derived from the analyzer's optimal tilings;
+* :mod:`repro.pebbling.validate` -- end-to-end check
+  ``symbolic bound <= Q_opt <= greedy cost`` on concrete instances.
+"""
+
+from repro.pebbling.game import Move, PebbleGame
+from repro.pebbling.optimal import optimal_pebbling_cost
+from repro.pebbling.greedy import greedy_pebbling_cost, tiled_order
+from repro.pebbling.validate import ValidationReport, validate_bound
+
+__all__ = [
+    "Move",
+    "PebbleGame",
+    "optimal_pebbling_cost",
+    "greedy_pebbling_cost",
+    "tiled_order",
+    "ValidationReport",
+    "validate_bound",
+]

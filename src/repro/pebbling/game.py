@@ -1,0 +1,128 @@
+"""Red-blue pebble game: state, moves, legality (paper Section 2.1).
+
+Rules, verbatim from the paper:
+
+1. **load**    -- place a red pebble on a vertex holding a blue pebble;
+2. **store**   -- place a blue pebble on a vertex holding a red pebble;
+3. **compute** -- place a red pebble on a vertex whose parents all hold red
+   pebbles (inputs have no parents and cannot be computed);
+4. **discard** -- remove any pebble.
+
+At most ``S`` red pebbles exist at any time.  Initially all input vertices
+hold blue pebbles; the game ends when every output vertex holds a blue
+pebble.  The I/O cost is the number of load and store moves.  Recomputation
+is allowed: compute may target a vertex that held (or holds) a pebble
+before.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Literal
+
+import networkx as nx
+
+from repro.util.errors import PebblingError
+
+MoveKind = Literal["load", "store", "compute", "discard_red", "discard_blue"]
+
+
+@dataclass(frozen=True)
+class Move:
+    kind: MoveKind
+    vertex: Hashable
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.vertex})"
+
+
+class PebbleGame:
+    """Mutable game state over a CDAG with fast-memory capacity ``S``."""
+
+    def __init__(self, graph: nx.DiGraph, s: int, outputs: Iterable[Hashable] | None = None):
+        if s < 1:
+            raise PebblingError("need at least one red pebble")
+        self.graph = graph
+        self.s = s
+        self.inputs = frozenset(v for v in graph.nodes if graph.in_degree(v) == 0)
+        self.outputs = (
+            frozenset(outputs)
+            if outputs is not None
+            else frozenset(v for v in graph.nodes if graph.out_degree(v) == 0)
+        )
+        self.red: set[Hashable] = set()
+        self.blue: set[Hashable] = set(self.inputs)
+        self.io_cost = 0
+        self.history: list[Move] = []
+
+    # -- state queries ---------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.outputs <= self.blue
+
+    def can_compute(self, vertex: Hashable) -> bool:
+        if vertex in self.inputs:
+            return False
+        return all(p in self.red for p in self.graph.predecessors(vertex))
+
+    # -- moves -------------------------------------------------------------
+    def load(self, vertex: Hashable) -> None:
+        if vertex not in self.blue:
+            raise PebblingError(f"load {vertex!r}: no blue pebble")
+        if len(self.red) >= self.s and vertex not in self.red:
+            raise PebblingError(f"load {vertex!r}: no free red pebble (S={self.s})")
+        self.red.add(vertex)
+        self.io_cost += 1
+        self.history.append(Move("load", vertex))
+
+    def store(self, vertex: Hashable) -> None:
+        if vertex not in self.red:
+            raise PebblingError(f"store {vertex!r}: no red pebble")
+        self.blue.add(vertex)
+        self.io_cost += 1
+        self.history.append(Move("store", vertex))
+
+    def compute(self, vertex: Hashable) -> None:
+        if not self.can_compute(vertex):
+            raise PebblingError(f"compute {vertex!r}: parents not all red")
+        if len(self.red) >= self.s and vertex not in self.red:
+            raise PebblingError(f"compute {vertex!r}: no free red pebble (S={self.s})")
+        self.red.add(vertex)
+        self.history.append(Move("compute", vertex))
+
+    def discard_red(self, vertex: Hashable) -> None:
+        if vertex not in self.red:
+            raise PebblingError(f"discard_red {vertex!r}: not red")
+        self.red.remove(vertex)
+        self.history.append(Move("discard_red", vertex))
+
+    def discard_blue(self, vertex: Hashable) -> None:
+        if vertex not in self.blue:
+            raise PebblingError(f"discard_blue {vertex!r}: not blue")
+        self.blue.remove(vertex)
+        self.history.append(Move("discard_blue", vertex))
+
+    def apply(self, move: Move) -> None:
+        handler = {
+            "load": self.load,
+            "store": self.store,
+            "compute": self.compute,
+            "discard_red": self.discard_red,
+            "discard_blue": self.discard_blue,
+        }[move.kind]
+        handler(move.vertex)
+
+
+def replay(graph: nx.DiGraph, s: int, moves: Iterable[Move]) -> int:
+    """Validate a full pebbling; returns its I/O cost.
+
+    Raises :class:`PebblingError` on any illegal move or if the terminal
+    condition (all outputs blue) is not met.
+    """
+    game = PebbleGame(graph, s)
+    for move in moves:
+        game.apply(move)
+    if not game.finished:
+        missing = game.outputs - game.blue
+        raise PebblingError(f"pebbling incomplete: outputs without blue {missing}")
+    return game.io_cost

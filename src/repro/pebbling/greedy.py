@@ -1,0 +1,155 @@
+"""Valid pebblings from topological schedules (upper bounds on Q).
+
+``greedy_pebbling_cost`` executes vertices in a given topological order with
+``S`` red pebbles, Belady eviction (evict the pebble whose next use lies
+farthest in the schedule) and write-back on eviction of live values.  The
+produced move sequence is replayed through :class:`repro.pebbling.game`
+for legality, so the returned cost is a *certified* upper bound on the
+optimal I/O ``Q``.
+
+``tiled_order`` turns the analyzer's optimal tile sizes into a blocked
+topological order, closing the loop of the paper's pipeline: derived tiling
+-> schedule -> measured I/O close to the lower bound.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Mapping, Sequence
+
+import networkx as nx
+
+from repro.pebbling.game import Move, PebbleGame, replay
+from repro.util.errors import PebblingError
+
+
+def greedy_pebbling_cost(
+    graph: nx.DiGraph,
+    s: int,
+    order: Sequence[Hashable] | None = None,
+    *,
+    return_moves: bool = False,
+):
+    """I/O cost of the Belady-evicting schedule over ``order``.
+
+    ``order`` defaults to a topological order of the computed vertices.
+    """
+    inputs = {v for v in graph.nodes if graph.in_degree(v) == 0}
+    outputs = {v for v in graph.nodes if graph.out_degree(v) == 0}
+    if order is None:
+        order = [v for v in nx.topological_sort(graph) if v not in inputs]
+    else:
+        order = list(order)
+        position = {v: i for i, v in enumerate(order)}
+        for u, v in graph.edges:
+            if u in inputs:
+                continue
+            if position.get(u, -1) > position.get(v, len(order)):
+                raise PebblingError("order is not topological")
+
+    # Next-use positions for Belady eviction.
+    uses: dict[Hashable, list[int]] = {v: [] for v in graph.nodes}
+    for pos, v in enumerate(order):
+        for parent in graph.predecessors(v):
+            uses[parent].append(pos)
+    for v in uses:
+        uses[v].reverse()  # pop() yields the earliest remaining use
+
+    moves: list[Move] = []
+    red: set[Hashable] = set()
+    blue: set[Hashable] = set(inputs)
+
+    def next_use(v: Hashable) -> int:
+        stack = uses[v]
+        return stack[-1] if stack else 1 << 60
+
+    def make_room(protect: set[Hashable]) -> None:
+        while len(red) >= s:
+            candidates = [v for v in red if v not in protect]
+            if not candidates:
+                raise PebblingError(f"S={s} too small for the working set")
+            victim = max(candidates, key=next_use)
+            if next_use(victim) < (1 << 60) and victim not in blue:
+                moves.append(Move("store", victim))
+                blue.add(victim)
+            moves.append(Move("discard_red", victim))
+            red.remove(victim)
+
+    for pos, v in enumerate(order):
+        parents = list(graph.predecessors(v))
+        protect = set(parents)
+        for parent in parents:
+            if parent not in red:
+                if parent not in blue:
+                    raise PebblingError(
+                        f"value {parent!r} needed but neither red nor blue "
+                        "(order recomputes a discarded value?)"
+                    )
+                make_room(protect)
+                moves.append(Move("load", parent))
+                red.add(parent)
+        make_room(protect | {v})
+        moves.append(Move("compute", v))
+        red.add(v)
+        # Consume the use positions of the parents.
+        for parent in parents:
+            stack = uses[parent]
+            while stack and stack[-1] <= pos:
+                stack.pop()
+        if v in outputs:
+            moves.append(Move("store", v))
+            blue.add(v)
+
+    cost = replay(graph, s, moves)
+    if return_moves:
+        return cost, moves
+    return cost
+
+
+def tiled_order(
+    graph: nx.DiGraph,
+    point_of: Callable[[Hashable], Mapping[str, int] | None],
+    tile_sizes: Mapping[str, int],
+    variable_order: Sequence[str],
+) -> list[Hashable]:
+    """Blocked topological order from tile sizes.
+
+    ``point_of`` maps a vertex to its iteration point (``None`` for inputs).
+    Vertices are sorted by (tile coordinates, intra-tile coordinates) and
+    the result is repaired into a topological order by a stable Kahn pass
+    that prefers the blocked sequence.
+    """
+    inputs = {v for v in graph.nodes if graph.in_degree(v) == 0}
+
+    def key(vertex: Hashable):
+        point = point_of(vertex) or {}
+        tiles = tuple(
+            point.get(var, 0) // max(1, tile_sizes.get(var, 1))
+            for var in variable_order
+        )
+        intra = tuple(point.get(var, 0) for var in variable_order)
+        return (tiles, intra)
+
+    preferred = sorted((v for v in graph.nodes if v not in inputs), key=key)
+    rank = {v: i for i, v in enumerate(preferred)}
+
+    import heapq
+
+    indegree = {
+        v: sum(1 for p in graph.predecessors(v) if p not in inputs)
+        for v in graph.nodes
+        if v not in inputs
+    }
+    ready = [(rank[v], v) for v, d in indegree.items() if d == 0]
+    heapq.heapify(ready)
+    out: list[Hashable] = []
+    while ready:
+        _, v = heapq.heappop(ready)
+        out.append(v)
+        for child in graph.successors(v):
+            if child in indegree:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    heapq.heappush(ready, (rank[child], child))
+    if len(out) != len(indegree):
+        raise PebblingError("cycle detected while building tiled order")
+    return out

@@ -1,0 +1,97 @@
+"""Exact optimal pebbling via shortest path over game states.
+
+Finding the optimal red-blue pebbling is PSPACE-complete in general (Demaine
+and Liu), so exact search is reserved for *tiny* CDAGs -- exactly what the
+bound-validation experiments need (a handful of vertices, small ``S``).
+
+The search is Dijkstra over states ``(frozenset red, frozenset blue)`` with
+edge weights 1 for load/store and 0 for compute/discard.  Discards are
+folded into the generating moves (a red pebble is dropped lazily only when a
+new one is needed), which keeps the branching factor manageable without
+losing optimality: any schedule can be normalized to discard only on demand.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import combinations
+from typing import Hashable
+
+import networkx as nx
+
+from repro.util.errors import PebblingError
+
+_DEFAULT_STATE_LIMIT = 2_000_000
+
+
+def optimal_pebbling_cost(
+    graph: nx.DiGraph,
+    s: int,
+    *,
+    state_limit: int = _DEFAULT_STATE_LIMIT,
+) -> int:
+    """Minimum I/O cost ``Q`` of pebbling ``graph`` with ``S = s``.
+
+    Raises :class:`PebblingError` when the state space exceeds
+    ``state_limit`` (graph too large for exact search) or no pebbling exists
+    (``s`` smaller than the maximum in-degree + 1).
+    """
+    inputs = frozenset(v for v in graph.nodes if graph.in_degree(v) == 0)
+    outputs = frozenset(v for v in graph.nodes if graph.out_degree(v) == 0)
+    vertices = list(graph.nodes)
+    max_needed = max(
+        (graph.in_degree(v) + 1 for v in vertices if graph.in_degree(v) > 0),
+        default=1,
+    )
+    if s < max_needed:
+        raise PebblingError(
+            f"S={s} cannot pebble the graph (needs >= {max_needed} reds)"
+        )
+
+    start = (frozenset(), inputs)
+    best: dict[tuple[frozenset, frozenset], int] = {start: 0}
+    heap: list[tuple[int, int, tuple[frozenset, frozenset]]] = [(0, 0, start)]
+    counter = 0
+    explored = 0
+
+    def push(cost: int, state: tuple[frozenset, frozenset]) -> None:
+        nonlocal counter
+        if best.get(state, cost + 1) > cost:
+            best[state] = cost
+            counter += 1
+            heapq.heappush(heap, (cost, counter, state))
+
+    while heap:
+        cost, _, (red, blue) = heapq.heappop(heap)
+        if best.get((red, blue), -1) != cost:
+            continue
+        if outputs <= blue:
+            return cost
+        explored += 1
+        if explored > state_limit:
+            raise PebblingError(
+                f"optimal search exceeded {state_limit} states; "
+                "graph too large for exact pebbling"
+            )
+
+        # Candidate vertices to acquire a red pebble (load or compute).
+        acquire: list[tuple[Hashable, int]] = []
+        for v in vertices:
+            if v in red:
+                continue
+            if v in blue:
+                acquire.append((v, 1))  # load
+            elif all(p in red for p in graph.predecessors(v)) and v not in inputs:
+                acquire.append((v, 0))  # compute
+        room = s - len(red)
+        for v, move_cost in acquire:
+            if room >= 1:
+                push(cost + move_cost, (red | {v}, blue))
+            else:
+                # Must evict one red pebble first (lazy discard).
+                for evict in red:
+                    push(cost + move_cost, ((red - {evict}) | {v}, blue))
+        # Stores (only useful for vertices not yet blue).
+        for v in red - blue:
+            push(cost + 1, (red, blue | {v}))
+    raise PebblingError("no pebbling found (exhausted state space)")

@@ -1,0 +1,93 @@
+"""End-to-end bound validation on concrete instances.
+
+For a program, concrete parameters and fast-memory size ``S``:
+
+1. evaluate the symbolic lower bound numerically;
+2. materialize the CDAG and compute a certified *upper* bound (greedy
+   Belady pebbling) and, when the graph is small enough, the *exact*
+   optimum;
+3. check the sandwich ``lower <= Q_opt <= upper``.
+
+A failed sandwich falsifies either the bound derivation or the pebbling
+engine -- the strongest internal consistency check the repository has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import sympy as sp
+
+from repro.cdag.build import build_cdag
+from repro.ir.program import Program
+from repro.pebbling.greedy import greedy_pebbling_cost
+from repro.pebbling.optimal import optimal_pebbling_cost
+from repro.sdg.bounds import sdg_bound
+from repro.symbolic.symbols import S_SYM
+from repro.util.errors import PebblingError
+
+
+@dataclass
+class ValidationReport:
+    program: str
+    params: dict[str, int]
+    s: int
+    lower_bound: float  #: evaluated symbolic bound
+    optimal_cost: int | None  #: exact Q (None when the graph is too large)
+    greedy_cost: int  #: certified upper bound
+    n_vertices: int
+
+    @property
+    def sound(self) -> bool:
+        """Lower bound does not exceed the certified achievable cost."""
+        reference = self.optimal_cost if self.optimal_cost is not None else self.greedy_cost
+        return self.lower_bound <= reference + 1e-9
+
+    @property
+    def gap(self) -> float:
+        """Achievable / bound -- 1.0 means the bound is exactly attained."""
+        reference = self.optimal_cost if self.optimal_cost is not None else self.greedy_cost
+        if self.lower_bound <= 0:
+            return float("inf")
+        return reference / self.lower_bound
+
+
+def evaluate_bound(bound: sp.Expr, params: Mapping[str, int], s: int) -> float:
+    subs = {sp.Symbol(k, positive=True): v for k, v in params.items()}
+    subs[S_SYM] = s
+    value = sp.sympify(bound).subs(subs)
+    return float(value)
+
+
+def validate_bound(
+    program: Program,
+    params: Mapping[str, int],
+    s: int,
+    *,
+    bound: sp.Expr | None = None,
+    exact_limit: int = 12,
+    state_limit: int = 400_000,
+) -> ValidationReport:
+    """Run the sandwich check; see module docstring."""
+    if bound is None:
+        bound = sdg_bound(program).bound
+    lower = evaluate_bound(bound, params, s)
+
+    cdag = build_cdag(program, params)
+    greedy = greedy_pebbling_cost(cdag.graph, s)
+    optimal: int | None = None
+    if cdag.n_vertices <= exact_limit:
+        try:
+            optimal = optimal_pebbling_cost(cdag.graph, s, state_limit=state_limit)
+        except PebblingError:
+            optimal = None
+    return ValidationReport(
+        program=program.name,
+        params=dict(params),
+        s=s,
+        lower_bound=lower,
+        optimal_cost=optimal,
+        greedy_cost=greedy,
+        n_vertices=cdag.n_vertices,
+    )

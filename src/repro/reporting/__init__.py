@@ -1,0 +1,6 @@
+"""Result reporting: Table 2 regeneration and experiment records."""
+
+from repro.reporting.table import render_table2, table2_rows
+from repro.reporting.experiments import experiments_markdown
+
+__all__ = ["render_table2", "table2_rows", "experiments_markdown"]

@@ -1,0 +1,58 @@
+"""Regenerate Table 2: per-kernel bounds, paper values, ratios."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import sympy as sp
+
+from repro.analysis import analyze_kernel
+from repro.symbolic.printing import bound_str
+
+
+@dataclass
+class Table2Row:
+    kernel: str
+    category: str
+    ours: str
+    paper: str
+    ratio: str
+    shape_matches: bool
+    improvement: str
+
+
+def table2_rows(category: str | None = None, *, names: list[str] | None = None) -> list[Table2Row]:
+    """Analyze the requested kernels and build comparison rows."""
+    from repro.kernels import get_kernel, kernel_names
+
+    selected = names if names is not None else kernel_names(category)
+    rows: list[Table2Row] = []
+    for name in selected:
+        spec = get_kernel(name)
+        result = analyze_kernel(name)
+        rows.append(
+            Table2Row(
+                kernel=name,
+                category=spec.category,
+                ours=bound_str(result.bound),
+                paper=bound_str(result.paper_bound),
+                ratio=str(result.ratio),
+                shape_matches=result.shape_matches,
+                improvement=spec.improvement,
+            )
+        )
+    return rows
+
+
+def render_table2(rows: list[Table2Row]) -> str:
+    """Markdown rendering of the comparison table."""
+    header = (
+        "| Kernel | Ours (leading order) | Paper (Table 2) | ours/paper | shape |\n"
+        "|---|---|---|---|---|\n"
+    )
+    lines = [
+        f"| {r.kernel} | `{r.ours}` | `{r.paper}` | `{r.ratio}` | "
+        f"{'match' if r.shape_matches else 'differs'} |"
+        for r in rows
+    ]
+    return header + "\n".join(lines) + "\n"

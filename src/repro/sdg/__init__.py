@@ -1,0 +1,27 @@
+"""Symbolic Directed Graph analysis (paper Section 6).
+
+For multi-statement programs, I/O costs are not composable: merging
+statements can reuse intermediate data and recompute vertices.  The SDG has
+one vertex per *array*; a subgraph ``H`` of computed arrays induces a fused
+"subgraph SOAP statement" ``St_H`` whose computational intensity bounds the
+intensity of any subcomputation computing vertices of those arrays
+(Lemma 5).  Theorem 1 then charges every array its vertex count divided by
+the largest intensity over subgraphs containing it:
+
+    Q  >=  sum_A |A| / max_{H in S(A)} rho_H
+"""
+
+from repro.sdg.graph import SDG
+from repro.sdg.merge import FusedStatement, fuse_statements
+from repro.sdg.subgraphs import enumerate_subgraphs
+from repro.sdg.bounds import ProgramBound, SubgraphAnalysis, sdg_bound
+
+__all__ = [
+    "SDG",
+    "FusedStatement",
+    "fuse_statements",
+    "enumerate_subgraphs",
+    "ProgramBound",
+    "SubgraphAnalysis",
+    "sdg_bound",
+]

@@ -1,0 +1,89 @@
+"""SDG construction (Definition 5).
+
+``G_S = (V_S, E_S)`` with one vertex per array and an edge ``(A_u, A_v)``
+whenever some statement reads ``A_u`` and writes ``A_v``.  Self-edges mark
+in-place updates.  Edges carry the statements that induce them, so fusion
+can recover per-statement access functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.ir.program import Program
+from repro.util import unique_in_order
+
+
+@dataclass
+class SDG:
+    """Symbolic Directed Graph of a program."""
+
+    program: Program
+    graph: nx.DiGraph
+
+    @staticmethod
+    def from_program(program: Program) -> "SDG":
+        graph = nx.DiGraph()
+        for array in program.arrays:
+            graph.add_node(array.name)
+        for st in program.statements:
+            out = st.output.array
+            for acc in st.inputs:
+                if graph.has_edge(acc.array, out):
+                    graph[acc.array][out]["statements"].append(st)
+                else:
+                    graph.add_edge(acc.array, out, statements=[st])
+        return SDG(program, graph)
+
+    # -- vertex classes -------------------------------------------------------
+    @property
+    def inputs(self) -> tuple[str, ...]:
+        """Read-only arrays: in-degree zero (the paper's set ``I``)."""
+        return tuple(
+            n for n in self.graph.nodes if self.graph.in_degree(n) == 0
+        )
+
+    @property
+    def computed(self) -> tuple[str, ...]:
+        return self.program.computed_arrays()
+
+    def edges(self) -> tuple[tuple[str, str], ...]:
+        return tuple(self.graph.edges())
+
+    # -- fusion affinity ------------------------------------------------------
+    def sharing_graph(self) -> nx.Graph:
+        """Undirected graph over *computed* arrays; edge = fusion affinity.
+
+        Two computed arrays are fusion-affine when statements writing them
+        touch a common array (data flows between them, or they read shared
+        inputs -- both create reuse that a fused subgraph statement models).
+        Only connected subsets of this graph can have intensity exceeding
+        their parts, so subgraph enumeration is restricted to it.
+        """
+        computed = self.computed
+        writers = {a: self.program.statements_writing(a) for a in computed}
+        touched: dict[str, set[str]] = {}
+        for a in computed:
+            arrays: set[str] = set()
+            for st in writers[a]:
+                arrays.add(st.output.array)
+                arrays.update(st.arrays_read())
+            touched[a] = arrays
+        sharing = nx.Graph()
+        sharing.add_nodes_from(computed)
+        for i, a in enumerate(computed):
+            for b in computed[i + 1:]:
+                if touched[a] & touched[b]:
+                    sharing.add_edge(a, b)
+        return sharing
+
+    def subgraph_inputs(self, h: tuple[str, ...]) -> tuple[str, ...]:
+        """``In(St_H)`` of Definition 6: arrays outside ``H`` feeding it."""
+        h_set = set(h)
+        reads: list[str] = []
+        for array in h:
+            for st in self.program.statements_writing(array):
+                reads.extend(a for a in st.arrays_read() if a not in h_set)
+        return unique_in_order(reads)

@@ -1,0 +1,32 @@
+"""SOAP structure recovery and access-set size bounds (paper Sections 3-5).
+
+* :mod:`repro.soap.classify` groups the access-function components of each
+  array into *simple-overlap groups* (equal linear parts, constant translation
+  vectors) and computes the access-offset sets ``t̂``;
+* :mod:`repro.soap.access_size` turns a group into the Lemma 3 / Corollary 1
+  symbolic lower bound on its access-set size ``|A|``;
+* :mod:`repro.soap.projections` rewrites non-SOAP programs into SOAP form
+  (Section 5): input/output versioning and non-injective access bounding.
+"""
+
+from repro.soap.classify import (
+    DimIndex,
+    SimpleOverlapGroup,
+    classify_access,
+    classify_statement,
+    OverlapPolicy,
+)
+from repro.soap.access_size import access_size, group_constraint_terms
+from repro.soap.projections import apply_versioning, to_soap
+
+__all__ = [
+    "DimIndex",
+    "SimpleOverlapGroup",
+    "classify_access",
+    "classify_statement",
+    "OverlapPolicy",
+    "access_size",
+    "group_constraint_terms",
+    "apply_versioning",
+    "to_soap",
+]

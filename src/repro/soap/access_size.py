@@ -1,0 +1,195 @@
+"""Access-set size lower bounds (Lemma 3 and Corollary 1).
+
+For a rectangular subcomputation with per-variable tile sizes ``|D_i|`` the
+number of distinct vertices of array ``A`` accessed through a simple-overlap
+group is at least
+
+* input-only group (Lemma 3):
+  ``|A|  >=  2 * prod_i |D_i|  -  prod_i (|D_i| - |t̂_i|)``
+* input/output group (Corollary 1; up to ``prod |D_i|`` vertices are computed
+  inside the subcomputation and need no load):
+  ``|A|  >=      prod_i |D_i|  -  prod_i (|D_i| - |t̂_i|)``
+
+A single-component group has every ``|t̂_i| = 0`` and the Lemma 3 form
+degenerates to ``prod_i |D_i|`` -- each accessed vertex counted once.
+
+Three structural subtleties, all needed for soundness:
+
+* **Repeated variables.**  After Section 5.2 versioning a component such as
+  LU's ``A[i,k,k]`` indexes two dimensions with the same variable.  The image
+  of the tile is then a *diagonal* embedding of size ``|D_i| * |D_k|`` --
+  the product runs over **distinct** variables, never per dimension (a
+  per-dimension product ``|D_i| * |D_k|^2`` would overestimate the dominator
+  and inflate the bound).  Offsets of dimensions sharing a variable combine
+  by ``max`` (a sound lower bound on the diagonal union stretch).
+* **Constant dimensions** contribute extent 1.  With ``o`` distinct non-zero
+  offsets the factor ``(1 - o)`` may go negative; the algebra still yields
+  the correct ``(1 + o) * prod(rest)`` union for pure constant splits and
+  remains a lower bound in mixed cases (property-tested against brute-force
+  enumeration in ``tests/soap/test_access_size.py``).
+* **Non-injective dimensions** (Section 5.3) carry ``free_vars``.  The paper
+  keeps a single variable's extent (``|g[H]| >= max_i |D_i|``); this
+  implementation refines it with the Minkowski sumset bound: for a linear
+  index ``g = sum_i c_i * psi_i`` with non-zero integer coefficients over
+  value sets ``D_i``, ``|g[H]| >= sum_i |D_i| - (m - 1)`` (iterated
+  Cauchy-Davenport over the integers).  The refinement is sound -- scaling a
+  set by a non-zero integer preserves its cardinality and
+  ``|A + B| >= |A| + |B| - 1`` for finite integer sets -- and strictly
+  tighter whenever more than one variable feeds the dimension (e.g. durbin's
+  ``r[k-i-1]``, unit-stride convolution's ``r + w``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import sympy as sp
+
+from repro.soap.classify import OverlapPolicy, SimpleOverlapGroup
+from repro.symbolic.posynomial import Posynomial
+from repro.symbolic.symbols import is_version_var, tile, version_components
+
+
+def effective_dims(group: SimpleOverlapGroup) -> list[tuple[sp.Expr, int]]:
+    """Collapse group dimensions to ``(extent, offset_count)`` pairs.
+
+    One pair per *distinct* iteration variable (offsets merged by ``max``)
+    plus one pair per constant dimension.
+
+    A *version* dimension (Section 5.2) has a composite extent: the product
+    of the tiles of its tied loop variables -- but only of those **not
+    already indexing a real dimension** of the group.  A diagonal access
+    such as LU's ``A[i,k,version(k)]`` touches one version per ``k`` value,
+    so its footprint is ``b_i * b_k``, not ``b_i * b_k^2``; counting the
+    version extent again would overestimate the dominator and inflate the
+    bound (unsound).
+    """
+    per_var: dict[str, int] = {}
+    order: list[str] = []
+    constants: list[int] = []
+    versions: list[tuple[str, int]] = []
+    sumsets: list[tuple[tuple[str, ...], int]] = []
+    for dim in group.dims:
+        if dim.var is None:
+            constants.append(dim.offsets)
+        elif is_version_var(dim.var):
+            versions.append((dim.var, dim.offsets))
+        elif dim.free_vars:
+            sumsets.append(((dim.var, *dim.free_vars), dim.offsets))
+        else:
+            if dim.var not in per_var:
+                order.append(dim.var)
+                per_var[dim.var] = dim.offsets
+            else:
+                per_var[dim.var] = max(per_var[dim.var], dim.offsets)
+    dims: list[tuple[sp.Expr, int]] = [(tile(v), per_var[v]) for v in order]
+    for variables, offsets in sumsets:
+        # Minkowski sumset refinement of Section 5.3 (module docstring).
+        extent = sp.Add(*(tile(v) for v in variables)) - (len(variables) - 1)
+        dims.append((extent, offsets))
+    for vname, offsets in versions:
+        extent = sp.Integer(1)
+        for component in version_components(vname):
+            if component not in per_var:
+                extent *= tile(component)
+        dims.append((extent, offsets))
+    dims.extend((sp.Integer(1), o) for o in constants)
+    return dims
+
+
+def access_size(group: SimpleOverlapGroup) -> sp.Expr:
+    """Exact Lemma 3 / Corollary 1 expression in the tile symbols ``b_*``."""
+    prod_full = sp.Integer(1)
+    prod_reduced = sp.Integer(1)
+    for extent, offsets in effective_dims(group):
+        prod_full *= extent
+        prod_reduced *= extent - sp.Integer(offsets)
+    if group.includes_output:
+        return sp.expand(prod_full - prod_reduced)
+    return sp.expand(2 * prod_full - prod_reduced)
+
+
+def access_size_leading(group: SimpleOverlapGroup) -> Posynomial:
+    """Leading-order posynomial of :func:`access_size`.
+
+    Only the top-total-degree monomials matter for the asymptotic solution of
+    optimization problem (8); lower-order terms perturb ``chi(X)`` below
+    leading order.  For an input/output stencil group the leading part is the
+    *surface* posynomial ``sum_i |t̂_i| * prod_{k != i} |D_k|``.
+    """
+    expr = access_size(group)
+    variables = [tile(v) for v in group.variables]
+    posy = Posynomial.from_expr(expr, variables)
+    lead = posy.leading()
+    if not lead.is_positive():
+        # Negative-coefficient leading terms can only arise from constant
+        # dimensions with many offsets; fall back to the plain product bound
+        # (always valid: at least one full tile is accessed).
+        full = sp.Integer(1)
+        for extent, _ in effective_dims(group):
+            full *= extent
+        return Posynomial.from_expr(full, variables)
+    return lead
+
+
+def group_constraint_terms(
+    groups: Sequence[SimpleOverlapGroup],
+    *,
+    policy: OverlapPolicy = "sum",
+    leading_only: bool = True,
+) -> Posynomial:
+    """Combine per-group access sizes into the dominator-size posynomial.
+
+    Groups of *different* arrays always add (arrays are disjoint).  Groups of
+    the *same* array combine according to ``policy``:
+
+    * ``"sum"`` -- Section 5.1 disjoint-access-sets projection;
+    * ``"max"`` -- among an array's *read* groups, keep only the largest
+      leading size (sound without a disjointness argument); the input/output
+      Corollary 1 group is not an alternative view of the same data and is
+      always counted.  "Largest" is resolved by comparing leading total
+      degree, then term count, then string order -- the choice only matters
+      when degrees tie, in which case either is a valid lower bound.
+    """
+    build = access_size_leading if leading_only else _exact_posynomial
+
+    per_array: dict[str, list[Posynomial]] = {}
+    always: dict[str, list[Posynomial]] = {}
+    order: list[str] = []
+    for group in groups:
+        if group.array not in per_array:
+            order.append(group.array)
+            per_array[group.array] = []
+            always[group.array] = []
+        target = always if group.includes_output else per_array
+        target[group.array].append(build(group))
+
+    total = Posynomial(())
+    for array in order:
+        for part in always[array]:
+            total = total + part
+        parts = per_array[array]
+        if not parts:
+            continue
+        if len(parts) == 1 or policy == "sum":
+            for part in parts:
+                total = total + part
+        elif policy == "max":
+            total = total + _largest(parts)
+        else:
+            raise ValueError(f"unknown overlap policy {policy!r}")
+    return total
+
+
+def _exact_posynomial(group: SimpleOverlapGroup) -> Posynomial:
+    variables = [tile(v) for v in group.variables]
+    return Posynomial.from_expr(access_size(group), variables)
+
+
+def _largest(parts: Iterable[Posynomial]) -> Posynomial:
+    def key(p: Posynomial):
+        degrees = [t.degree for t in p.terms]
+        top = max(degrees) if degrees else sp.Integer(0)
+        return (sp.Rational(top), len(p.terms), str(p.expr))
+
+    return max(parts, key=key)

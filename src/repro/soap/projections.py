@@ -1,0 +1,141 @@
+"""Section 5 projections: rewriting non-SOAP statements into SOAP form.
+
+**Input/output versioning (5.2).**  In a CDAG, every statement execution
+produces a distinct vertex.  When the output access function misses some loop
+variables (``A[i,j] = ...`` inside a ``k`` loop, or an accumulation
+``C[i,j] += ...`` over ``k``), successive executions write *versions* of the
+same element.  The projection materializes the version as one extra array
+dimension, offset by +1 between the read and the write of the updating
+statement (paper Example 5)::
+
+    A[i,j] = f(A[i,j], A[i,k], A[k,j])   -- over loops k, i, j
+      -->
+    A[i,j,v+1] = f(A[i,j,v], A[i,k,v], A[k,j,v])    v = version of loop k
+
+The version variable is *tied*: its tile extent equals the product of the
+missing loop variables' tiles (a single ``k`` here).  The tie is encoded in
+the variable name (see :func:`repro.symbolic.symbols.version_var_name`) and
+expanded by the access-size builder; the version dimension never enters the
+objective ``prod_t |D_t|`` nor the statement's vertex count.
+
+When the output misses *no* loop variable but still reads itself through the
+identical access (``A[i] = A[i] + 1``), a constant 0/1 version pair is used.
+Pure input/output stencils whose write is offset from every read (paper
+Example 1: ``A[i,t+1] = f(A[i,t], ...)``) already form a valid simple
+overlap and are left untouched.
+
+**Non-overlapping access splitting (5.1)** is implemented as the ``"sum"``
+overlap policy of :func:`repro.soap.access_size.group_constraint_terms`
+rather than a physical array split, keeping array identity for the SDG.
+
+**Non-injective access bounding (5.3)** is implemented in classification:
+multi-variable dimensions carry ``free_vars`` and the access-size bound keeps
+a single variable's extent (the paper's conservative convolution case).
+"""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from repro.ir.access import AffineIndex, ArrayAccess
+from repro.ir.program import Program
+from repro.ir.statement import Statement
+from repro.symbolic.symbols import version_var_name
+
+
+def missing_output_vars(statement: Statement) -> tuple[str, ...]:
+    """Loop variables absent from the output access (version-generating)."""
+    out_vars = set(statement.output.variables())
+    return tuple(v for v in statement.iteration_vars if v not in out_vars)
+
+
+def _reads_output_identically(statement: Statement) -> bool:
+    read = statement.input_access(statement.output.array)
+    if read is None:
+        return False
+    return statement.output.components[0] in read.components
+
+
+def needs_versioning(statement: Statement) -> bool:
+    """True when write/read of the output array would alias CDAG vertices.
+
+    Two triggers: (a) the output misses loop variables *and* the array is
+    also read (accumulations, in-place sweeps); (b) the write coincides
+    exactly with a read (identical component).  Pure offset stencils
+    (Example 1) trigger neither.
+    """
+    if statement.input_access(statement.output.array) is None:
+        return False
+    if missing_output_vars(statement):
+        return True
+    return _reads_output_identically(statement)
+
+
+def version_output(statement: Statement, *, force: bool = False) -> Statement:
+    """Append the version dimension to the output (and self-read) accesses.
+
+    With ``force=True`` the output gains its version dimension even when the
+    array is not self-read -- fusion uses this so that *cross-statement*
+    consumers can align against the producer's version structure.
+    """
+    if not force and not needs_versioning(statement):
+        return statement
+    array = statement.output.array
+    missing = missing_output_vars(statement)
+    self_read = statement.input_access(array) is not None
+    if not missing and not _reads_output_identically(statement):
+        if not force or self_read:
+            return statement  # offset stencil: already a simple overlap
+        return statement  # nothing to version: every loop var in the output
+
+    if missing:
+        vname = version_var_name(list(missing))
+        write_extra = AffineIndex.var(vname, 1)
+        read_extra = AffineIndex.var(vname, 0)
+        extent = sp.Integer(1)
+        for m in missing:
+            extent *= statement.domain.extent(m)
+        domain = statement.domain.with_variable(vname, extent, count_in_total=False)
+    else:
+        # Exact self-assignment with all loops in the output: constant
+        # version pair (one rewrite per element).
+        write_extra = AffineIndex.const(1)
+        read_extra = AffineIndex.const(0)
+        domain = statement.domain
+
+    new_output = ArrayAccess(array, (statement.output.components[0] + (write_extra,),))
+    new_inputs = []
+    for access in statement.inputs:
+        if access.array == array:
+            new_inputs.append(
+                ArrayAccess(array, tuple(c + (read_extra,) for c in access.components))
+            )
+        else:
+            new_inputs.append(access)
+    return Statement(statement.name, domain, new_output, tuple(new_inputs))
+
+
+def apply_versioning(statement: Statement) -> Statement:
+    """Section 5.2 rewrite for standalone statement analysis."""
+    return version_output(statement, force=False)
+
+
+def to_soap(program: Program) -> Program:
+    """Apply Section 5.2 versioning to every statement of a program.
+
+    Versioned ranks are per-statement: cross-statement reads keep their
+    original rank (fusion aligns versions explicitly), so array declarations
+    are re-synthesized from the rewritten statements.
+    """
+    rewritten = tuple(apply_versioning(st) for st in program.statements)
+    kept = tuple(
+        a
+        for a in program.arrays
+        if all(
+            acc.array != a.name or acc.dim == a.dim
+            for st in rewritten
+            for acc in (st.output, *st.inputs)
+        )
+    )
+    return Program(program.name, rewritten, kept)
+

@@ -1,0 +1,38 @@
+"""Safe parsing of bound expressions from strings.
+
+``sympy.sympify`` resolves bare names against sympy's namespace, so ``N``
+becomes :func:`sympy.N` (numeric evaluation) and ``S`` the singleton
+registry.  :func:`parse_bound` instead binds every identifier to a positive
+symbol -- ``S`` to the canonical fast-memory symbol -- so locked regression
+strings and CLI inputs round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import re
+
+import sympy as sp
+
+from repro.symbolic.symbols import S_SYM, X_SYM
+
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+_FUNCTIONS = {
+    "sqrt": sp.sqrt,
+    "cbrt": sp.cbrt,
+    "Max": sp.Max,
+    "Min": sp.Min,
+    "log": sp.log,
+    "exp": sp.exp,
+    "Rational": sp.Rational,
+}
+
+
+def parse_bound(text: str) -> sp.Expr:
+    """Parse a bound expression with every identifier as a positive symbol."""
+    locals_map: dict[str, object] = dict(_FUNCTIONS)
+    locals_map["S"] = S_SYM
+    locals_map["X"] = X_SYM
+    for name in set(_IDENT_RE.findall(text)):
+        if name not in locals_map:
+            locals_map[name] = sp.Symbol(name, positive=True)
+    return sp.sympify(text, locals=locals_map)

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the SOAP analyzer.
+
+Every failure mode that a caller may want to handle programmatically has a
+dedicated exception type.  All of them derive from :class:`SoapError`, so
+``except SoapError`` catches any analyzer-originated error while letting
+genuine bugs (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class SoapError(Exception):
+    """Base class of all analyzer errors."""
+
+
+class NotSoapError(SoapError):
+    """Raised when a program (or statement) violates a SOAP requirement.
+
+    Examples: two accesses to the same array whose linear parts differ and no
+    projection (Section 5) was requested, or a non-injective access function
+    without an overlap assumption.
+    """
+
+
+class FrontendError(SoapError):
+    """Raised by the Python/C frontends for source that cannot be lowered."""
+
+
+class SolverError(SoapError):
+    """Raised when optimization problem (8) cannot be solved symbolically."""
+
+
+class PebblingError(SoapError):
+    """Raised for invalid pebble-game moves or unsolvable instances."""

@@ -1,0 +1,55 @@
+"""Minimal union-find with deterministic representative selection."""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from typing import Generic, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class UnionFind(Generic[T]):
+    """Disjoint-set forest; representatives are the earliest-added members."""
+
+    def __init__(self) -> None:
+        self._parent: dict[T, T] = {}
+        self._rank: dict[T, int] = {}
+        self._order: dict[T, int] = {}
+
+    def add(self, item: T) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+            self._order[item] = len(self._order)
+
+    def find(self, item: T) -> T:
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:  # path compression
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: T, b: T) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        # Keep the earliest-added member as representative (deterministic).
+        if self._order[ra] > self._order[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+
+    def groups(self) -> list[list[T]]:
+        """All equivalence classes, each sorted by insertion order."""
+        by_root: dict[T, list[T]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), []).append(item)
+        out = []
+        for root in sorted(by_root, key=self._order.get):
+            members = sorted(by_root[root], key=self._order.get)
+            out.append(members)
+        return out
+
+    def same(self, a: T, b: T) -> bool:
+        return self.find(a) == self.find(b)

@@ -1,0 +1,71 @@
+"""CLI and reporting-layer tests."""
+
+import pytest
+
+from repro.cli import main
+from repro.reporting.experiments import experiments_markdown
+from repro.reporting.table import render_table2, table2_rows
+
+
+class TestReporting:
+    def test_rows_for_selected_kernels(self):
+        rows = table2_rows(names=["gemm", "atax"])
+        assert [r.kernel for r in rows] == ["gemm", "atax"]
+        assert all(r.shape_matches for r in rows)
+
+    def test_render_markdown(self):
+        rows = table2_rows(names=["gemm"])
+        text = render_table2(rows)
+        assert "| gemm |" in text and "2*N**3/sqrt(S)" in text
+
+    def test_experiments_markdown_sections(self):
+        rows = table2_rows(names=["gemm", "lulesh"])
+        text = experiments_markdown(rows)
+        assert "## Polybench" in text
+        assert "## LULESH" in text
+        assert "Summary:" in text
+
+
+class TestCLI:
+    def test_kernel_command(self, capsys):
+        assert main(["kernel", "gemm"]) == 0
+        out = capsys.readouterr().out
+        assert "2*N**3/sqrt(S)" in out
+        assert "rho = sqrt(S)/2" in out
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gemm" in out and "lulesh" in out
+
+    def test_analyze_python_file(self, tmp_path, capsys):
+        path = tmp_path / "mm.py"
+        path.write_text(
+            "for i in range(N):\n"
+            "    for j in range(N):\n"
+            "        for k in range(N):\n"
+            "            C[i, j] += A[i, k] * B[k, j]\n"
+        )
+        assert main(["analyze", str(path)]) == 0
+        assert "2*N**3/sqrt(S)" in capsys.readouterr().out
+
+    def test_analyze_c_file_by_suffix(self, tmp_path, capsys):
+        path = tmp_path / "mm.c"
+        path.write_text(
+            "for (int i = 0; i < N; i++)\n"
+            "  for (int j = 0; j < N; j++)\n"
+            "    for (int k = 0; k < N; k++)\n"
+            "      C[i][j] += A[i][k] * B[k][j];\n"
+        )
+        assert main(["analyze", str(path)]) == 0
+        assert "2*N**3/sqrt(S)" in capsys.readouterr().out
+
+    def test_validate_command(self, capsys):
+        code = main(["validate", "gemm", "--params", "N=2", "--S", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sound         : True" in out
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            main(["kernel", "nope"])

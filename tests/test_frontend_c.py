@@ -1,0 +1,116 @@
+"""C frontend: lexer, parser, lowering."""
+
+import pytest
+import sympy as sp
+
+from repro.frontend.c_frontend import parse_c
+from repro.frontend.c_frontend.cparser import parse_source
+from repro.frontend.c_frontend.astnodes import Assignment, ForLoop
+from repro.frontend.c_frontend.lexer import tokenize
+from repro.util.errors import FrontendError
+
+N = sp.Symbol("N", positive=True)
+
+LU = """
+for (int k = 0; k < N; k++) {
+  for (int i = k + 1; i < N; i++) {
+    for (int j = k + 1; j < N; j++) {
+      A[i][j] = A[i][j] - A[i][k] * A[k][j];
+    }
+  }
+}
+"""
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        tokens = tokenize("for (int i = 0; i < N; i++) A[i] += 2.5;")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] == "keyword" and kinds[-1] == "eof"
+        texts = [t.text for t in tokens]
+        assert "+=" in texts and "++" in texts and "2.5" in texts
+
+    def test_comments_skipped(self):
+        tokens = tokenize("// line\n/* block\nstill */ x")
+        assert [t.text for t in tokens] == ["x", ""]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:3]] == [1, 2, 3]
+
+    def test_unexpected_character(self):
+        with pytest.raises(FrontendError):
+            tokenize("a @ b")
+
+
+class TestParser:
+    def test_lu_structure(self):
+        (outer,) = parse_source(LU)
+        assert isinstance(outer, ForLoop) and outer.var == "k"
+        inner = outer.body[0].body[0]
+        assert isinstance(inner, ForLoop) and inner.var == "j"
+        assert isinstance(inner.body[0], Assignment)
+
+    def test_le_bound_normalized(self):
+        (loop,) = parse_source("for (int i = 0; i <= N; i++) A[i] = B[i];")
+        # stop is N + 1 (exclusive)
+        program = parse_c("for (int i = 0; i <= N; i++) A[i] = B[i];")
+        assert sp.simplify(program.statements[0].domain.extent("i") - (N + 1)) == 0
+
+    def test_braceless_body(self):
+        program = parse_c("for (int i = 0; i < N; i++) A[i] = B[i];")
+        assert len(program.statements) == 1
+
+    def test_augmented_ops(self):
+        program = parse_c("for (int i = 0; i < N; i++) A[i] += B[i];")
+        (st,) = program.statements
+        assert st.input_access("A") is not None
+
+    def test_calls(self):
+        program = parse_c("for (int i = 0; i < N; i++) A[i] = sqrt(B[i]);")
+        assert {a.array for a in program.statements[0].inputs} == {"B"}
+
+    def test_condition_must_test_loop_var(self):
+        with pytest.raises(FrontendError):
+            parse_c("for (int i = 0; j < N; i++) A[i] = B[i];")
+
+    def test_only_unit_stride(self):
+        with pytest.raises(FrontendError):
+            parse_c("for (int i = 0; i < N; i += 2) A[i] = B[i];")
+
+    def test_assignment_target_must_be_array(self):
+        with pytest.raises(FrontendError):
+            parse_c("for (int i = 0; i < N; i++) s = A[i];")
+
+
+class TestLowering:
+    def test_lu_statement(self):
+        program = parse_c(LU, name="lu")
+        (st,) = program.statements
+        assert st.output.array == "A"
+        assert st.input_access("A").n_components == 3
+        total = sp.expand(st.domain.total)
+        assert sp.expand(total - (N**3 / 3 - N**2 + N - sp.expand(total - total))).has(N)
+        # leading term is N^3/3
+        assert sp.LT(total, gens=[N]) == N**3 / 3
+
+    def test_guard_for_triangular(self):
+        program = parse_c(LU)
+        assert "k + 1" in program.statements[0].guard
+
+    def test_matches_python_frontend(self):
+        from repro.frontend.python_frontend import parse_python
+
+        c_prog = parse_c(
+            "for (int i = 0; i < N; i++)\n"
+            "  for (int j = 0; j < N; j++)\n"
+            "    C[i][j] += A[i][j];\n"
+        )
+        py_prog = parse_python(
+            "for i in range(N):\n"
+            "    for j in range(N):\n"
+            "        C[i, j] += A[i, j]\n"
+        )
+        c_st, py_st = c_prog.statements[0], py_prog.statements[0]
+        assert c_st.output.components == py_st.output.components
+        assert sp.simplify(c_st.domain.total - py_st.domain.total) == 0

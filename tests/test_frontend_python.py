@@ -1,0 +1,129 @@
+"""Python frontend: parsing, lowering, error reporting."""
+
+import pytest
+import sympy as sp
+
+from repro.frontend.python_frontend import parse_python
+from repro.util.errors import FrontendError
+
+N = sp.Symbol("N", positive=True)
+T = sp.Symbol("T", positive=True)
+
+
+class TestParsing:
+    def test_gemm(self):
+        program = parse_python(
+            "for i in range(N):\n"
+            "    for j in range(N):\n"
+            "        for k in range(N):\n"
+            "            C[i, j] = C[i, j] + A[i, k] * B[k, j]\n"
+        )
+        (st,) = program.statements
+        assert st.output.array == "C"
+        assert {a.array for a in st.inputs} == {"A", "B", "C"}
+        assert sp.simplify(st.domain.total - N**3) == 0
+
+    def test_augmented_assignment_reads_target(self):
+        program = parse_python(
+            "for i in range(N):\n"
+            "    for j in range(N):\n"
+            "        s[i] += A[i, j]\n"
+        )
+        (st,) = program.statements
+        assert st.input_access("s") is not None
+
+    def test_stencil_offsets(self):
+        program = parse_python(
+            "for t in range(1, T):\n"
+            "    for i in range(t, N - t):\n"
+            "        A[i, t + 1] = (A[i - 1, t] + A[i, t] + A[i + 1, t]) / 3\n"
+        )
+        (st,) = program.statements
+        assert st.input_access("A").n_components == 3
+
+    def test_triangular_total_and_guard(self):
+        program = parse_python(
+            "for k in range(N):\n"
+            "    for i in range(k + 1, N):\n"
+            "        L[i, k] = A[i, k]\n"
+        )
+        (st,) = program.statements
+        lead = sp.expand(st.domain.total)
+        assert sp.expand(lead - (N**2 / 2 - N / 2)) == 0
+        assert st.guard is not None and "k + 1" in st.guard
+
+    def test_extent_cap_maximizes_over_outer(self):
+        program = parse_python(
+            "for t in range(1, T):\n"
+            "    for i in range(t, N - t):\n"
+            "        A[i, t + 1] = A[i, t]\n"
+        )
+        (st,) = program.statements
+        assert sp.simplify(st.domain.extent("i") - (N - 1)) == 0
+
+    def test_scalars_ignored(self):
+        program = parse_python(
+            "for i in range(N):\n"
+            "    y[i] = alpha * x[i] + beta\n"
+        )
+        (st,) = program.statements
+        assert {a.array for a in st.inputs} == {"x"}
+
+    def test_calls_recursed(self):
+        program = parse_python(
+            "for i in range(N):\n"
+            "    y[i] = min(x[i], z[i])\n"
+        )
+        (st,) = program.statements
+        assert {a.array for a in st.inputs} == {"x", "z"}
+
+    def test_multiple_statements_in_shared_loop(self):
+        program = parse_python(
+            "for t in range(T):\n"
+            "    for i in range(N):\n"
+            "        B[i] = A[i]\n"
+            "    for i in range(N):\n"
+            "        A[i] = B[i]\n"
+        )
+        assert len(program.statements) == 2
+        assert program.statements[0].iteration_vars == ("t", "i")
+
+    def test_coefficient_indices(self):
+        program = parse_python(
+            "for i in range(N):\n"
+            "    for p in range(2):\n"
+            "        y[i] = x[2 * i + p]\n"
+        )
+        (st,) = program.statements
+        idx = st.input_access("x").components[0][0]
+        assert idx.evaluate({"i": 3, "p": 1}) == 7
+
+
+class TestErrors:
+    def test_invalid_python(self):
+        with pytest.raises(FrontendError):
+            parse_python("for i in range(N)\n    pass")
+
+    def test_non_range_loop(self):
+        with pytest.raises(FrontendError):
+            parse_python("for i in items:\n    A[i] = B[i]\n")
+
+    def test_statement_outside_loop(self):
+        with pytest.raises(FrontendError):
+            parse_python("A[0] = B[0]\n")
+
+    def test_empty_program(self):
+        with pytest.raises(FrontendError):
+            parse_python("for i in range(N):\n    pass\n")
+
+    def test_non_affine_index(self):
+        with pytest.raises(FrontendError):
+            parse_python("for i in range(N):\n    A[i] = B[i * i]\n")
+
+    def test_scalar_target(self):
+        with pytest.raises(FrontendError):
+            parse_python("for i in range(N):\n    s = A[i]\n")
+
+    def test_unknown_construct(self):
+        with pytest.raises(FrontendError):
+            parse_python("for i in range(N):\n    while True:\n        A[i] = B[i]\n")

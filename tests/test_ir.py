@@ -1,0 +1,196 @@
+"""IR unit tests: affine indices, accesses, domains, statements, programs."""
+
+import pytest
+import sympy as sp
+
+from repro.ir import (
+    AffineIndex,
+    Array,
+    ArrayAccess,
+    IterationDomain,
+    Program,
+    Statement,
+)
+from repro.kernels.common import parse_index, ref, stmt
+from repro.util.errors import NotSoapError
+
+
+class TestAffineIndex:
+    def test_var_constructor(self):
+        idx = AffineIndex.var("i", -1)
+        assert idx.is_single_var and idx.single_var == "i" and idx.offset == -1
+
+    def test_const(self):
+        idx = AffineIndex.const(5)
+        assert idx.is_constant and idx.offset == 5
+
+    def test_zero_coefficients_removed(self):
+        idx = AffineIndex.make({"i": 1, "j": 0}, 0)
+        assert idx.variables() == ("i",)
+
+    def test_difference_offset_same_linear_part(self):
+        a = AffineIndex.var("i", 2)
+        b = AffineIndex.var("i", -1)
+        assert a.difference_offset(b) == 3
+
+    def test_difference_offset_none_for_different_parts(self):
+        assert AffineIndex.var("i").difference_offset(AffineIndex.var("j")) is None
+
+    def test_renamed(self):
+        idx = AffineIndex.make({"i": 1, "k": -1}, 1).renamed({"k": "j"})
+        assert set(idx.variables()) == {"i", "j"}
+
+    def test_evaluate(self):
+        idx = AffineIndex.make({"i": 2, "j": -1}, 3)
+        assert idx.evaluate({"i": 5, "j": 4}) == 9
+
+    def test_str_formats(self):
+        assert str(AffineIndex.var("i", 1)) == "i+1"
+        assert str(AffineIndex.var("i", -1)) == "i-1"
+        assert str(AffineIndex.const(0)) == "0"
+
+    def test_parse_index_multi_var(self):
+        idx = parse_index("k-i-1")
+        assert idx.evaluate({"k": 5, "i": 2}) == 2
+
+    def test_parse_index_coefficient(self):
+        idx = parse_index("2*w+r")
+        assert idx.evaluate({"w": 3, "r": 1}) == 7
+
+
+class TestArrayAccess:
+    def test_ref_builder(self):
+        acc = ref("A", "i-1,t", "i,t", "i+1,t")
+        assert acc.n_components == 3 and acc.dim == 2
+
+    def test_rank_consistency_enforced(self):
+        with pytest.raises(ValueError):
+            ArrayAccess("A", ((AffineIndex.var("i"),), (AffineIndex.var("i"), AffineIndex.var("j"))))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayAccess("A", ())
+
+    def test_variables_in_order(self):
+        acc = ref("A", "k,j", "i,j")
+        assert acc.variables() == ("k", "j", "i")
+
+    def test_merged_with_dedups(self):
+        a = ref("A", "i,j")
+        b = ref("A", "i,j", "i+1,j")
+        merged = a.merged_with(b)
+        assert merged.n_components == 2
+
+    def test_merged_with_rejects_other_array(self):
+        with pytest.raises(ValueError):
+            ref("A", "i").merged_with(ref("B", "i"))
+
+
+class TestIterationDomain:
+    def test_default_total_is_product(self):
+        d = IterationDomain.make({"i": "N", "j": "M"})
+        N, M = sp.Symbol("N", positive=True), sp.Symbol("M", positive=True)
+        assert sp.simplify(d.total - N * M) == 0
+
+    def test_explicit_total(self):
+        N = sp.Symbol("N", positive=True)
+        d = IterationDomain.make({"i": "N", "j": "N"}, total=N**2 / 2)
+        assert sp.simplify(d.total - N**2 / 2) == 0
+
+    def test_extent_lookup(self):
+        d = IterationDomain.make({"i": "N"})
+        assert d.extent("i") == sp.Symbol("N", positive=True)
+        with pytest.raises(KeyError):
+            d.extent("zz")
+
+    def test_with_variable_counts_total(self):
+        d = IterationDomain.make({"i": "N"}).with_variable("j", "M")
+        N, M = sp.Symbol("N", positive=True), sp.Symbol("M", positive=True)
+        assert sp.simplify(d.total - N * M) == 0
+
+    def test_with_variable_version_dim_keeps_total(self):
+        d = IterationDomain.make({"i": "N"}).with_variable("v", "N", count_in_total=False)
+        assert sp.simplify(d.total - sp.Symbol("N", positive=True)) == 0
+
+    def test_with_variable_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            IterationDomain.make({"i": "N"}).with_variable("i", "N")
+
+    def test_renamed(self):
+        d = IterationDomain.make({"i": "N"}).renamed({"i": "x"})
+        assert d.variables == ("x",)
+
+
+class TestStatementAndProgram:
+    def _gemm(self):
+        return stmt(
+            "gemm",
+            {"i": "N", "j": "N", "k": "N"},
+            ref("C", "i,j"),
+            ref("C", "i,j"),
+            ref("A", "i,k"),
+            ref("B", "k,j"),
+        )
+
+    def test_output_single_component(self):
+        with pytest.raises(NotSoapError):
+            Statement(
+                "bad",
+                IterationDomain.make({"i": "N"}),
+                ref("A", "i", "i+1"),
+                (),
+            )
+
+    def test_inputs_grouped_per_array(self):
+        with pytest.raises(NotSoapError):
+            Statement(
+                "bad",
+                IterationDomain.make({"i": "N"}),
+                ref("C", "i"),
+                (ref("A", "i"), ref("A", "i+1")),
+            )
+
+    def test_updates_output(self):
+        assert self._gemm().updates_output
+
+    def test_program_synthesizes_arrays(self):
+        program = Program.make("p", [self._gemm()])
+        names = {a.name for a in program.arrays}
+        assert names == {"A", "B", "C"}
+
+    def test_program_rejects_rank_clash(self):
+        bad = stmt("s", {"i": "N"}, ref("A", "i"), ref("A", "i,i"))
+        with pytest.raises(NotSoapError):
+            Program.make("p", [bad])
+
+    def test_computed_and_input_arrays(self):
+        program = Program.make("p", [self._gemm()])
+        assert program.computed_arrays() == ["C"]
+        assert set(program.input_arrays()) == {"A", "B"}
+
+    def test_vertex_count_from_domain(self):
+        program = Program.make("p", [self._gemm()])
+        N = sp.Symbol("N", positive=True)
+        assert sp.simplify(program.vertex_count("C") - N**3) == 0
+
+    def test_vertex_count_declared_override(self):
+        N = sp.Symbol("N", positive=True)
+        program = Program.make(
+            "p", [self._gemm()], [Array("A", 2, N**2)]
+        )
+        assert sp.simplify(program.vertex_count("A") - N**2) == 0
+
+    def test_vertex_count_unknown_raises(self):
+        program = Program.make("p", [self._gemm()])
+        with pytest.raises(KeyError):
+            program.vertex_count("A")
+
+    def test_parameters_sorted(self):
+        program = Program.make("p", [self._gemm()])
+        assert [s.name for s in program.parameters()] == ["N"]
+
+    def test_statement_guard_renamed(self):
+        s = stmt("s", {"i": "N"}, ref("A", "i"), ref("B", "i"))
+        s = Statement(s.name, s.domain, s.output, s.inputs, guard="0 <= i < N")
+        renamed = s.renamed({"i": "x"})
+        assert renamed.guard == "0 <= x < N"

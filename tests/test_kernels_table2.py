@@ -1,0 +1,100 @@
+"""Table 2 regression: every kernel's derived bound is locked and compared.
+
+Two layers of assertions per kernel:
+
+1. the derived leading-order bound equals the regression-locked expression
+   in ``repro.kernels.expected`` (any pipeline change that moves a bound
+   fails here);
+2. where the locked record says the *shape* matches the paper (38 of 40),
+   the shape comparison is re-verified against the paper expression.
+"""
+
+import pytest
+import sympy as sp
+
+from repro.analysis import analyze_kernel
+from repro.kernels import all_kernels, get_kernel, kernel_names
+from repro.kernels.expected import EXPECTED_BOUNDS, SHAPE_MATCHES
+from repro.symbolic.asymptotics import same_leading_shape
+from repro.symbolic.parsing import parse_bound
+
+ALL_NAMES = kernel_names()
+
+
+def test_all_40_kernels_registered():
+    assert len(ALL_NAMES) == 40
+    assert len(kernel_names("polybench")) == 30
+    assert len(kernel_names("nn")) == 7
+    assert len(kernel_names("various")) == 3
+
+
+def test_registry_lookup_errors():
+    with pytest.raises(KeyError):
+        get_kernel("definitely-not-a-kernel")
+
+
+def test_every_kernel_has_locked_expectation():
+    assert set(EXPECTED_BOUNDS) == set(ALL_NAMES)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_kernel_bound_regression(name):
+    result = analyze_kernel(name)
+    expected = parse_bound(EXPECTED_BOUNDS[name])
+    assert sp.simplify(result.bound - expected) == 0, (
+        f"{name}: derived {result.bound}, locked {expected}"
+    )
+
+
+@pytest.mark.parametrize(
+    "name", [n for n in ALL_NAMES if SHAPE_MATCHES[n]]
+)
+def test_kernel_shape_matches_paper(name):
+    spec = get_kernel(name)
+    expected = parse_bound(EXPECTED_BOUNDS[name])
+    assert same_leading_shape(expected, spec.paper_bound_expr()), (
+        f"{name}: {expected} vs paper {spec.paper_bound_expr()}"
+    )
+
+
+def test_exact_reproductions_include_flagships():
+    """Spot-check the paper's headline numbers are reproduced exactly."""
+    exact = {
+        "gemm": "2*N**3/sqrt(S)",
+        "cholesky": "N**3/(3*sqrt(S))",
+        "lu": "2*N**3/(3*sqrt(S))",
+        "atax": "M*N",
+        "seidel2d": "4*N**2*T/sqrt(S)",
+        "floyd-warshall": "2*N**3/sqrt(S)",
+        "syr2k": "2*M*N**2/sqrt(S)",
+        "bert-encoder": "4*B*H*L*P*(2*H*P + L)/sqrt(S)",
+    }
+    for name, bound in exact.items():
+        spec = get_kernel(name)
+        assert sp.simplify(
+            parse_bound(EXPECTED_BOUNDS[name]) - parse_bound(bound)
+        ) == 0
+        assert sp.simplify(
+            parse_bound(bound) - spec.paper_bound_expr()
+        ) == 0, name
+
+
+def test_documented_deviations_are_only_adi_and_durbin():
+    diffs = [n for n in ALL_NAMES if not SHAPE_MATCHES[n]]
+    assert sorted(diffs) == ["adi", "durbin"]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_kernel_programs_build_and_validate(name):
+    program = get_kernel(name).build()
+    assert program.statements
+    assert program.computed_arrays()
+    # Every statement's domain total must be a polynomial in the parameters.
+    for st in program.statements:
+        assert st.domain.total.free_symbols <= set(program.parameters())
+
+
+def test_specs_have_descriptions_and_paper_bounds():
+    for spec in all_kernels():
+        assert spec.description
+        assert spec.paper_bound_expr() is not None

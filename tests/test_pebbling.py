@@ -1,0 +1,189 @@
+"""Red-blue pebble game: legality, optimal search, greedy schedules."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pebbling.game import Move, PebbleGame, replay
+from repro.pebbling.greedy import greedy_pebbling_cost, tiled_order
+from repro.pebbling.optimal import optimal_pebbling_cost
+from repro.util.errors import PebblingError
+
+
+def chain(n: int) -> nx.DiGraph:
+    return nx.DiGraph([(i, i + 1) for i in range(n)])
+
+
+class TestGameRules:
+    def test_initial_state(self):
+        game = PebbleGame(chain(3), 2)
+        assert game.blue == {0}
+        assert not game.finished
+
+    def test_load_requires_blue(self):
+        game = PebbleGame(chain(3), 2)
+        with pytest.raises(PebblingError):
+            game.load(1)
+        game.load(0)
+        assert game.io_cost == 1
+
+    def test_compute_requires_red_parents(self):
+        game = PebbleGame(chain(3), 2)
+        with pytest.raises(PebblingError):
+            game.compute(1)
+        game.load(0)
+        game.compute(1)
+        assert 1 in game.red
+
+    def test_inputs_cannot_be_computed(self):
+        game = PebbleGame(chain(3), 2)
+        with pytest.raises(PebblingError):
+            game.compute(0)
+
+    def test_capacity_enforced(self):
+        game = PebbleGame(chain(3), 1)
+        game.load(0)
+        with pytest.raises(PebblingError):
+            game.compute(1)  # no free red pebble
+
+    def test_store_requires_red(self):
+        game = PebbleGame(chain(3), 2)
+        with pytest.raises(PebblingError):
+            game.store(2)
+
+    def test_full_game(self):
+        game = PebbleGame(chain(2), 2)
+        game.load(0)
+        game.compute(1)
+        game.discard_red(0)
+        game.compute(2)
+        game.store(2)
+        assert game.finished
+        assert game.io_cost == 2
+
+    def test_replay_validates(self):
+        moves = [
+            Move("load", 0),
+            Move("compute", 1),
+            Move("discard_red", 0),
+            Move("compute", 2),
+            Move("store", 2),
+        ]
+        assert replay(chain(2), 2, moves) == 2
+
+    def test_replay_rejects_incomplete(self):
+        with pytest.raises(PebblingError):
+            replay(chain(2), 2, [Move("load", 0)])
+
+
+class TestOptimal:
+    def test_chain_cost(self):
+        # load input, compute along the chain, store the output.
+        assert optimal_pebbling_cost(chain(4), 2) == 2
+
+    def test_binary_tree_reduction(self):
+        g = nx.DiGraph([(0, 4), (1, 4), (2, 5), (3, 5), (4, 6), (5, 6)])
+        # 4 input loads + 1 output store with S = 3.
+        assert optimal_pebbling_cost(g, 3) == 5
+
+    def test_insufficient_pebbles_raise(self):
+        g = nx.DiGraph([(0, 2), (1, 2)])
+        with pytest.raises(PebblingError):
+            optimal_pebbling_cost(g, 2)
+
+    def test_small_s_forces_spills(self):
+        """Hong-Kung: with minimal S, shared values must be reloaded."""
+        g = nx.DiGraph([(0, 3), (1, 3), (0, 4), (2, 4), (3, 5), (4, 5)])
+        tight = optimal_pebbling_cost(g, 3)
+        roomy = optimal_pebbling_cost(g, 6)
+        assert roomy <= tight
+
+    def test_state_limit(self):
+        g = nx.gnp_random_graph(9, 0.4, seed=1, directed=True)
+        dag = nx.DiGraph((u, v) for u, v in g.edges if u < v)
+        dag.add_nodes_from(range(9))
+        with pytest.raises(PebblingError):
+            optimal_pebbling_cost(dag, 3, state_limit=5)
+
+
+class TestGreedy:
+    def test_chain(self):
+        assert greedy_pebbling_cost(chain(4), 2) == 2
+
+    def test_never_beats_optimal(self):
+        g = nx.DiGraph([(0, 3), (1, 3), (0, 4), (2, 4), (3, 5), (4, 5)])
+        for s in (3, 4, 6):
+            assert greedy_pebbling_cost(g, s) >= optimal_pebbling_cost(g, s)
+
+    def test_rejects_non_topological_order(self):
+        with pytest.raises(PebblingError):
+            greedy_pebbling_cost(chain(3), 2, order=[2, 1, 3])
+
+    def test_returns_certified_moves(self):
+        cost, moves = greedy_pebbling_cost(chain(3), 2, return_moves=True)
+        assert replay(chain(3), 2, moves) == cost
+
+    def test_tiled_order_is_topological(self):
+        from repro.cdag.build import build_cdag
+        from repro.ir.program import Program
+        from repro.kernels.common import ref, stmt
+
+        gemm = stmt(
+            "gemm", {"i": "N", "j": "N", "k": "N"},
+            ref("C", "i,j"), ref("C", "i,j"), ref("A", "i,k"), ref("B", "k,j"),
+        )
+        cdag = build_cdag(Program.make("gemm", [gemm]), {"N": 4})
+
+        def point_of(vertex):
+            if vertex[0] != "v":
+                return None
+            i, j = vertex[2]
+            return {"i": i, "j": j, "k": vertex[3]}
+
+        order = tiled_order(
+            cdag.graph, point_of, {"i": 2, "j": 2, "k": 2}, ["i", "j", "k"]
+        )
+        cost_tiled = greedy_pebbling_cost(cdag.graph, 8, order)
+        cost_plain = greedy_pebbling_cost(cdag.graph, 8)
+        assert cost_tiled <= cost_plain
+
+
+# ---------------------------------------------------------------------------
+# property-based: greedy produces legal pebblings on random DAGs
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def _random_dags(draw):
+    n = draw(st.integers(4, 9))
+    edges = []
+    for v in range(1, n):
+        parents = draw(
+            st.lists(st.integers(0, v - 1), min_size=0, max_size=2, unique=True)
+        )
+        edges.extend((p, v) for p in parents)
+    g = nx.DiGraph(edges)
+    g.add_nodes_from(range(n))
+    return g
+
+
+@given(dag=_random_dags(), s=st.integers(3, 6))
+@settings(max_examples=60, deadline=None)
+def test_greedy_is_certified_on_random_dags(dag, s):
+    try:
+        cost, moves = greedy_pebbling_cost(dag, s, return_moves=True)
+    except PebblingError:
+        return  # S too small for the working set: legitimately rejected
+    assert replay(dag, s, moves) == cost
+
+
+@given(dag=_random_dags())
+@settings(max_examples=20, deadline=None)
+def test_optimal_lower_bounds_greedy_on_random_dags(dag):
+    s = 4
+    try:
+        optimal = optimal_pebbling_cost(dag, s, state_limit=200_000)
+        greedy = greedy_pebbling_cost(dag, s)
+    except PebblingError:
+        return
+    assert optimal <= greedy

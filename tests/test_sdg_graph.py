@@ -1,0 +1,95 @@
+"""SDG construction and subgraph enumeration (paper Figure 2 / Example 7-8)."""
+
+import networkx as nx
+
+from repro.ir.program import Program
+from repro.kernels.common import ref, stmt
+from repro.sdg.graph import SDG
+from repro.sdg.subgraphs import enumerate_subgraphs
+
+
+def figure2_program() -> Program:
+    """The paper's running example: C = outer-ish(A,B); E += C @ D."""
+    st1 = stmt(
+        "St1",
+        {"i": "N", "j": "M"},
+        ref("C", "i,j"),
+        ref("A", "i", "i+1"),
+        ref("B", "j", "j+1"),
+    )
+    st2 = stmt(
+        "St2",
+        {"i2": "N", "j2": "K", "k2": "M"},
+        ref("E", "i2,j2"),
+        ref("E", "i2,j2"),
+        ref("C", "i2,k2"),
+        ref("D", "k2,j2"),
+    )
+    return Program.make("figure2", [st1, st2])
+
+
+class TestSDG:
+    def test_vertices_are_arrays(self):
+        sdg = SDG.from_program(figure2_program())
+        assert set(sdg.graph.nodes) == {"A", "B", "C", "D", "E"}
+
+    def test_edges_match_example7(self):
+        sdg = SDG.from_program(figure2_program())
+        expected = {("A", "C"), ("B", "C"), ("C", "E"), ("D", "E"), ("E", "E")}
+        assert set(sdg.edges()) == expected
+
+    def test_self_edge_for_update(self):
+        sdg = SDG.from_program(figure2_program())
+        assert sdg.graph.has_edge("E", "E")
+
+    def test_inputs_are_indegree_zero(self):
+        sdg = SDG.from_program(figure2_program())
+        assert set(sdg.inputs) == {"A", "B", "D"}
+
+    def test_computed(self):
+        sdg = SDG.from_program(figure2_program())
+        assert set(sdg.computed) == {"C", "E"}
+
+    def test_subgraph_inputs_example8(self):
+        sdg = SDG.from_program(figure2_program())
+        assert set(sdg.subgraph_inputs(("C",))) == {"A", "B"}
+        # H3 = {C, E}: In(St_H3) = {A, B, D} (C internal, E's self-edge kept
+        # through Corollary 1, not through In()).
+        assert set(sdg.subgraph_inputs(("C", "E"))) == {"A", "B", "D"}
+
+    def test_sharing_graph_connects_producer_consumer(self):
+        sdg = SDG.from_program(figure2_program())
+        sharing = sdg.sharing_graph()
+        assert sharing.has_edge("C", "E")
+
+    def test_edge_annotated_with_statements(self):
+        sdg = SDG.from_program(figure2_program())
+        statements = sdg.graph["C"]["E"]["statements"]
+        assert [s.name for s in statements] == ["St2"]
+
+
+class TestSubgraphEnumeration:
+    def test_enumerates_connected_subsets_exactly_once(self):
+        g = nx.Graph([("a", "b"), ("b", "c"), ("c", "d"), ("b", "d")])
+        subsets = list(enumerate_subgraphs(g))
+        assert len(subsets) == len(set(subsets))
+        for subset in subsets:
+            assert nx.is_connected(g.subgraph(subset))
+
+    def test_counts_on_path_graph(self):
+        g = nx.path_graph(4)  # connected subsets of a path: n(n+1)/2 = 10
+        assert len(list(enumerate_subgraphs(g))) == 10
+
+    def test_counts_on_complete_graph(self):
+        g = nx.complete_graph(4)  # all non-empty subsets: 15
+        assert len(list(enumerate_subgraphs(g))) == 15
+
+    def test_max_size_respected(self):
+        g = nx.complete_graph(5)
+        subsets = list(enumerate_subgraphs(g, max_size=2))
+        assert max(len(s) for s in subsets) == 2
+
+    def test_isolated_vertices_enumerated(self):
+        g = nx.Graph()
+        g.add_nodes_from(["x", "y"])
+        assert sorted(enumerate_subgraphs(g)) == [("x",), ("y",)]

@@ -1,0 +1,147 @@
+"""Subgraph-statement fusion tests (Definition 6 mechanics)."""
+
+import sympy as sp
+
+from repro.kernels.common import ref, stmt
+from repro.ir.program import Program
+from repro.sdg.merge import fuse_statements
+from repro.symbolic.symbols import tile
+
+bi, bj, bt = tile("i"), tile("j"), tile("t")
+
+
+def _atax() -> Program:
+    first = stmt(
+        "Ax",
+        {"i": "M", "j": "N"},
+        ref("tmp", "i"),
+        ref("tmp", "i"),
+        ref("A", "i,j"),
+        ref("x", "j"),
+    )
+    second = stmt(
+        "Aty",
+        {"i": "M", "j": "N"},
+        ref("y", "j"),
+        ref("y", "j"),
+        ref("A", "i,j"),
+        ref("tmp", "i"),
+    )
+    return Program.make("atax", [first, second])
+
+
+def _jacobi() -> Program:
+    b = stmt(
+        "sweepB",
+        {"t": "T", "i": "N"},
+        ref("B", "i"),
+        ref("A", "i-1", "i", "i+1"),
+    )
+    a = stmt(
+        "sweepA",
+        {"t": "T", "i": "N"},
+        ref("A", "i"),
+        ref("B", "i-1", "i", "i+1"),
+    )
+    return Program.make("jacobi", [b, a])
+
+
+class TestAtaxFusion:
+    def test_objective_counts_both_statements(self):
+        fused = fuse_statements(_atax(), ("tmp", "y"))
+        # Both statements share (i, j) after unification: 2 * b_i * b_j.
+        assert sp.simplify(fused.objective.expr - 2 * bi * bj) == 0
+
+    def test_shared_matrix_counted_once(self):
+        fused = fuse_statements(_atax(), ("tmp", "y"))
+        a_terms = [
+            t for t in fused.constraint.terms
+            if t.exponent(bi) == 1 and t.exponent(bj) == 1
+        ]
+        assert len(a_terms) == 1 and sp.simplify(a_terms[0].coeff - 1) == 0
+
+    def test_inputs_exclude_internal_arrays(self):
+        fused = fuse_statements(_atax(), ("tmp", "y"))
+        assert set(fused.input_arrays) == {"A", "x"}
+
+    def test_singleton_subgraph(self):
+        fused = fuse_statements(_atax(), ("tmp",))
+        assert set(fused.input_arrays) == {"A", "x"}
+        assert sp.simplify(fused.objective.expr - bi * bj) == 0
+
+
+class TestJacobiFusion:
+    def test_fused_variables_unified(self):
+        fused = fuse_statements(_jacobi(), ("B", "A"))
+        assert set(fused.variables) == {"t", "i"}
+
+    def test_objective(self):
+        fused = fuse_statements(_jacobi(), ("B", "A"))
+        assert sp.simplify(fused.objective.expr - 2 * bi * bt) == 0
+
+    def test_surface_constraint(self):
+        """A contributes b_i + 2 b_t (bottom edge + side columns), B only
+        2 b_t (its consumer runs after its producer in the same sweep);
+        constants are below leading order and dropped."""
+        fused = fuse_statements(_jacobi(), ("B", "A"))
+        expr = sp.expand(fused.constraint.expr)
+        assert sp.simplify(expr - (bi + 4 * bt)) == 0
+
+    def test_no_external_inputs(self):
+        fused = fuse_statements(_jacobi(), ("B", "A"))
+        assert fused.input_arrays == ()
+
+
+class Test2mmFusion:
+    def test_positional_unification_through_intermediate(self):
+        first = stmt(
+            "mm1",
+            {"i": "N", "j": "N", "k": "N"},
+            ref("tmp", "i,j"),
+            ref("tmp", "i,j"),
+            ref("A", "i,k"),
+            ref("B", "k,j"),
+        )
+        second = stmt(
+            "mm2",
+            {"i2": "N", "l": "N", "m": "N"},
+            ref("D", "i2,l"),
+            ref("D", "i2,l"),
+            ref("tmp", "i2,m"),
+            ref("C", "m,l"),
+        )
+        program = Program.make("2mm", [first, second])
+        fused = fuse_statements(program, ("tmp", "D"))
+        # St2's (i2, m) unify with St1's (i, j); l stays fresh.
+        assert set(fused.variables) == {"i", "j", "k", "l"}
+        bl, bk = tile("l"), tile("k")
+        assert sp.simplify(
+            fused.objective.expr - (bi * bj * bk + bi * bj * bl)
+        ) == 0
+
+    def test_intermediate_surface_is_its_footprint(self):
+        first = stmt(
+            "mm1",
+            {"i": "N", "j": "N", "k": "N"},
+            ref("tmp", "i,j"),
+            ref("tmp", "i,j"),
+            ref("A", "i,k"),
+            ref("B", "k,j"),
+        )
+        second = stmt(
+            "mm2",
+            {"i2": "N", "l": "N", "m": "N"},
+            ref("D", "i2,l"),
+            ref("D", "i2,l"),
+            ref("tmp", "i2,m"),
+            ref("C", "m,l"),
+        )
+        program = Program.make("2mm", [first, second])
+        fused = fuse_statements(program, ("tmp", "D"))
+        tmp_terms = [
+            t
+            for t in fused.constraint.terms
+            if t.exponent(bi) == 1 and t.exponent(bj) == 1 and t.degree == 2
+        ]
+        # tmp's Corollary-1 term b_i*b_j appears exactly once.
+        assert len(tmp_terms) == 1

@@ -1,0 +1,175 @@
+"""Lemma 3 / Corollary 1 access-size bounds, property-tested against brute force."""
+
+import itertools
+
+import pytest
+import sympy as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.cdag.counting import access_set_size_bruteforce, hyperrectangle_union_size
+from repro.ir.access import ArrayAccess
+from repro.kernels.common import ref
+from repro.soap.access_size import access_size, access_size_leading, group_constraint_terms
+from repro.soap.classify import classify_access
+from repro.symbolic.symbols import tile
+
+
+def _eval(expr, sizes):
+    return expr.subs({tile(v): s for v, s in sizes.items()})
+
+
+class TestClosedForms:
+    def test_single_component(self):
+        (g,) = classify_access(ref("A", "i,k"))
+        assert sp.simplify(access_size(g) - tile("i") * tile("k")) == 0
+
+    def test_three_point_stencil(self):
+        (g,) = classify_access(ref("A", "i-1,t", "i,t", "i+1,t"))
+        bi, bt = tile("i"), tile("t")
+        expected = 2 * bi * bt - (bi - 2) * bt
+        assert sp.simplify(access_size(g) - sp.expand(expected)) == 0
+
+    def test_inout_corollary(self):
+        out = ref("A", "i,t+1").components[0]
+        (g,) = classify_access(ref("A", "i-1,t", "i,t", "i+1,t"), out)
+        bi, bt = tile("i"), tile("t")
+        expected = bi * bt - (bi - 2) * (bt - 1)
+        assert sp.simplify(access_size(g) - sp.expand(expected)) == 0
+
+    def test_repeated_variable_counts_distinct_tiles_once(self):
+        # LU diagonal-style access [i, k, version(k)] must cost b_i * b_k.
+        from repro.ir.access import AffineIndex
+        from repro.symbolic.symbols import version_var_name
+
+        comp = (
+            AffineIndex.var("i"),
+            AffineIndex.var("k"),
+            AffineIndex.var(version_var_name(["k"])),
+        )
+        (g,) = classify_access(ArrayAccess("A", (comp,)))
+        assert sp.simplify(access_size(g) - tile("i") * tile("k")) == 0
+
+    def test_constant_split_counts_components(self):
+        (g,) = classify_access(ref("A", "0,j", "1,j", "2,j"))
+        # three disjoint constant rows -> 3 * b_j
+        assert sp.simplify(access_size(g) - 3 * tile("j")) == 0
+
+    def test_minkowski_sumset_dimension(self):
+        (g,) = classify_access(ref("Img", "r+w,c"))
+        br, bw, bc = tile("r"), tile("w"), tile("c")
+        assert sp.simplify(access_size(g) - sp.expand((br + bw - 1) * bc)) == 0
+
+    def test_leading_of_stencil_is_surface(self):
+        out = ref("A", "i,t+1").components[0]
+        (g,) = classify_access(ref("A", "i-1,t", "i,t", "i+1,t"), out)
+        lead = access_size_leading(g)
+        bi, bt = tile("i"), tile("t")
+        assert sp.simplify(lead.expr - (bi + 2 * bt)) == 0
+
+
+class TestGroupCombination:
+    def test_sum_policy_adds_groups(self):
+        groups = classify_access(ref("A", "i,k", "k,j"))
+        posy = group_constraint_terms(groups, policy="sum")
+        bi, bj, bk = tile("i"), tile("j"), tile("k")
+        assert sp.simplify(posy.expr - (bi * bk + bk * bj)) == 0
+
+    def test_max_policy_keeps_largest(self):
+        groups = classify_access(ref("A", "i,k", "k,j"))
+        posy = group_constraint_terms(groups, policy="max")
+        assert len(posy) == 1
+
+    def test_unknown_policy_rejected(self):
+        groups = classify_access(ref("A", "i,k", "k,j"))
+        with pytest.raises(ValueError):
+            group_constraint_terms(groups, policy="median")
+
+    def test_different_arrays_always_add(self):
+        groups = classify_access(ref("A", "i")) + classify_access(ref("B", "j"))
+        posy = group_constraint_terms(groups, policy="max")
+        assert len(posy) == 2
+
+
+# ---------------------------------------------------------------------------
+# property-based soundness: closed form <= exact union size
+# ---------------------------------------------------------------------------
+
+_offsets = st.lists(
+    st.tuples(st.integers(-3, 3), st.integers(-3, 3)),
+    min_size=1,
+    max_size=4,
+    unique=True,
+)
+_sizes = st.tuples(st.integers(1, 5), st.integers(1, 5))
+
+
+@given(offsets=_offsets, sizes=_sizes)
+@settings(max_examples=120, deadline=None)
+def test_lemma3_sound_against_bruteforce_2d(offsets, sizes):
+    """2*prod(b) - prod(b - t̂) never exceeds the true minimal union."""
+    from repro.ir.access import AffineIndex
+
+    components = tuple(
+        (AffineIndex.make({"i": 1}, oi), AffineIndex.make({"j": 1}, oj))
+        for oi, oj in offsets
+    )
+    (group,) = classify_access(ArrayAccess("A", components))
+    bound = int(_eval(access_size(group), {"i": sizes[0], "j": sizes[1]}))
+    exact = hyperrectangle_union_size(offsets, sizes)
+    assert bound <= exact
+
+
+@given(
+    offsets=st.lists(st.integers(-4, 4), min_size=1, max_size=5, unique=True),
+    size=st.integers(1, 8),
+)
+@settings(max_examples=120, deadline=None)
+def test_lemma3_sound_1d(offsets, size):
+    from repro.ir.access import AffineIndex
+
+    components = tuple((AffineIndex.make({"i": 1}, o),) for o in offsets)
+    (group,) = classify_access(ArrayAccess("A", components))
+    bound = int(_eval(access_size(group), {"i": size}))
+    exact = hyperrectangle_union_size([(o,) for o in offsets], (size,))
+    assert bound <= exact
+
+
+def test_lemma3_tight_for_antipodal_arrangement():
+    """Figure 3: two antipodal copies attain the bound exactly."""
+    for b1, b2, t1, t2 in itertools.product((2, 3, 5), (2, 4), (1, 2), (1, 3)):
+        translations = [(0, 0), (t1, t2)]
+        exact = hyperrectangle_union_size(translations, (b1, b2))
+        formula = 2 * b1 * b2 - max(b1 - t1, 0) * max(b2 - t2, 0)
+        assert formula == exact
+
+
+@given(
+    d_i=st.lists(st.integers(0, 12), min_size=1, max_size=5, unique=True),
+    d_k=st.lists(st.integers(0, 12), min_size=1, max_size=5, unique=True),
+)
+@settings(max_examples=100, deadline=None)
+def test_minkowski_sumset_sound_for_arbitrary_sets(d_i, d_k):
+    """|{k - i - 1}| >= |D_i| + |D_k| - 1 over arbitrary value sets."""
+    exact = access_set_size_bruteforce(
+        [((-1, 1, -1),)],  # one 1-d component: [-i + k - 1]
+        [sorted(d_i), sorted(d_k)],
+    )
+    assert exact >= len(d_i) + len(d_k) - 1
+
+
+@given(
+    values=st.lists(st.integers(0, 20), min_size=1, max_size=6, unique=True),
+    offsets=st.lists(st.integers(-2, 2), min_size=1, max_size=3, unique=True),
+)
+@settings(max_examples=100, deadline=None)
+def test_lemma3_holds_for_noncontiguous_domains(values, offsets):
+    """Lemma 3 is stated for arbitrary D_t subsets, not just intervals."""
+    from repro.ir.access import AffineIndex
+
+    components = tuple((AffineIndex.make({"i": 1}, o),) for o in offsets)
+    (group,) = classify_access(ArrayAccess("A", components))
+    bound = int(_eval(access_size(group), {"i": len(values)}))
+    exact = access_set_size_bruteforce(
+        [((1, o),) for o in offsets], [sorted(values)]
+    )
+    assert bound <= exact

@@ -1,0 +1,104 @@
+"""Simple-overlap classification tests (Section 3 structure recovery)."""
+
+import pytest
+
+from repro.ir.access import AffineIndex
+from repro.kernels.common import ref, stmt
+from repro.soap.classify import check_soap, classify_access, classify_statement
+from repro.soap.projections import apply_versioning
+from repro.util.errors import NotSoapError
+
+
+class TestClassifyAccess:
+    def test_single_component_no_offsets(self):
+        groups = classify_access(ref("A", "i,k"))
+        assert len(groups) == 1
+        assert [d.offsets for d in groups[0].dims] == [0, 0]
+        assert [d.var for d in groups[0].dims] == ["i", "k"]
+
+    def test_stencil_offsets(self):
+        groups = classify_access(ref("A", "i-1,t", "i,t", "i+1,t"))
+        (group,) = groups
+        assert [d.offsets for d in group.dims] == [2, 0]
+
+    def test_offset_count_independent_of_base(self):
+        # {i, i+1, i+3} -> 2 non-zero translations whichever base is chosen.
+        groups = classify_access(ref("A", "i", "i+1", "i+3"))
+        assert groups[0].dims[0].offsets == 2
+
+    def test_distinct_signatures_split(self):
+        groups = classify_access(ref("A", "i,k", "k,j"))
+        assert len(groups) == 2
+
+    def test_output_component_joins_matching_group(self):
+        out = ref("A", "i,t+1").components[0]
+        groups = classify_access(ref("A", "i-1,t", "i,t", "i+1,t"), out)
+        (group,) = groups
+        assert group.includes_output
+        assert [d.offsets for d in group.dims] == [2, 1]
+
+    def test_output_component_different_signature(self):
+        out = ref("A", "k,k").components[0]
+        groups = classify_access(ref("A", "i,j"), out)
+        flags = {g.includes_output for g in groups}
+        assert flags == {True, False}
+
+    def test_constant_dimension(self):
+        groups = classify_access(ref("A", "0,j", "1,j"))
+        (group,) = groups
+        assert group.dims[0].var is None
+        assert group.dims[0].offsets == 1
+
+    def test_non_injective_dimension_marks_free_vars(self):
+        groups = classify_access(ref("Img", "r+w,c"))
+        dim = groups[0].dims[0]
+        assert set((dim.var,) + dim.free_vars) == {"r", "w"}
+
+    def test_variables_expand_version_components(self):
+        from repro.symbolic.symbols import version_var_name
+
+        vname = version_var_name(["k"])
+        comp = (AffineIndex.var("i"), AffineIndex.var(vname))
+        from repro.ir.access import ArrayAccess
+
+        groups = classify_access(ArrayAccess("A", (comp,)))
+        assert groups[0].variables == ("i", "k")
+
+
+class TestClassifyStatement:
+    def test_gemm_groups(self):
+        gemm = stmt(
+            "gemm",
+            {"i": "N", "j": "N", "k": "N"},
+            ref("C", "i,j"),
+            ref("C", "i,j"),
+            ref("A", "i,k"),
+            ref("B", "k,j"),
+        )
+        groups = classify_statement(apply_versioning(gemm))
+        by_array = {}
+        for g in groups:
+            by_array.setdefault(g.array, []).append(g)
+        assert set(by_array) == {"A", "B", "C"}
+        assert by_array["C"][0].includes_output
+
+    def test_pure_output_creates_no_group(self):
+        s = stmt("s", {"i": "N"}, ref("B", "i"), ref("A", "i"))
+        groups = classify_statement(s)
+        assert {g.array for g in groups} == {"A"}
+
+    def test_check_soap_strict_rejects_multi_group(self):
+        lu = stmt(
+            "lu",
+            {"k": "N", "i": "N", "j": "N"},
+            ref("A", "i,j"),
+            ref("A", "i,j", "i,k", "k,j"),
+        )
+        with pytest.raises(NotSoapError):
+            check_soap(lu, allow_multi_group=False)
+        check_soap(lu, allow_multi_group=True)  # lenient mode passes
+
+    def test_check_soap_rejects_repeated_variable(self):
+        s = stmt("s", {"i": "N"}, ref("B", "i"), ref("A", "i,i"))
+        with pytest.raises(NotSoapError):
+            check_soap(s)

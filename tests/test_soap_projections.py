@@ -1,0 +1,128 @@
+"""Section 5.2 versioning projection tests."""
+
+import sympy as sp
+
+from repro.kernels.common import ref, stmt
+from repro.soap.projections import (
+    apply_versioning,
+    missing_output_vars,
+    needs_versioning,
+    to_soap,
+    version_output,
+)
+from repro.ir.program import Program
+from repro.symbolic.symbols import is_version_var
+
+
+def _lu_update():
+    return stmt(
+        "lu",
+        {"k": "N", "i": "N", "j": "N"},
+        ref("A", "i,j"),
+        ref("A", "i,j", "i,k", "k,j"),
+    )
+
+
+def _example1():
+    return stmt(
+        "stencil",
+        {"t": "T", "i": "N"},
+        ref("A", "i,t+1"),
+        ref("A", "i-1,t", "i,t", "i+1,t"),
+    )
+
+
+class TestTriggers:
+    def test_lu_needs_versioning(self):
+        assert needs_versioning(_lu_update())
+        assert missing_output_vars(_lu_update()) == ("k",)
+
+    def test_offset_stencil_untouched(self):
+        st = _example1()
+        assert not needs_versioning(st)
+        assert apply_versioning(st) is st
+
+    def test_pure_producer_untouched(self):
+        st = stmt("s", {"i": "N"}, ref("B", "i"), ref("A", "i"))
+        assert not needs_versioning(st)
+
+    def test_exact_self_assignment(self):
+        st = stmt("s", {"i": "N"}, ref("A", "i"), ref("A", "i"))
+        assert needs_versioning(st)
+
+
+class TestRewrite:
+    def test_lu_gains_version_dimension(self):
+        rewritten = apply_versioning(_lu_update())
+        assert rewritten.output.dim == 3
+        write_version = rewritten.output.components[0][2]
+        assert is_version_var(write_version.single_var)
+        assert write_version.offset == 1
+        read = rewritten.input_access("A")
+        assert all(comp[2].offset == 0 for comp in read.components)
+
+    def test_version_dim_not_counted_in_total(self):
+        rewritten = apply_versioning(_lu_update())
+        N = sp.Symbol("N", positive=True)
+        assert sp.simplify(rewritten.vertex_count - N**3) == 0
+
+    def test_accumulation_versions_by_reduction_var(self):
+        gemm = stmt(
+            "gemm",
+            {"i": "N", "j": "N", "k": "N"},
+            ref("C", "i,j"),
+            ref("C", "i,j"),
+            ref("A", "i,k"),
+        )
+        rewritten = apply_versioning(gemm)
+        vname = rewritten.output.components[0][2].single_var
+        from repro.symbolic.symbols import version_components
+
+        assert version_components(vname) == ("k",)
+
+    def test_multiple_missing_vars_in_one_version_dim(self):
+        conv = stmt(
+            "conv",
+            {"k": "K", "h": "H", "r": "R", "s": "Q"},
+            ref("Out", "k,h"),
+            ref("Out", "k,h"),
+            ref("F", "k,r,s"),
+        )
+        rewritten = apply_versioning(conv)
+        from repro.symbolic.symbols import version_components
+
+        vname = rewritten.output.components[0][2].single_var
+        assert version_components(vname) == ("r", "s")
+
+    def test_scalar_version_for_full_rank_self_assignment(self):
+        st = stmt("s", {"i": "N"}, ref("A", "i"), ref("A", "i"))
+        rewritten = apply_versioning(st)
+        extra_write = rewritten.output.components[0][1]
+        extra_read = rewritten.input_access("A").components[0][1]
+        assert extra_write.is_constant and extra_write.offset == 1
+        assert extra_read.is_constant and extra_read.offset == 0
+
+    def test_force_versions_pure_producer(self):
+        st = stmt("s", {"t": "T", "i": "N"}, ref("B", "i"), ref("A", "i"))
+        rewritten = version_output(st, force=True)
+        assert rewritten.output.dim == 2
+
+    def test_other_arrays_untouched(self):
+        rewritten = apply_versioning(_lu_update())
+        assert rewritten.input_access("A").dim == 3
+
+
+class TestProgramLevel:
+    def test_to_soap_rewrites_all(self):
+        stencil_z = stmt(
+            "stencil",
+            {"t": "T", "i": "N"},
+            ref("Z", "i,t+1"),
+            ref("Z", "i-1,t", "i,t", "i+1,t"),
+        )
+        program = Program.make("p", [_lu_update(), stencil_z])
+        projected = to_soap(program)
+        lu = projected.statements[0]
+        stencil = projected.statements[1]
+        assert lu.output.dim == 3  # gains the version dimension
+        assert stencil.output.dim == 2  # offset stencil untouched

@@ -1,0 +1,78 @@
+"""Leading-term extraction, ratios and shape comparison."""
+
+import sympy as sp
+
+from repro.symbolic.asymptotics import leading_term, ratio_to, same_leading_shape
+from repro.symbolic.symbols import S_SYM
+
+N = sp.Symbol("N", positive=True)
+M = sp.Symbol("M", positive=True)
+T = sp.Symbol("T", positive=True)
+L = sp.Symbol("L", positive=True)
+H = sp.Symbol("H", positive=True)
+P = sp.Symbol("P", positive=True)
+
+
+class TestLeadingTerm:
+    def test_single_term_unchanged(self):
+        expr = 2 * N**3 / sp.sqrt(S_SYM)
+        assert sp.simplify(leading_term(expr) - expr) == 0
+
+    def test_lower_degree_dropped(self):
+        assert sp.simplify(leading_term(N**3 + N**2) - N**3) == 0
+
+    def test_parameter_dominates_s_factor(self):
+        # N^3/sqrt(S) dominates N^2: parameters are taken large first.
+        expr = N**3 / sp.sqrt(S_SYM) + N**2
+        assert sp.simplify(leading_term(expr) - N**3 / sp.sqrt(S_SYM)) == 0
+
+    def test_s_exponent_breaks_parameter_ties(self):
+        expr = N**2 + N**2 / sp.sqrt(S_SYM)
+        assert sp.simplify(leading_term(expr) - N**2) == 0
+
+    def test_incomparable_terms_both_kept(self):
+        # BERT-style: H^2 P^2 L vs. L^2 -- neither dominates.
+        expr = 8 * H**2 * P**2 * L / sp.sqrt(S_SYM) + 4 * H * P * L**2 / sp.sqrt(S_SYM)
+        lead = sp.expand(leading_term(expr))
+        assert sp.simplify(lead - sp.expand(expr)) == 0
+
+    def test_mixed_parameters(self):
+        expr = M * N / sp.sqrt(S_SYM) + M + N
+        assert sp.simplify(leading_term(expr) - M * N / sp.sqrt(S_SYM)) == 0
+
+    def test_coefficient_preserved(self):
+        expr = sp.Rational(2, 3) * N**3 / sp.sqrt(S_SYM) + N
+        assert sp.simplify(leading_term(expr) - sp.Rational(2, 3) * N**3 / sp.sqrt(S_SYM)) == 0
+
+    def test_ties_summed(self):
+        expr = N * T + T * N + N
+        assert sp.simplify(leading_term(expr) - 2 * N * T) == 0
+
+
+class TestRatioAndShape:
+    def test_identical_ratio_one(self):
+        a = 2 * N**3 / sp.sqrt(S_SYM)
+        assert ratio_to(a, a) == 1
+        assert same_leading_shape(a, a)
+
+    def test_constant_factor(self):
+        a = 4 * N**2 * T / sp.sqrt(S_SYM)
+        b = 2 * N**2 * T / sp.sqrt(S_SYM)
+        assert ratio_to(a, b) == 2
+        assert same_leading_shape(a, b)
+
+    def test_sqrt_constant_factor(self):
+        a = 2 * sp.sqrt(3) * N / sp.sqrt(S_SYM)
+        b = N / sp.sqrt(S_SYM)
+        assert same_leading_shape(a, b)
+
+    def test_different_s_power_not_shape(self):
+        a = N**2 / S_SYM
+        b = N**2 / sp.sqrt(S_SYM)
+        assert not same_leading_shape(a, b)
+
+    def test_different_parameter_power_not_shape(self):
+        assert not same_leading_shape(N**3, N**2)
+
+    def test_parameter_dependent_ratio_not_shape(self):
+        assert not same_leading_shape(M * N, N**2)
