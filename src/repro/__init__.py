@@ -25,6 +25,7 @@ for the architecture map.
 """
 
 from repro.analysis import KernelResult, analyze_kernel, analyze_program, analyze_source
+from repro.engine import Engine, SolveCache, analyze_many
 from repro.ir import (
     AffineIndex,
     Array,
@@ -43,7 +44,10 @@ __all__ = [
     "analyze_source",
     "analyze_program",
     "analyze_kernel",
+    "analyze_many",
     "analyze_statement",
+    "Engine",
+    "SolveCache",
     "KernelResult",
     "ProgramBound",
     "StatementBound",

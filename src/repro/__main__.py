@@ -1,0 +1,6 @@
+"""``python -m repro`` entry point (same CLI as ``soap-analyze``)."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,11 @@ Section 5 projections -> SDG construction -> subgraph enumeration and fusion
 does the same for a registered Table 2 kernel; ``analyze_source`` parses
 Python loop-nest source first (the paper's "derive lower bounds directly
 from provided code").
+
+All three delegate to the staged :class:`repro.engine.Engine`; pass an
+explicit ``engine`` (or ``cache_dir``/``jobs``) to share the fused-problem
+memoization cache across calls or to solve subgraphs in parallel.  The batch
+API for whole kernel suites is :func:`repro.engine.analyze_many`.
 """
 
 from __future__ import annotations
@@ -14,8 +19,10 @@ from dataclasses import dataclass
 
 import sympy as sp
 
+from repro.engine import Engine, SolveCache
 from repro.ir.program import Program
-from repro.sdg.bounds import ProgramBound, sdg_bound
+from repro.sdg.bounds import ProgramBound
+from repro.sdg.subgraphs import DEFAULT_MAX_SIZE
 from repro.soap.classify import OverlapPolicy
 from repro.symbolic.asymptotics import leading_term, ratio_to, same_leading_shape
 from repro.symbolic.printing import bound_str
@@ -32,6 +39,11 @@ class KernelResult:
     ratio: sp.Expr  #: derived / paper (constant when shapes agree)
     shape_matches: bool
 
+    @property
+    def diagnostics(self):
+        """Per-stage engine diagnostics of the underlying analysis."""
+        return self.program_bound.diagnostics
+
     def __str__(self) -> str:  # pragma: no cover - convenience
         return (
             f"{self.name}: ours={bound_str(self.bound)} "
@@ -39,15 +51,31 @@ class KernelResult:
         )
 
 
+def _engine(
+    engine: Engine | None, cache_dir: str | None, jobs: int
+) -> Engine:
+    if engine is not None:
+        if cache_dir is not None or jobs != 1:
+            raise ValueError(
+                "pass either engine or cache_dir/jobs, not both "
+                "(the engine already carries its cache and job count)"
+            )
+        return engine
+    return Engine(cache=SolveCache(cache_dir), jobs=jobs)
+
+
 def analyze_program(
     program: Program,
     *,
     policy: OverlapPolicy = "sum",
-    max_subgraph_size: int = 10,
+    max_subgraph_size: int = DEFAULT_MAX_SIZE,
     allow_pinning: bool = False,
+    engine: Engine | None = None,
+    cache_dir: str | None = None,
+    jobs: int = 1,
 ) -> ProgramBound:
     """Derive the I/O lower bound of an IR program (Theorem 1)."""
-    return sdg_bound(
+    return _engine(engine, cache_dir, jobs).analyze(
         program,
         policy=policy,
         max_subgraph_size=max_subgraph_size,
@@ -55,7 +83,13 @@ def analyze_program(
     )
 
 
-def analyze_kernel(name: str) -> KernelResult:
+def analyze_kernel(
+    name: str,
+    *,
+    engine: Engine | None = None,
+    cache_dir: str | None = None,
+    jobs: int = 1,
+) -> KernelResult:
     """Analyze a registered Table 2 kernel and compare with the paper."""
     from repro.kernels import get_kernel
 
@@ -66,6 +100,9 @@ def analyze_kernel(name: str) -> KernelResult:
         policy=spec.policy,
         max_subgraph_size=spec.max_subgraph_size,
         allow_pinning=spec.allow_pinning,
+        engine=engine,
+        cache_dir=cache_dir,
+        jobs=jobs,
     )
     bound = result.combined if spec.use_floor else result.bound
     bound = leading_term(sp.sympify(bound)) if bound.free_symbols else bound
@@ -92,6 +129,11 @@ def analyze_source(
     name: str = "program",
     policy: OverlapPolicy = "sum",
     language: str = "python",
+    max_subgraph_size: int = DEFAULT_MAX_SIZE,
+    allow_pinning: bool = False,
+    engine: Engine | None = None,
+    cache_dir: str | None = None,
+    jobs: int = 1,
 ) -> ProgramBound:
     """Parse loop-nest source code and derive its I/O lower bound."""
     if language == "python":
@@ -104,4 +146,12 @@ def analyze_source(
         program = parse_c(source, name=name)
     else:
         raise ValueError(f"unknown language {language!r}")
-    return analyze_program(program, policy=policy)
+    return analyze_program(
+        program,
+        policy=policy,
+        max_subgraph_size=max_subgraph_size,
+        allow_pinning=allow_pinning,
+        engine=engine,
+        cache_dir=cache_dir,
+        jobs=jobs,
+    )

@@ -6,19 +6,29 @@ Usage examples::
     soap-analyze analyze kernel.c --language c     # C loop nests
     soap-analyze kernel cholesky                   # a Table 2 kernel
     soap-analyze table2 --category polybench       # regenerate Table 2
+    soap-analyze table2 --jobs 4 --json            # parallel, machine-readable
     soap-analyze validate gemm --params N=4 --S 8  # pebbling sandwich check
+
+``--jobs N`` parallelizes the analysis (kernels for ``table2``, subgraph
+solves for ``analyze``/``kernel``); ``--cache-dir DIR`` persists the
+fused-problem memoization cache across invocations; ``--json`` emits a
+machine-readable report including per-stage engine diagnostics.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 
 import sympy as sp
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.sdg.subgraphs import DEFAULT_MAX_SIZE
+
     parser = argparse.ArgumentParser(
         prog="soap-analyze",
         description="I/O lower bounds for statically analyzable programs "
@@ -26,16 +36,41 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_engine_flags(p) -> None:
+        p.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="parallel worker processes (default: 1, serial)",
+        )
+        p.add_argument(
+            "--cache-dir", type=Path, default=None, metavar="DIR",
+            help="persist the fused-problem solve cache in DIR",
+        )
+        p.add_argument(
+            "--json", action="store_true",
+            help="emit a machine-readable JSON report",
+        )
+
     p_analyze = sub.add_parser("analyze", help="analyze a source file")
     p_analyze.add_argument("path", type=Path)
     p_analyze.add_argument("--language", choices=("python", "c"), default=None)
     p_analyze.add_argument("--policy", choices=("sum", "max"), default="sum")
+    p_analyze.add_argument(
+        "--max-subgraph-size", type=int, default=DEFAULT_MAX_SIZE, metavar="K",
+        help=f"cap on enumerated SDG subgraph size (default: {DEFAULT_MAX_SIZE})",
+    )
+    p_analyze.add_argument(
+        "--allow-pinning", action="store_true",
+        help="accept boundary (streaming-update) optima of problem (8)",
+    )
+    add_engine_flags(p_analyze)
 
     p_kernel = sub.add_parser("kernel", help="analyze a registered Table 2 kernel")
     p_kernel.add_argument("name")
+    add_engine_flags(p_kernel)
 
     p_table = sub.add_parser("table2", help="regenerate the Table 2 comparison")
     p_table.add_argument("--category", choices=("polybench", "nn", "various"), default=None)
+    add_engine_flags(p_table)
 
     p_val = sub.add_parser("validate", help="pebbling sandwich check on a concrete instance")
     p_val.add_argument("name")
@@ -54,6 +89,25 @@ def main(argv: list[str] | None = None) -> int:
     }[args.command](args)
 
 
+def _cache_dir(args) -> str | None:
+    return str(args.cache_dir) if args.cache_dir is not None else None
+
+
+def _diagnostics_dict(result) -> dict | None:
+    diagnostics = getattr(result, "diagnostics", None)
+    return diagnostics.as_dict() if diagnostics is not None else None
+
+
+def _per_array_json(per_array) -> dict:
+    return {
+        array: {
+            "rho": str(analysis.rho),
+            "subgraph": list(analysis.arrays),
+        }
+        for array, analysis in sorted(per_array.items())
+    }
+
+
 def _cmd_analyze(args) -> int:
     from repro.analysis import analyze_source
     from repro.symbolic.printing import bound_str
@@ -62,7 +116,29 @@ def _cmd_analyze(args) -> int:
     if language is None:
         language = "c" if args.path.suffix in (".c", ".h") else "python"
     source = args.path.read_text()
-    result = analyze_source(source, name=args.path.stem, language=language, policy=args.policy)
+    result = analyze_source(
+        source,
+        name=args.path.stem,
+        language=language,
+        policy=args.policy,
+        max_subgraph_size=args.max_subgraph_size,
+        allow_pinning=args.allow_pinning,
+        cache_dir=_cache_dir(args),
+        jobs=args.jobs,
+    )
+    if args.json:
+        print(json.dumps({
+            "program": args.path.stem,
+            "language": language,
+            "bound": bound_str(result.bound),
+            "bound_full": bound_str(result.bound_full),
+            "io_floor": bound_str(result.io_floor),
+            "combined": bound_str(result.combined),
+            "per_array": _per_array_json(result.per_array),
+            "skipped": [list(subset) for subset in result.skipped],
+            "diagnostics": _diagnostics_dict(result),
+        }, indent=2))
+        return 0
     print(f"program: {args.path.stem} ({language})")
     print(f"I/O lower bound (Theorem 1): Q >= {bound_str(result.bound)}")
     if result.io_floor != 0:
@@ -80,7 +156,18 @@ def _cmd_kernel(args) -> int:
     from repro.opt.tiling import tiles_at_x0
     from repro.symbolic.printing import bound_str
 
-    result = analyze_kernel(args.name)
+    result = analyze_kernel(args.name, cache_dir=_cache_dir(args), jobs=args.jobs)
+    if args.json:
+        print(json.dumps({
+            "kernel": args.name,
+            "ours": bound_str(result.bound),
+            "paper": bound_str(result.paper_bound),
+            "ratio": str(result.ratio),
+            "shape_matches": result.shape_matches,
+            "per_array": _per_array_json(result.program_bound.per_array),
+            "diagnostics": _diagnostics_dict(result),
+        }, indent=2))
+        return 0
     print(f"kernel: {args.name}")
     print(f"  ours : Q >= {bound_str(result.bound)}")
     print(f"  paper: Q >= {bound_str(result.paper_bound)}")
@@ -96,9 +183,16 @@ def _cmd_kernel(args) -> int:
 
 
 def _cmd_table2(args) -> int:
-    from repro.reporting.table import render_table2, table2_rows
+    from repro.reporting.table import render_table2, table2_json, table2_rows
 
-    rows = table2_rows(args.category)
+    started = time.perf_counter()
+    rows = table2_rows(
+        args.category, jobs=args.jobs, cache_dir=_cache_dir(args)
+    )
+    elapsed = time.perf_counter() - started
+    if args.json:
+        print(json.dumps(table2_json(rows, jobs=args.jobs, elapsed=elapsed), indent=2))
+        return 0
     sys.stdout.write(render_table2(rows))
     exact = sum(1 for r in rows if r.ratio == "1")
     shaped = sum(1 for r in rows if r.shape_matches)

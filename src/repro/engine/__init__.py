@@ -1,0 +1,34 @@
+"""Staged analysis engine.
+
+Composable pipeline (``build-sdg -> enumerate -> fuse -> solve -> combine``)
+with canonical fused-problem signatures, a two-tier memoization cache, and
+parallel batch execution.  See :mod:`repro.engine.core` for the pipeline,
+:mod:`repro.engine.signature` for canonicalization, and
+:mod:`repro.engine.batch` for the Table 2 batch API.
+"""
+
+from repro.engine.batch import analyze_many
+from repro.engine.cache import CacheStats, SolveCache, SolveOutcome
+from repro.engine.core import Engine, EngineOptions
+from repro.engine.diagnostics import EngineDiagnostics, StageRecord
+from repro.engine.signature import (
+    CanonicalProblem,
+    canonicalize_problem,
+    rename_solution,
+    rename_text,
+)
+
+__all__ = [
+    "Engine",
+    "EngineOptions",
+    "EngineDiagnostics",
+    "StageRecord",
+    "SolveCache",
+    "SolveOutcome",
+    "CacheStats",
+    "CanonicalProblem",
+    "canonicalize_problem",
+    "rename_solution",
+    "rename_text",
+    "analyze_many",
+]

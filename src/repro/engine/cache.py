@@ -1,0 +1,177 @@
+"""Two-tier memoization cache for solved problem (8) instances.
+
+Tier 1 is an in-process dict (shared across every kernel analyzed by one
+:class:`repro.engine.Engine`), tier 2 an optional on-disk JSON store (one
+file per signature, written atomically so concurrent ``--jobs`` workers can
+share a directory without locking).  Values are either a serialized
+:class:`~repro.opt.kkt.ChiSolution` or a *negative* entry recording the
+:class:`~repro.util.errors.SolverError` message -- warm runs must skip the
+same subgraphs the cold run skipped, or the per-array maxima (and hence the
+bounds) could drift.
+
+Expressions are serialized with :func:`sympy.srepr`, which round-trips
+symbol assumptions (``positive=True``) -- essential, because ``repro``'s
+canonical symbols carry assumptions and sympy treats ``Symbol('N')`` and
+``Symbol('N', positive=True)`` as different symbols.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import sympy as sp
+
+from repro.opt.kkt import SOLVER_REVISION, ChiSolution
+
+_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class SolveOutcome:
+    """Result of one canonical problem (8): a solution or a solver failure."""
+
+    solution: ChiSolution | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.solution is not None
+
+
+@dataclass
+class CacheStats:
+    """Counters surfaced in engine diagnostics and ``--json`` reports."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def as_dict(self) -> dict:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
+
+class SolveCache:
+    """Signature-keyed store of :class:`SolveOutcome` values."""
+
+    def __init__(self, cache_dir: str | os.PathLike | None = None):
+        self._memory: dict[str, SolveOutcome] = {}
+        self._dir: Path | None = Path(cache_dir) if cache_dir is not None else None
+        if self._dir is not None:
+            try:
+                self._dir.mkdir(parents=True, exist_ok=True)
+            except (FileExistsError, NotADirectoryError):
+                raise NotADirectoryError(
+                    f"cache dir {self._dir} exists and is not a directory"
+                ) from None
+        self.stats = CacheStats()
+
+    @property
+    def cache_dir(self) -> Path | None:
+        return self._dir
+
+    def get(self, signature: str) -> SolveOutcome | None:
+        outcome = self._memory.get(signature)
+        if outcome is not None:
+            self.stats.memory_hits += 1
+            return outcome
+        if self._dir is not None:
+            outcome = self._load_disk(signature)
+            if outcome is not None:
+                self._memory[signature] = outcome
+                self.stats.disk_hits += 1
+                return outcome
+        self.stats.misses += 1
+        return None
+
+    def put(self, signature: str, outcome: SolveOutcome) -> None:
+        self._memory[signature] = outcome
+        self.stats.stores += 1
+        if self._dir is not None:
+            self._store_disk(signature, outcome)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # ------------------------------------------------------------------
+    # disk tier
+    # ------------------------------------------------------------------
+
+    def _path(self, signature: str) -> Path:
+        return self._dir / f"{signature}.json"
+
+    def _load_disk(self, signature: str) -> SolveOutcome | None:
+        path = self._path(signature)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if payload.get("schema") != _SCHEMA:
+            return None
+        try:
+            return _decode(payload)
+        except (KeyError, ValueError, TypeError, sp.SympifyError):
+            return None  # corrupt entry: fall through to a fresh solve
+
+    def _store_disk(self, signature: str, outcome: SolveOutcome) -> None:
+        path = self._path(signature)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(json.dumps(_encode(outcome), indent=1))
+            os.replace(tmp, path)  # atomic: concurrent workers can race safely
+        except OSError:
+            tmp.unlink(missing_ok=True)
+
+
+def _encode(outcome: SolveOutcome) -> dict:
+    if outcome.solution is None:
+        # Failures depend on what the solver *can* do, so they carry the
+        # solver revision; solutions are verified facts and never go stale.
+        return {
+            "schema": _SCHEMA,
+            "status": "error",
+            "message": outcome.error,
+            "solver_revision": SOLVER_REVISION,
+        }
+    solution = outcome.solution
+    return {
+        "schema": _SCHEMA,
+        "status": "ok",
+        "chi": sp.srepr(solution.chi),
+        "tiles": {name: sp.srepr(expr) for name, expr in solution.tiles.items()},
+        "capped": list(solution.capped),
+        "pinned": list(solution.pinned),
+        "exact": bool(solution.exact),
+        "notes": list(solution.notes),
+    }
+
+
+def _decode(payload: dict) -> SolveOutcome | None:
+    if payload["status"] == "error":
+        if payload.get("solver_revision") != SOLVER_REVISION:
+            return None  # stale failure: a newer solver may succeed
+        return SolveOutcome(error=str(payload["message"]))
+    return SolveOutcome(
+        solution=ChiSolution(
+            chi=sp.sympify(payload["chi"]),
+            tiles={
+                name: sp.sympify(expr) for name, expr in payload["tiles"].items()
+            },
+            capped=tuple(payload["capped"]),
+            pinned=tuple(payload["pinned"]),
+            exact=bool(payload["exact"]),
+            notes=tuple(payload["notes"]),
+        )
+    )

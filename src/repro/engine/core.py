@@ -1,0 +1,337 @@
+"""Staged analysis engine: ``build-sdg -> enumerate -> fuse -> solve -> combine``.
+
+The engine runs the Theorem 1 pipeline as explicit, composable stages.  Each
+stage appends a :class:`~repro.engine.diagnostics.StageRecord` (wall time +
+counters), and the hot stage -- solving optimization problem (8) -- goes
+through a canonicalize/dedup/memoize funnel:
+
+* every fused problem is **canonicalized** (:mod:`repro.engine.signature`),
+  so structurally identical subgraphs (renamed loop variables, reordered
+  terms) collapse to one signature -- both within a kernel and across the
+  whole Table 2 suite;
+* distinct signatures are resolved through the two-tier
+  :class:`~repro.engine.cache.SolveCache` (in-process dict + optional
+  on-disk JSON store), with negative entries for solver failures;
+* signatures missing from the cache are solved, optionally in parallel via
+  :class:`concurrent.futures.ProcessPoolExecutor` (``jobs > 1``); results
+  are merged back **in enumeration order**, so the produced
+  :class:`~repro.sdg.bounds.ProgramBound` is bit-identical regardless of
+  worker scheduling, cache temperature, or job count.
+
+The solver always runs on the *canonical* problem (even cache-off), which is
+what makes cold and warm runs reproducible down to expression identity.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+
+import sympy as sp
+
+from repro.engine.cache import CacheStats, SolveCache, SolveOutcome
+from repro.engine.diagnostics import EngineDiagnostics, StageRecord
+from repro.engine.signature import (
+    CanonicalProblem,
+    canonicalize_problem,
+    rename_solution,
+    rename_text,
+)
+from repro.ir.program import Program
+from repro.opt.kkt import solve_chi
+from repro.opt.rho import compare_intensity, intensity_from_chi
+from repro.sdg.graph import SDG
+from repro.sdg.merge import FusedStatement, fuse_statements
+from repro.sdg.subgraphs import DEFAULT_MAX_SIZE, enumerate_subgraphs
+from repro.soap.classify import OverlapPolicy
+from repro.symbolic.asymptotics import leading_term
+from repro.util.errors import SolverError
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Per-analysis knobs (the per-kernel overrides of the Table 2 specs)."""
+
+    policy: OverlapPolicy = "sum"
+    max_subgraph_size: int = DEFAULT_MAX_SIZE
+    unify_same_names: bool = True
+    allow_pinning: bool = False
+
+
+def _solve_signature(
+    task: tuple[str, CanonicalProblem, bool]
+) -> tuple[str, SolveOutcome]:
+    """Solve one canonical problem (8); top-level so process pools can pickle it."""
+    signature, canonical, allow_pinning = task
+    try:
+        solution = solve_chi(
+            canonical.objective,
+            canonical.constraint,
+            canonical.extents,
+            allow_pinning=allow_pinning,
+            allow_caps=allow_pinning,
+        )
+        return signature, SolveOutcome(solution=solution)
+    except SolverError as err:
+        return signature, SolveOutcome(error=str(err))
+
+
+class Engine:
+    """Composable analysis pipeline with memoized, parallel problem solving.
+
+    One engine holds one :class:`SolveCache`; analyzing many programs through
+    the same engine shares solved problems between them (``analyze_many``
+    relies on this for the cross-kernel dedup of the Table 2 suite).
+    """
+
+    def __init__(self, cache: SolveCache | None = None, jobs: int = 1):
+        self.cache = cache if cache is not None else SolveCache()
+        self.jobs = max(1, int(jobs))
+
+    # ------------------------------------------------------------------
+    # pipeline
+    # ------------------------------------------------------------------
+
+    def analyze(
+        self,
+        program: Program,
+        *,
+        policy: OverlapPolicy = "sum",
+        max_subgraph_size: int = DEFAULT_MAX_SIZE,
+        unify_same_names: bool = True,
+        allow_pinning: bool = False,
+        jobs: int | None = None,
+    ):
+        """Run the staged pipeline; returns a :class:`ProgramBound`."""
+        from repro.sdg.bounds import ProgramBound, SubgraphAnalysis, io_footprint_floor
+
+        options = EngineOptions(
+            policy=policy,
+            max_subgraph_size=max_subgraph_size,
+            unify_same_names=unify_same_names,
+            allow_pinning=allow_pinning,
+        )
+        jobs = self.jobs if jobs is None else max(1, int(jobs))
+        stages: list[StageRecord] = []
+        notes: list[str] = []
+        stats_before = replace(self.cache.stats)
+
+        # ---- stage: build-sdg -------------------------------------------
+        started = time.perf_counter()
+        sdg = SDG.from_program(program)
+        sharing = sdg.sharing_graph()
+        stages.append(
+            StageRecord(
+                "build-sdg",
+                time.perf_counter() - started,
+                (
+                    ("computed_arrays", len(sdg.computed)),
+                    ("input_arrays", len(sdg.inputs)),
+                    ("sharing_edges", sharing.number_of_edges()),
+                ),
+            )
+        )
+
+        # ---- stage: enumerate -------------------------------------------
+        started = time.perf_counter()
+        subsets = list(
+            enumerate_subgraphs(sharing, max_size=options.max_subgraph_size)
+        )
+        stages.append(
+            StageRecord(
+                "enumerate",
+                time.perf_counter() - started,
+                (
+                    ("subgraphs", len(subsets)),
+                    ("max_size", options.max_subgraph_size),
+                ),
+            )
+        )
+
+        # ---- stage: fuse -------------------------------------------------
+        started = time.perf_counter()
+        fused_items: list[tuple[tuple[str, ...], FusedStatement | None, str | None]] = []
+        for subset in subsets:
+            try:
+                fused = fuse_statements(
+                    program,
+                    subset,
+                    policy=options.policy,
+                    unify_same_names=options.unify_same_names,
+                )
+                fused_items.append((subset, fused, None))
+            except SolverError as err:
+                fused_items.append((subset, None, str(err)))
+        fuse_failures = sum(1 for _, fused, _ in fused_items if fused is None)
+        stages.append(
+            StageRecord(
+                "fuse",
+                time.perf_counter() - started,
+                (
+                    ("fused", len(fused_items) - fuse_failures),
+                    ("failed", fuse_failures),
+                ),
+            )
+        )
+
+        # ---- stage: solve ------------------------------------------------
+        started = time.perf_counter()
+        canonicals: list[CanonicalProblem | None] = []
+        for _, fused, _ in fused_items:
+            if fused is None:
+                canonicals.append(None)
+                continue
+            canonicals.append(
+                canonicalize_problem(
+                    fused.objective,
+                    fused.constraint,
+                    fused.extents,
+                    allow_pinning=options.allow_pinning,
+                    allow_caps=options.allow_pinning,
+                )
+            )
+        outcomes = self._resolve_signatures(
+            [c for c in canonicals if c is not None],
+            allow_pinning=options.allow_pinning,
+            jobs=jobs,
+        )
+
+        analyses: list[SubgraphAnalysis] = []
+        skipped: list[tuple[str, ...]] = []
+        solve_failures = 0
+        for (subset, fused, fuse_error), canonical in zip(fused_items, canonicals):
+            if fused is None:
+                skipped.append(subset)
+                notes.append(f"subgraph {subset}: {fuse_error}")
+                continue
+            outcome = outcomes[canonical.signature]
+            if not outcome.ok:
+                skipped.append(subset)
+                notes.append(
+                    f"subgraph {subset}: "
+                    f"{rename_text(outcome.error, canonical.inverse)}"
+                )
+                solve_failures += 1
+                continue
+            solution = rename_solution(outcome.solution, canonical.inverse)
+            try:
+                intensity = intensity_from_chi(solution)
+            except SolverError as err:
+                skipped.append(subset)
+                notes.append(f"subgraph {subset}: {err}")
+                solve_failures += 1
+                continue
+            analyses.append(SubgraphAnalysis(subset, fused, intensity))
+        cache_delta = _stats_delta(stats_before, self.cache.stats)
+        stages.append(
+            StageRecord(
+                "solve",
+                time.perf_counter() - started,
+                (
+                    ("problems", len(fused_items) - fuse_failures),
+                    ("distinct", len({c.signature for c in canonicals if c})),
+                    ("solved", len(analyses)),
+                    ("skipped", solve_failures),
+                    ("cache_hits", cache_delta.hits),
+                    ("cache_misses", cache_delta.misses),
+                    ("jobs", jobs),
+                ),
+            )
+        )
+
+        # ---- stage: combine ----------------------------------------------
+        started = time.perf_counter()
+        per_array: dict[str, SubgraphAnalysis] = {}
+        for analysis in analyses:
+            for array in analysis.arrays:
+                current = per_array.get(array)
+                if current is None or compare_intensity(analysis.rho, current.rho) > 0:
+                    per_array[array] = analysis
+
+        total = sp.Integer(0)
+        dropped = 0
+        for array in program.computed_arrays():
+            best = per_array.get(array)
+            if best is None:
+                notes.append(
+                    f"array {array}: no analyzable subgraph; contribution dropped"
+                )
+                dropped += 1
+                continue
+            total += program.vertex_count(array) / best.rho
+        bound_full = sp.simplify(total)
+        bound = leading_term(bound_full) if bound_full != 0 else bound_full
+        io_floor = io_footprint_floor(program)
+        stages.append(
+            StageRecord(
+                "combine",
+                time.perf_counter() - started,
+                (
+                    ("arrays", len(program.computed_arrays())),
+                    ("dropped", dropped),
+                ),
+            )
+        )
+
+        diagnostics = EngineDiagnostics(
+            stages=tuple(stages), cache=cache_delta, jobs=jobs
+        )
+        return ProgramBound(
+            program=program,
+            bound=bound,
+            bound_full=bound_full,
+            per_array=per_array,
+            subgraphs=tuple(analyses),
+            skipped=tuple(skipped),
+            notes=tuple(notes),
+            io_floor=io_floor,
+            diagnostics=diagnostics,
+        )
+
+    # ------------------------------------------------------------------
+    # solve-stage funnel
+    # ------------------------------------------------------------------
+
+    def _resolve_signatures(
+        self,
+        canonicals: list[CanonicalProblem],
+        *,
+        allow_pinning: bool,
+        jobs: int,
+    ) -> dict[str, SolveOutcome]:
+        """Outcome per signature: cache first, then (parallel) fresh solves."""
+        outcomes: dict[str, SolveOutcome] = {}
+        pending: dict[str, CanonicalProblem] = {}
+        for canonical in canonicals:
+            signature = canonical.signature
+            if signature in outcomes or signature in pending:
+                continue
+            cached = self.cache.get(signature)
+            if cached is not None:
+                outcomes[signature] = cached
+            else:
+                pending[signature] = canonical
+
+        tasks = [
+            (signature, canonical, allow_pinning)
+            for signature, canonical in pending.items()
+        ]
+        if jobs > 1 and len(tasks) > 1:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+                solved = list(pool.map(_solve_signature, tasks))
+        else:
+            solved = [_solve_signature(task) for task in tasks]
+        for signature, outcome in solved:
+            self.cache.put(signature, outcome)
+            outcomes[signature] = outcome
+        return outcomes
+
+
+def _stats_delta(before: CacheStats, after: CacheStats) -> CacheStats:
+    return CacheStats(
+        memory_hits=after.memory_hits - before.memory_hits,
+        disk_hits=after.disk_hits - before.disk_hits,
+        misses=after.misses - before.misses,
+        stores=after.stores - before.stores,
+    )

@@ -1,0 +1,271 @@
+"""Canonical signatures for fused optimization problems (8).
+
+Across the Table 2 suite the same problem (8) is solved over and over: every
+gemm-shaped contraction, every streaming copy, every ping-pong stencil pair
+produces a fused statement whose objective/constraint posynomials differ only
+in *loop-variable names* and term order.  This module computes a **canonical
+form** of the triple ``(objective, constraint, extents)`` so that all such
+instances share one cache entry:
+
+1. Loop variables are ranked by a name-free structural fingerprint (their
+   exponent pattern across objective and constraint monomials, plus the
+   extent expression when the variable is uncapped by the constraint),
+   refined Weisfeiler-Lehman-style against the ranks of co-occurring
+   variables until stable.
+2. Variables are renamed ``c0, c1, ...`` in rank order (ties broken by
+   original appearance order, which keeps the map deterministic).
+3. Monomials are re-sorted by their canonical exponent vectors.
+
+The **signature** is a SHA-256 over the canonical content (including the
+solver flags, which change the feasible set).  Renaming is a bijection, so
+the canonical problem is always isomorphic to the original: a signature
+collision can only happen between genuinely isomorphic problems, making
+cache hits safe by construction.  Imperfect tie-breaking merely costs a
+cache miss, never a wrong bound.
+
+Program *parameters* (``N``, ``M``, ...) are deliberately **not** renamed:
+they carry meaning across kernels and appear in the reported bounds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass
+
+import sympy as sp
+
+from repro.opt.kkt import ChiSolution
+from repro.symbolic.posynomial import Monomial, Posynomial
+from repro.symbolic.symbols import tile, tile_name
+
+
+@dataclass(frozen=True)
+class CanonicalProblem:
+    """A fused problem (8) in canonical form, ready for the solver/cache."""
+
+    signature: str  #: SHA-256 hex digest of the canonical content
+    objective: Posynomial
+    constraint: Posynomial
+    extents: dict[str, sp.Expr]  #: canonical-name -> extent (uncapped vars only)
+    rename: dict[str, str]  #: original loop var -> canonical loop var
+    inverse: dict[str, str]  #: canonical loop var -> original loop var
+
+
+def canonicalize_problem(
+    objective: Posynomial,
+    constraint: Posynomial,
+    extents: dict[str, sp.Expr],
+    *,
+    allow_pinning: bool = False,
+    allow_caps: bool = False,
+) -> CanonicalProblem:
+    """Canonicalize ``(objective, constraint, extents)`` and hash it."""
+    variables = _problem_variables(objective, constraint)
+    constrained = set(constraint.variables())
+    # Only extents of constraint-uncapped objective variables influence the
+    # solution (solve_chi substitutes them); restricting the signature to
+    # those maximizes sharing between kernels with different loop bounds.
+    relevant_extents: dict[str, sp.Expr | None] = {}
+    for sym in objective.variables():
+        if sym not in constrained:
+            name = tile_name(sym)
+            value = extents.get(name)
+            relevant_extents[name] = sp.sympify(value) if value is not None else None
+
+    ranks = _stable_ranks(variables, objective.terms, constraint.terms, relevant_extents)
+    ordered = sorted(
+        range(len(variables)), key=lambda idx: (ranks[variables[idx]], idx)
+    )
+    rename = {
+        tile_name(variables[idx]): f"c{pos}" for pos, idx in enumerate(ordered)
+    }
+    inverse = {canonical: original for original, canonical in rename.items()}
+    symbol_map = {tile(orig): tile(new) for orig, new in rename.items()}
+
+    canon_obj = _renamed_sorted(objective, symbol_map, rename)
+    canon_con = _renamed_sorted(constraint, symbol_map, rename)
+    canon_ext = {
+        rename[name]: value
+        for name, value in relevant_extents.items()
+        if value is not None
+    }
+
+    payload = {
+        "schema": 1,
+        "objective": _posynomial_key(canon_obj),
+        "constraint": _posynomial_key(canon_con),
+        "extents": sorted(
+            (rename[name], sp.srepr(value) if value is not None else None)
+            for name, value in relevant_extents.items()
+        ),
+        "allow_pinning": bool(allow_pinning),
+        "allow_caps": bool(allow_caps),
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return CanonicalProblem(
+        signature=digest,
+        objective=canon_obj,
+        constraint=canon_con,
+        extents=canon_ext,
+        rename=rename,
+        inverse=inverse,
+    )
+
+
+def rename_solution(solution: ChiSolution, inverse: dict[str, str]) -> ChiSolution:
+    """Map a solution of the canonical problem back to original variable names.
+
+    ``chi`` lives in ``X``/``S``/program parameters only, so the tile
+    bookkeeping (``tiles`` keys, ``capped``, ``pinned``) and any variable
+    names quoted in solver notes need renaming.
+    """
+    return ChiSolution(
+        chi=solution.chi,
+        tiles={inverse.get(k, k): v for k, v in solution.tiles.items()},
+        capped=tuple(inverse.get(n, n) for n in solution.capped),
+        pinned=tuple(inverse.get(n, n) for n in solution.pinned),
+        exact=solution.exact,
+        notes=tuple(rename_text(note, inverse) for note in solution.notes),
+    )
+
+
+_CANONICAL_TOKEN = re.compile(r"\b(b_)?(c\d+)\b")
+
+
+def rename_text(text: str, inverse: dict[str, str]) -> str:
+    """Replace canonical variable names quoted in solver messages.
+
+    The solver only ever saw the canonical problem, so every ``cN`` (or tile
+    ``b_cN``) token in its notes/errors refers to a canonical variable; user
+    programs cannot contribute such names because canonicalization renames
+    every loop variable.
+    """
+
+    def swap(match: re.Match) -> str:
+        prefix, name = match.group(1) or "", match.group(2)
+        original = inverse.get(name)
+        return f"{prefix}{original}" if original is not None else match.group(0)
+
+    return _CANONICAL_TOKEN.sub(swap, text)
+
+
+# ---------------------------------------------------------------------------
+# structural fingerprints
+# ---------------------------------------------------------------------------
+
+
+def _problem_variables(
+    objective: Posynomial, constraint: Posynomial
+) -> list[sp.Symbol]:
+    """Tile variables in deterministic appearance order (objective first)."""
+    seen: dict[sp.Symbol, None] = {}
+    for posy in (objective, constraint):
+        for term in posy.terms:
+            for sym in term.variables():
+                seen.setdefault(sym)
+    return list(seen)
+
+
+def _local_profile(sym: sp.Symbol, terms: tuple[Monomial, ...]) -> tuple:
+    """Name-free view of how ``sym`` participates in ``terms``."""
+    rows = []
+    for term in terms:
+        exponent = term.exponent(sym)
+        if exponent == 0:
+            continue
+        others = sorted(str(term.exponent(u)) for u in term.variables() if u != sym)
+        rows.append((sp.srepr(term.coeff), str(exponent), tuple(others)))
+    return tuple(sorted(rows))
+
+
+def _stable_ranks(
+    variables: list[sp.Symbol],
+    obj_terms: tuple[Monomial, ...],
+    con_terms: tuple[Monomial, ...],
+    extents_by_name: dict[str, sp.Expr | None],
+) -> dict[sp.Symbol, int]:
+    """Rank variables by structure, WL-refined to a fixpoint."""
+    fingerprints: dict[sp.Symbol, object] = {}
+    for sym in variables:
+        extent = extents_by_name.get(tile_name(sym))
+        fingerprints[sym] = (
+            _local_profile(sym, obj_terms),
+            _local_profile(sym, con_terms),
+            sp.srepr(extent) if extent is not None else "-",
+        )
+    ranks = _dense_ranks(fingerprints)
+    for _ in range(len(variables)):
+        refined: dict[sp.Symbol, object] = {}
+        for sym in variables:
+            refined[sym] = (
+                ranks[sym],
+                _rank_context(sym, obj_terms, ranks),
+                _rank_context(sym, con_terms, ranks),
+            )
+        new_ranks = _dense_ranks(refined)
+        if new_ranks == ranks:
+            break
+        ranks = new_ranks
+    return ranks
+
+
+def _rank_context(
+    sym: sp.Symbol, terms: tuple[Monomial, ...], ranks: dict[sp.Symbol, int]
+) -> tuple:
+    rows = []
+    for term in terms:
+        exponent = term.exponent(sym)
+        if exponent == 0:
+            continue
+        neighbours = sorted(
+            (ranks[u], str(term.exponent(u))) for u in term.variables() if u != sym
+        )
+        rows.append((str(exponent), tuple(neighbours)))
+    return tuple(sorted(rows))
+
+
+def _dense_ranks(fingerprints: dict[sp.Symbol, object]) -> dict[sp.Symbol, int]:
+    ordered = sorted(set(map(repr, fingerprints.values())))
+    index = {fp: idx for idx, fp in enumerate(ordered)}
+    return {sym: index[repr(fp)] for sym, fp in fingerprints.items()}
+
+
+# ---------------------------------------------------------------------------
+# canonical posynomials
+# ---------------------------------------------------------------------------
+
+
+def _renamed_sorted(
+    posy: Posynomial,
+    symbol_map: dict[sp.Symbol, sp.Symbol],
+    rename: dict[str, str],
+) -> Posynomial:
+    canon_order = [
+        tile(canonical)
+        for canonical in sorted(rename.values(), key=lambda n: int(n[1:]))
+    ]
+    renamed = [
+        Monomial.make(
+            term.coeff,
+            {symbol_map.get(sym, sym): exp for sym, exp in term.powers},
+        )
+        for term in posy.terms
+    ]
+    renamed.sort(
+        key=lambda t: (
+            tuple(str(t.exponent(sym)) for sym in canon_order),
+            sp.srepr(t.coeff),
+        )
+    )
+    return Posynomial(renamed)
+
+
+def _posynomial_key(posy: Posynomial) -> list:
+    return [
+        [sp.srepr(term.coeff), [[sym.name, str(exp)] for sym, exp in term.powers]]
+        for term in posy.terms
+    ]

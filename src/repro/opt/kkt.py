@@ -48,6 +48,11 @@ from repro.symbolic.posynomial import Monomial, Posynomial
 from repro.symbolic.symbols import X_SYM, tile, tile_name
 from repro.util.errors import SolverError
 
+#: Bump when the solver's *capabilities* change (new reconstruction paths,
+#: relaxed rejection rules, ...): persistent caches treat negative entries
+#: recorded under an older revision as stale and re-solve them.
+SOLVER_REVISION = 1
+
 _PIN_TOLERANCE = 1.2  #: numeric tile value below this counts as pinned to 1
 _OBJ_TOLERANCE = 1e-3  #: objective weight below this counts as negligible
 _PROBE_X = 1.0e9

@@ -1,4 +1,10 @@
-"""Regenerate Table 2: per-kernel bounds, paper values, ratios."""
+"""Regenerate Table 2: per-kernel bounds, paper values, ratios.
+
+Rows are produced through the staged engine's batch API
+(:func:`repro.engine.analyze_many`): a single shared fused-problem cache
+deduplicates solves across the suite, ``jobs > 1`` distributes kernels over
+worker processes, and ``cache_dir`` persists solved problems between runs.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +12,7 @@ from dataclasses import dataclass
 
 import sympy as sp
 
-from repro.analysis import analyze_kernel
+from repro.engine import analyze_many
 from repro.symbolic.printing import bound_str
 
 
@@ -19,17 +25,25 @@ class Table2Row:
     ratio: str
     shape_matches: bool
     improvement: str
+    seconds: float = 0.0  #: engine wall time for this kernel's analysis
 
 
-def table2_rows(category: str | None = None, *, names: list[str] | None = None) -> list[Table2Row]:
+def table2_rows(
+    category: str | None = None,
+    *,
+    names: list[str] | None = None,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+) -> list[Table2Row]:
     """Analyze the requested kernels and build comparison rows."""
     from repro.kernels import get_kernel, kernel_names
 
     selected = names if names is not None else kernel_names(category)
+    results = analyze_many(selected, jobs=jobs, cache_dir=cache_dir)
     rows: list[Table2Row] = []
-    for name in selected:
+    for name, result in zip(selected, results):
         spec = get_kernel(name)
-        result = analyze_kernel(name)
+        diagnostics = result.diagnostics
         rows.append(
             Table2Row(
                 kernel=name,
@@ -39,6 +53,7 @@ def table2_rows(category: str | None = None, *, names: list[str] | None = None) 
                 ratio=str(result.ratio),
                 shape_matches=result.shape_matches,
                 improvement=spec.improvement,
+                seconds=diagnostics.total_seconds if diagnostics is not None else 0.0,
             )
         )
     return rows
@@ -56,3 +71,31 @@ def render_table2(rows: list[Table2Row]) -> str:
         for r in rows
     ]
     return header + "\n".join(lines) + "\n"
+
+
+def table2_json(
+    rows: list[Table2Row], *, jobs: int = 1, elapsed: float | None = None
+) -> dict:
+    """Machine-readable Table 2 report (the CLI's ``table2 --json``)."""
+    return {
+        "kernels": [
+            {
+                "kernel": r.kernel,
+                "category": r.category,
+                "ours": r.ours,
+                "paper": r.paper,
+                "ratio": r.ratio,
+                "shape_matches": r.shape_matches,
+                "improvement": r.improvement,
+                "seconds": r.seconds,
+            }
+            for r in rows
+        ],
+        "summary": {
+            "total": len(rows),
+            "exact": sum(1 for r in rows if r.ratio == "1"),
+            "shape_matches": sum(1 for r in rows if r.shape_matches),
+            "jobs": jobs,
+            "elapsed_seconds": elapsed,
+        },
+    }

@@ -19,23 +19,24 @@ subcomputation can sustain; restricting to interior optima reproduces the
 published Table 2 values, and the pebbling validation suite
 (``repro.pebbling.validate``) checks the resulting bounds against exact
 optimal pebblings on concrete instances.
+
+This module keeps the result dataclasses and the cold-I/O floor;
+:func:`sdg_bound` itself is a thin wrapper over the staged
+:class:`repro.engine.Engine`, which adds per-stage diagnostics, fused-problem
+memoization, and parallel subgraph solving on top of the same analysis.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import sympy as sp
 
 from repro.ir.program import Program
-from repro.opt.kkt import solve_chi
-from repro.opt.rho import IntensityResult, compare_intensity, intensity_from_chi
-from repro.sdg.graph import SDG
-from repro.sdg.merge import FusedStatement, fuse_statements
-from repro.sdg.subgraphs import DEFAULT_MAX_SIZE, enumerate_subgraphs
+from repro.opt.rho import IntensityResult
+from repro.sdg.merge import FusedStatement
+from repro.sdg.subgraphs import DEFAULT_MAX_SIZE
 from repro.soap.classify import OverlapPolicy
-from repro.symbolic.asymptotics import leading_term
-from repro.util.errors import SolverError
 
 
 @dataclass
@@ -63,6 +64,8 @@ class ProgramBound:
     skipped: tuple[tuple[str, ...], ...] = ()
     notes: tuple[str, ...] = ()
     io_floor: sp.Expr = sp.Integer(0)  #: cold loads of inputs + stores of outputs
+    #: structured per-stage timings/counters (:class:`repro.engine.EngineDiagnostics`)
+    diagnostics: object | None = None
 
     @property
     def combined(self) -> sp.Expr:
@@ -83,7 +86,6 @@ def io_footprint_floor(program: Program) -> sp.Expr:
     stays a valid lower bound).
     """
     total = sp.Integer(0)
-    sdg = SDG.from_program(program)
     read_arrays = {
         acc.array for st in program.statements for acc in st.inputs
     }
@@ -107,6 +109,8 @@ def sdg_bound(
     max_subgraph_size: int = DEFAULT_MAX_SIZE,
     unify_same_names: bool = True,
     allow_pinning: bool = False,
+    jobs: int = 1,
+    cache=None,
 ) -> ProgramBound:
     """Run the full Section 6 analysis on ``program``.
 
@@ -114,55 +118,17 @@ def sdg_bound(
     interior optima of problem (8), mirroring the paper's solver; boundary
     (streaming-update) optima make that subgraph's intensity unusable and the
     subgraph is skipped (sound: per-array maxima come from the rest).
+
+    ``jobs`` parallelizes subgraph solving; ``cache`` takes a
+    :class:`repro.engine.SolveCache` to reuse solved problems across calls.
     """
-    sdg = SDG.from_program(program)
-    sharing = sdg.sharing_graph()
+    from repro.engine import Engine
 
-    analyses: list[SubgraphAnalysis] = []
-    skipped: list[tuple[str, ...]] = []
-    notes: list[str] = []
-    for subset in enumerate_subgraphs(sharing, max_size=max_subgraph_size):
-        try:
-            fused = fuse_statements(
-                program, subset, policy=policy, unify_same_names=unify_same_names
-            )
-            chi = solve_chi(
-                fused.objective,
-                fused.constraint,
-                fused.extents,
-                allow_pinning=allow_pinning,
-                allow_caps=allow_pinning,
-            )
-            intensity = intensity_from_chi(chi)
-        except SolverError as err:
-            skipped.append(subset)
-            notes.append(f"subgraph {subset}: {err}")
-            continue
-        analyses.append(SubgraphAnalysis(subset, fused, intensity))
-
-    per_array: dict[str, SubgraphAnalysis] = {}
-    for analysis in analyses:
-        for array in analysis.arrays:
-            current = per_array.get(array)
-            if current is None or compare_intensity(analysis.rho, current.rho) > 0:
-                per_array[array] = analysis
-
-    total = sp.Integer(0)
-    for array in program.computed_arrays():
-        best = per_array.get(array)
-        if best is None:
-            notes.append(f"array {array}: no analyzable subgraph; contribution dropped")
-            continue
-        total += program.vertex_count(array) / best.rho
-    bound_full = sp.simplify(total)
-    bound = leading_term(bound_full) if bound_full != 0 else bound_full
-    return ProgramBound(
-        program=program,
-        bound=bound,
-        bound_full=bound_full,
-        per_array=per_array,
-        subgraphs=tuple(analyses),
-        skipped=tuple(skipped),
-        notes=tuple(notes),
-        io_floor=io_footprint_floor(program),
+    engine = Engine(cache=cache, jobs=jobs)
+    return engine.analyze(
+        program,
+        policy=policy,
+        max_subgraph_size=max_subgraph_size,
+        unify_same_names=unify_same_names,
+        allow_pinning=allow_pinning,
     )

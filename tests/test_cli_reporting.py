@@ -4,7 +4,7 @@ import pytest
 
 from repro.cli import main
 from repro.reporting.experiments import experiments_markdown
-from repro.reporting.table import render_table2, table2_rows
+from repro.reporting.table import render_table2, table2_json, table2_rows
 
 
 class TestReporting:
@@ -17,6 +17,19 @@ class TestReporting:
         rows = table2_rows(names=["gemm"])
         text = render_table2(rows)
         assert "| gemm |" in text and "2*N**3/sqrt(S)" in text
+
+    def test_table2_json_report(self):
+        rows = table2_rows(names=["gemm", "atax"])
+        payload = table2_json(rows, jobs=2, elapsed=1.5)
+        assert [k["kernel"] for k in payload["kernels"]] == ["gemm", "atax"]
+        assert payload["kernels"][0]["ours"] == "2*N**3/sqrt(S)"
+        assert payload["summary"]["total"] == 2
+        assert payload["summary"]["jobs"] == 2
+        assert payload["summary"]["elapsed_seconds"] == 1.5
+
+    def test_rows_carry_engine_timings(self):
+        rows = table2_rows(names=["gemm"])
+        assert rows[0].seconds > 0
 
     def test_experiments_markdown_sections(self):
         rows = table2_rows(names=["gemm", "lulesh"])
