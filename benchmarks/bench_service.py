@@ -1,0 +1,187 @@
+"""Analysis-service load test: concurrent suite replay against the daemon.
+
+Spins up the daemon in-process and replays the Table 2 kernel suite from N
+concurrent clients, three times:
+
+* **cold**  -- fresh daemon, coalescing on: every client asks for the same
+  kernels at the same time, so duplicate in-flight requests coalesce onto
+  one computation and the solve cache fills as the suite streams through;
+* **warm**  -- same daemon, second replay: every problem (8) instance is
+  memoized, so requests are served from cache (must be >= 2x faster than
+  cold);
+* **cold-nocoalesce** -- fresh daemon with coalescing disabled: duplicates
+  are deduplicated only by the (slower) solve-cache path, isolating what
+  coalescing itself buys.
+
+Each phase records throughput and client-observed latency percentiles; the
+payload lands in ``BENCH_service.json``.  Every response is checked
+bit-identical to a direct in-process ``analyze_kernel`` call.
+
+Run under pytest (``pytest benchmarks/bench_service.py``) for a
+representative subset, or as a script for the full 38-kernel suite::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --clients 8 -o BENCH_service.json
+"""
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.service import ServiceClient, ServiceConfig, ServiceThread
+from repro.service.metrics import percentile
+
+#: fast, structurally diverse subset for the pytest target
+SUBSET = ["gemm", "2mm", "atax", "bicg", "mvt", "jacobi1d", "jacobi2d", "trisolv"]
+
+WARM_SPEEDUP_FLOOR = 2.0
+DEFAULT_CLIENTS = 8
+
+
+def _replay(port: int, names: list[str], clients: int) -> dict:
+    """Replay ``names`` from ``clients`` concurrent clients; time everything."""
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    errors: list[str] = []
+
+    def drive(slot: int) -> None:
+        with ServiceClient(port=port) as client:
+            for name in names:
+                started = time.perf_counter()
+                try:
+                    record = client.kernel(name, timeout=590)
+                except Exception as err:  # noqa: BLE001 - collected for report
+                    errors.append(f"{name}: {err}")
+                    continue
+                latencies[slot].append(time.perf_counter() - started)
+                if not record.ok:
+                    errors.append(f"{name}: job failed: {record.error}")
+
+    threads = [
+        threading.Thread(target=drive, args=(slot,)) for slot in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    flat = [sample for per_client in latencies for sample in per_client]
+    return {
+        "seconds": elapsed,
+        "requests": len(flat),
+        "errors": errors,
+        "throughput_rps": len(flat) / elapsed if elapsed else None,
+        "latency_seconds": {
+            "p50": percentile(flat, 50),
+            "p90": percentile(flat, 90),
+            "p99": percentile(flat, 99),
+            "max": max(flat) if flat else None,
+        },
+    }
+
+
+def _identity_check(port: int, names: list[str]) -> list[str]:
+    """Served bounds must be bit-identical to direct in-process analysis."""
+    from repro.analysis import analyze_kernel
+    from repro.reporting.serialize import kernel_report
+
+    mismatches = []
+    with ServiceClient(port=port) as client:
+        for name in names:
+            served = client.kernel(name, timeout=590).result
+            direct = kernel_report(analyze_kernel(name))
+            for field in ("ours", "paper", "ratio", "shape_matches"):
+                if served[field] != direct[field]:
+                    mismatches.append(f"{name}.{field}")
+    return mismatches
+
+
+def run_suite(names=None, *, clients=DEFAULT_CLIENTS, workers=2) -> dict:
+    """Measure the three phases; returns the BENCH_service.json payload."""
+    from repro.kernels import kernel_names
+
+    names = list(names) if names is not None else kernel_names()
+    with ServiceThread(ServiceConfig(workers=workers)) as daemon:
+        cold = _replay(daemon.port, names, clients)
+        warm = _replay(daemon.port, names, clients)
+        identity_mismatches = _identity_check(daemon.port, names)
+        with ServiceClient(port=daemon.port) as client:
+            metrics = client.metrics()
+    with ServiceThread(ServiceConfig(workers=workers, coalesce=False)) as daemon:
+        nocoalesce = _replay(daemon.port, names, clients)
+        with ServiceClient(port=daemon.port) as client:
+            nocoalesce_metrics = client.metrics()
+
+    return {
+        "suite": "table2-service",
+        "kernels": names,
+        "clients": clients,
+        "workers": workers,
+        "cold": cold,
+        "warm": warm,
+        "cold_nocoalesce": nocoalesce,
+        "warm_speedup": (
+            cold["seconds"] / warm["seconds"] if warm["seconds"] else None
+        ),
+        "coalescing": metrics["coalescing"],
+        "coalescing_disabled_jobs": nocoalesce_metrics["jobs"]["submitted"],
+        "coalescing_enabled_jobs": metrics["jobs"]["submitted"],
+        "cache": metrics["cache"],
+        "identity_mismatches": identity_mismatches,
+    }
+
+
+def test_service_load(benchmark):
+    """>= 8 concurrent clients; coalesce rate > 0; warm >= 2x; bit-identical."""
+    payload = benchmark.pedantic(
+        run_suite,
+        kwargs={"names": SUBSET, "clients": DEFAULT_CLIENTS, "workers": 2},
+        rounds=1,
+        iterations=1,
+    )
+    assert payload["cold"]["errors"] == []
+    assert payload["warm"]["errors"] == []
+    assert payload["identity_mismatches"] == []
+    assert payload["coalescing"]["coalesce_rate"] > 0
+    assert payload["warm_speedup"] >= WARM_SPEEDUP_FLOOR, payload
+    # coalescing collapses duplicate in-flight work into fewer jobs
+    assert payload["coalescing_enabled_jobs"] < payload["coalescing_disabled_jobs"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=DEFAULT_CLIENTS)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--subset", action="store_true", help="fast subset only")
+    parser.add_argument(
+        "-o", "--output", type=Path, default=Path("BENCH_service.json")
+    )
+    args = parser.parse_args(argv)
+    payload = run_suite(
+        SUBSET if args.subset else None,
+        clients=args.clients,
+        workers=args.workers,
+    )
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    cold, warm = payload["cold"], payload["warm"]
+    print(
+        f"cold {cold['seconds']:.2f}s ({cold['throughput_rps']:.1f} req/s, "
+        f"p99 {cold['latency_seconds']['p99']:.3f}s)  "
+        f"warm {warm['seconds']:.2f}s ({warm['throughput_rps']:.1f} req/s, "
+        f"{payload['warm_speedup']:.1f}x)  "
+        f"coalesce rate {payload['coalescing']['coalesce_rate']:.2f}"
+    )
+    print(f"wrote {args.output}")
+    failed = (
+        payload["identity_mismatches"]
+        or cold["errors"]
+        or warm["errors"]
+        or payload["warm_speedup"] < WARM_SPEEDUP_FLOOR
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

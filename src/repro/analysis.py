@@ -10,7 +10,9 @@ from provided code").
 All three delegate to the staged :class:`repro.engine.Engine`; pass an
 explicit ``engine`` (or ``cache_dir``/``jobs``) to share the fused-problem
 memoization cache across calls or to solve subgraphs in parallel.  The batch
-API for whole kernel suites is :func:`repro.engine.analyze_many`.
+API for whole kernel suites is :func:`repro.engine.analyze_many`; the
+long-lived serving layer on top of these entry points (HTTP daemon, request
+coalescing, priority queue) is :mod:`repro.service`.
 """
 
 from __future__ import annotations

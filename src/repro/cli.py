@@ -9,10 +9,20 @@ Usage examples::
     soap-analyze table2 --jobs 4 --json            # parallel, machine-readable
     soap-analyze validate gemm --params N=4 --S 8  # pebbling sandwich check
 
+    soap-analyze serve --port 8731 --workers 4     # long-lived analysis daemon
+    soap-analyze submit gemm                       # analyze via the daemon
+    soap-analyze submit --source kernel.py         # source file via the daemon
+    soap-analyze status                            # daemon health
+    soap-analyze status --metrics                  # queue/coalescing/cache stats
+    soap-analyze status JOB_ID                     # poll one job
+
 ``--jobs N`` parallelizes the analysis (kernels for ``table2``, subgraph
 solves for ``analyze``/``kernel``); ``--cache-dir DIR`` persists the
 fused-problem memoization cache across invocations; ``--json`` emits a
 machine-readable report including per-stage engine diagnostics.
+
+Expected failures (unknown kernel names, unparsable sources, unreachable
+daemon) exit with status 2 and a one-line ``error:`` message on stderr.
 """
 
 from __future__ import annotations
@@ -23,16 +33,18 @@ import sys
 import time
 from pathlib import Path
 
-import sympy as sp
-
 
 def main(argv: list[str] | None = None) -> int:
+    from repro import __version__
     from repro.sdg.subgraphs import DEFAULT_MAX_SIZE
 
     parser = argparse.ArgumentParser(
         prog="soap-analyze",
         description="I/O lower bounds for statically analyzable programs "
         "(SPAA'21 SOAP analysis)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -48,6 +60,12 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument(
             "--json", action="store_true",
             help="emit a machine-readable JSON report",
+        )
+
+    def add_service_flags(p) -> None:
+        p.add_argument("--host", default="127.0.0.1", help="daemon address")
+        p.add_argument(
+            "--port", type=int, default=8731, help="daemon port (default: 8731)"
         )
 
     p_analyze = sub.add_parser("analyze", help="analyze a source file")
@@ -79,37 +97,95 @@ def main(argv: list[str] | None = None) -> int:
 
     p_list = sub.add_parser("list", help="list registered kernels")
 
+    p_serve = sub.add_parser("serve", help="run the analysis daemon")
+    add_service_flags(p_serve)
+    p_serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent analysis workers (default: 2)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="persist the daemon's solve cache in DIR",
+    )
+    p_serve.add_argument(
+        "--max-cache-entries", type=int, default=None, metavar="N",
+        help="LRU cap on the in-memory solve cache (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--no-coalesce", action="store_true",
+        help="disable request coalescing (for benchmarking)",
+    )
+
+    p_submit = sub.add_parser("submit", help="submit an analysis to a running daemon")
+    p_submit.add_argument(
+        "name", nargs="?", default=None, help="registered kernel name"
+    )
+    p_submit.add_argument(
+        "--source", type=Path, default=None, metavar="FILE",
+        help="analyze a source file instead of a registered kernel",
+    )
+    p_submit.add_argument("--language", choices=("python", "c"), default=None)
+    p_submit.add_argument(
+        "--priority", choices=("high", "normal", "low"), default="normal"
+    )
+    p_submit.add_argument(
+        "--no-wait", action="store_true",
+        help="return the queued job id instead of blocking for the result",
+    )
+    p_submit.add_argument("--json", action="store_true")
+    add_service_flags(p_submit)
+
+    p_status = sub.add_parser("status", help="daemon health, metrics, or one job")
+    p_status.add_argument("job_id", nargs="?", default=None)
+    p_status.add_argument(
+        "--metrics", action="store_true", help="full /metrics payload"
+    )
+    add_service_flags(p_status)
+
     args = parser.parse_args(argv)
-    return {
+    command = {
         "analyze": _cmd_analyze,
         "kernel": _cmd_kernel,
         "table2": _cmd_table2,
         "validate": _cmd_validate,
         "list": _cmd_list,
-    }[args.command](args)
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+    }[args.command]
+    try:
+        return command(args)
+    except BrokenPipeError:  # e.g. piped into head
+        return 0
+    except _expected_errors() as err:
+        print(f"error: {_one_line(err)}", file=sys.stderr)
+        return 2
+
+
+def _expected_errors() -> tuple:
+    """Failure modes that are the user's input, not analyzer bugs."""
+    from repro.service.client import ServiceError
+    from repro.util.errors import SoapError
+
+    return (SoapError, ServiceError, KeyError, OSError, ValueError, TimeoutError)
+
+
+def _one_line(err: Exception) -> str:
+    text = str(err) or type(err).__name__
+    if isinstance(err, KeyError):
+        text = text.strip("'\"")
+    if isinstance(err, ConnectionRefusedError):
+        text = f"cannot reach the analysis daemon ({text}); is `serve` running?"
+    return " ".join(text.split())
 
 
 def _cache_dir(args) -> str | None:
     return str(args.cache_dir) if args.cache_dir is not None else None
 
 
-def _diagnostics_dict(result) -> dict | None:
-    diagnostics = getattr(result, "diagnostics", None)
-    return diagnostics.as_dict() if diagnostics is not None else None
-
-
-def _per_array_json(per_array) -> dict:
-    return {
-        array: {
-            "rho": str(analysis.rho),
-            "subgraph": list(analysis.arrays),
-        }
-        for array, analysis in sorted(per_array.items())
-    }
-
-
 def _cmd_analyze(args) -> int:
     from repro.analysis import analyze_source
+    from repro.reporting.serialize import program_bound_report
     from repro.symbolic.printing import bound_str
 
     language = args.language
@@ -127,17 +203,10 @@ def _cmd_analyze(args) -> int:
         jobs=args.jobs,
     )
     if args.json:
-        print(json.dumps({
-            "program": args.path.stem,
-            "language": language,
-            "bound": bound_str(result.bound),
-            "bound_full": bound_str(result.bound_full),
-            "io_floor": bound_str(result.io_floor),
-            "combined": bound_str(result.combined),
-            "per_array": _per_array_json(result.per_array),
-            "skipped": [list(subset) for subset in result.skipped],
-            "diagnostics": _diagnostics_dict(result),
-        }, indent=2))
+        print(json.dumps(
+            program_bound_report(result, name=args.path.stem, language=language),
+            indent=2,
+        ))
         return 0
     print(f"program: {args.path.stem} ({language})")
     print(f"I/O lower bound (Theorem 1): Q >= {bound_str(result.bound)}")
@@ -154,19 +223,12 @@ def _cmd_analyze(args) -> int:
 def _cmd_kernel(args) -> int:
     from repro.analysis import analyze_kernel
     from repro.opt.tiling import tiles_at_x0
+    from repro.reporting.serialize import kernel_report
     from repro.symbolic.printing import bound_str
 
     result = analyze_kernel(args.name, cache_dir=_cache_dir(args), jobs=args.jobs)
     if args.json:
-        print(json.dumps({
-            "kernel": args.name,
-            "ours": bound_str(result.bound),
-            "paper": bound_str(result.paper_bound),
-            "ratio": str(result.ratio),
-            "shape_matches": result.shape_matches,
-            "per_array": _per_array_json(result.program_bound.per_array),
-            "diagnostics": _diagnostics_dict(result),
-        }, indent=2))
+        print(json.dumps(kernel_report(result), indent=2))
         return 0
     print(f"kernel: {args.name}")
     print(f"  ours : Q >= {bound_str(result.bound)}")
@@ -206,7 +268,9 @@ def _cmd_validate(args) -> int:
 
     params = {}
     for item in args.params:
-        key, _, value = item.partition("=")
+        key, sep, value = item.partition("=")
+        if not sep or not value.lstrip("-").isdigit():
+            raise ValueError(f"bad --params entry {item!r}; expected NAME=INTEGER")
         params[key] = int(value)
     spec = get_kernel(args.name)
     report = validate_bound(spec.build(), params, args.s)
@@ -224,6 +288,93 @@ def _cmd_list(args) -> int:
 
     for spec in all_kernels():
         print(f"{spec.name:24s} [{spec.category}] {spec.description}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# service verbs
+# ---------------------------------------------------------------------------
+
+
+def _cmd_serve(args) -> int:
+    from repro import __version__
+    from repro.service import ServiceConfig, run_server
+
+    config = ServiceConfig(
+        workers=args.workers,
+        cache_dir=_cache_dir(args),
+        max_cache_entries=args.max_cache_entries,
+        coalesce=not args.no_coalesce,
+    )
+    print(
+        f"soap-analyze {__version__} serving on http://{args.host}:{args.port} "
+        f"({config.workers} workers, coalescing "
+        f"{'on' if config.coalesce else 'off'})",
+        flush=True,
+    )
+    run_server(host=args.host, port=args.port, config=config)
+    return 0
+
+
+def _client(args):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(args.host, args.port)
+
+
+def _print_job(record, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(record.raw, indent=2))
+        return
+    print(f"job {record.id}: {record.state} (priority {record.priority})")
+    if record.coalesced:
+        print(f"  coalesced: shared by {record.attached} requests")
+    if record.error:
+        print(f"  error: {record.error}")
+    result = record.result or {}
+    for field in ("kernel", "program", "bound", "ours", "paper", "ratio"):
+        if field in result:
+            print(f"  {field}: {result[field]}")
+
+
+def _cmd_submit(args) -> int:
+    if (args.name is None) == (args.source is None):
+        raise ValueError("pass exactly one of: a kernel name, or --source FILE")
+    client = _client(args)
+    if args.source is not None:
+        language = args.language
+        if language is None:
+            language = "c" if args.source.suffix in (".c", ".h") else "python"
+        record = client.analyze(
+            args.source.read_text(),
+            name=args.source.stem,
+            language=language,
+            priority=args.priority,
+            wait=not args.no_wait,
+        )
+    else:
+        record = client.kernel(
+            args.name, priority=args.priority, wait=not args.no_wait
+        )
+    _print_job(record, args.json)
+    return 0 if record.state != "failed" else 1
+
+
+def _cmd_status(args) -> int:
+    client = _client(args)
+    if args.job_id is not None:
+        _print_job(client.job(args.job_id), as_json=True)
+        return 0
+    if args.metrics:
+        print(json.dumps(client.metrics(), indent=2))
+        return 0
+    health = client.healthz()
+    print(
+        f"daemon at {args.host}:{args.port}: {health.status} "
+        f"(v{health.version}, {health.workers} workers, "
+        f"queue depth {health.queue_depth}, "
+        f"up {health.uptime_seconds:.0f}s)"
+    )
     return 0
 
 

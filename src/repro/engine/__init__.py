@@ -9,7 +9,7 @@ parallel batch execution.  See :mod:`repro.engine.core` for the pipeline,
 
 from repro.engine.batch import analyze_many
 from repro.engine.cache import CacheStats, SolveCache, SolveOutcome
-from repro.engine.core import Engine, EngineOptions
+from repro.engine.core import Engine, EngineOptions, program_fingerprint
 from repro.engine.diagnostics import EngineDiagnostics, StageRecord
 from repro.engine.signature import (
     CanonicalProblem,
@@ -31,4 +31,5 @@ __all__ = [
     "rename_solution",
     "rename_text",
     "analyze_many",
+    "program_fingerprint",
 ]

@@ -1,6 +1,6 @@
 """Two-tier memoization cache for solved problem (8) instances.
 
-Tier 1 is an in-process dict (shared across every kernel analyzed by one
+Tier 1 is an in-process LRU (shared across every kernel analyzed by one
 :class:`repro.engine.Engine`), tier 2 an optional on-disk JSON store (one
 file per signature, written atomically so concurrent ``--jobs`` workers can
 share a directory without locking).  Values are either a serialized
@@ -8,6 +8,14 @@ share a directory without locking).  Values are either a serialized
 :class:`~repro.util.errors.SolverError` message -- warm runs must skip the
 same subgraphs the cold run skipped, or the per-array maxima (and hence the
 bounds) could drift.
+
+The memory tier is unbounded by default (a suite run holds a few hundred
+signatures at most), but a long-lived daemon serving arbitrary sources must
+not grow without limit: pass ``max_memory_entries`` to cap it.  Eviction is
+least-recently-used and counted in :class:`CacheStats`; an evicted entry
+that is still on disk simply costs a disk hit later.  All operations take an
+internal lock, so one cache can back a multi-threaded worker pool (the
+analysis service) as well as the single-threaded CLI.
 
 Expressions are serialized with :func:`sympy.srepr`, which round-trips
 symbol assumptions (``positive=True``) -- essential, because ``repro``'s
@@ -19,7 +27,9 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass, field
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
 from pathlib import Path
 
 import sympy as sp
@@ -49,10 +59,16 @@ class CacheStats:
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0
 
     @property
     def hits(self) -> int:
         return self.memory_hits + self.disk_hits
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -60,14 +76,25 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "stores": self.stores,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
         }
 
 
 class SolveCache:
     """Signature-keyed store of :class:`SolveOutcome` values."""
 
-    def __init__(self, cache_dir: str | os.PathLike | None = None):
-        self._memory: dict[str, SolveOutcome] = {}
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike | None = None,
+        *,
+        max_memory_entries: int | None = None,
+    ):
+        if max_memory_entries is not None and max_memory_entries < 1:
+            raise ValueError("max_memory_entries must be >= 1 (or None)")
+        self._memory: OrderedDict[str, SolveOutcome] = OrderedDict()
+        self._max_entries = max_memory_entries
+        self._lock = threading.RLock()
         self._dir: Path | None = Path(cache_dir) if cache_dir is not None else None
         if self._dir is not None:
             try:
@@ -82,28 +109,49 @@ class SolveCache:
     def cache_dir(self) -> Path | None:
         return self._dir
 
+    @property
+    def max_memory_entries(self) -> int | None:
+        return self._max_entries
+
     def get(self, signature: str) -> SolveOutcome | None:
-        outcome = self._memory.get(signature)
-        if outcome is not None:
-            self.stats.memory_hits += 1
-            return outcome
-        if self._dir is not None:
-            outcome = self._load_disk(signature)
+        with self._lock:
+            outcome = self._memory.get(signature)
             if outcome is not None:
-                self._memory[signature] = outcome
-                self.stats.disk_hits += 1
+                self._memory.move_to_end(signature)
+                self.stats.memory_hits += 1
                 return outcome
-        self.stats.misses += 1
-        return None
+            if self._dir is not None:
+                outcome = self._load_disk(signature)
+                if outcome is not None:
+                    self._insert(signature, outcome)
+                    self.stats.disk_hits += 1
+                    return outcome
+            self.stats.misses += 1
+            return None
 
     def put(self, signature: str, outcome: SolveOutcome) -> None:
-        self._memory[signature] = outcome
-        self.stats.stores += 1
-        if self._dir is not None:
-            self._store_disk(signature, outcome)
+        with self._lock:
+            self._insert(signature, outcome)
+            self.stats.stores += 1
+            if self._dir is not None:
+                self._store_disk(signature, outcome)
+
+    def stats_snapshot(self) -> CacheStats:
+        """Consistent copy of the counters (the live object keeps mutating)."""
+        with self._lock:
+            return CacheStats(**vars(self.stats))
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
+
+    def _insert(self, signature: str, outcome: SolveOutcome) -> None:
+        self._memory[signature] = outcome
+        self._memory.move_to_end(signature)
+        if self._max_entries is not None:
+            while len(self._memory) > self._max_entries:
+                self._memory.popitem(last=False)
+                self.stats.evictions += 1
 
     # ------------------------------------------------------------------
     # disk tier
@@ -127,7 +175,7 @@ class SolveCache:
 
     def _store_disk(self, signature: str, outcome: SolveOutcome) -> None:
         path = self._path(signature)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
         try:
             tmp.write_text(json.dumps(_encode(outcome), indent=1))
             os.replace(tmp, path)  # atomic: concurrent workers can race safely

@@ -24,9 +24,12 @@ what makes cold and warm runs reproducible down to expression identity.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
+from typing import Callable
 
 import sympy as sp
 
@@ -85,9 +88,18 @@ class Engine:
     relies on this for the cross-kernel dedup of the Table 2 suite).
     """
 
-    def __init__(self, cache: SolveCache | None = None, jobs: int = 1):
+    def __init__(
+        self,
+        cache: SolveCache | None = None,
+        jobs: int = 1,
+        on_stage: Callable[[StageRecord], None] | None = None,
+    ):
         self.cache = cache if cache is not None else SolveCache()
         self.jobs = max(1, int(jobs))
+        #: job hook: called with each completed StageRecord (the analysis
+        #: service feeds its per-stage metrics through this; must be cheap
+        #: and thread-safe when the engine is shared by a worker pool)
+        self.on_stage = on_stage
 
     # ------------------------------------------------------------------
     # pipeline
@@ -114,6 +126,12 @@ class Engine:
         )
         jobs = self.jobs if jobs is None else max(1, int(jobs))
         stages: list[StageRecord] = []
+
+        def record(stage: StageRecord) -> None:
+            stages.append(stage)
+            if self.on_stage is not None:
+                self.on_stage(stage)
+
         notes: list[str] = []
         stats_before = replace(self.cache.stats)
 
@@ -121,7 +139,7 @@ class Engine:
         started = time.perf_counter()
         sdg = SDG.from_program(program)
         sharing = sdg.sharing_graph()
-        stages.append(
+        record(
             StageRecord(
                 "build-sdg",
                 time.perf_counter() - started,
@@ -138,7 +156,7 @@ class Engine:
         subsets = list(
             enumerate_subgraphs(sharing, max_size=options.max_subgraph_size)
         )
-        stages.append(
+        record(
             StageRecord(
                 "enumerate",
                 time.perf_counter() - started,
@@ -164,7 +182,7 @@ class Engine:
             except SolverError as err:
                 fused_items.append((subset, None, str(err)))
         fuse_failures = sum(1 for _, fused, _ in fused_items if fused is None)
-        stages.append(
+        record(
             StageRecord(
                 "fuse",
                 time.perf_counter() - started,
@@ -224,7 +242,7 @@ class Engine:
                 continue
             analyses.append(SubgraphAnalysis(subset, fused, intensity))
         cache_delta = _stats_delta(stats_before, self.cache.stats)
-        stages.append(
+        record(
             StageRecord(
                 "solve",
                 time.perf_counter() - started,
@@ -263,7 +281,7 @@ class Engine:
         bound_full = sp.simplify(total)
         bound = leading_term(bound_full) if bound_full != 0 else bound_full
         io_floor = io_footprint_floor(program)
-        stages.append(
+        record(
             StageRecord(
                 "combine",
                 time.perf_counter() - started,
@@ -334,4 +352,60 @@ def _stats_delta(before: CacheStats, after: CacheStats) -> CacheStats:
         disk_hits=after.disk_hits - before.disk_hits,
         misses=after.misses - before.misses,
         stores=after.stores - before.stores,
+        evictions=after.evictions - before.evictions,
     )
+
+
+def program_fingerprint(
+    program: Program,
+    *,
+    policy: OverlapPolicy = "sum",
+    max_subgraph_size: int = DEFAULT_MAX_SIZE,
+    unify_same_names: bool = True,
+    allow_pinning: bool = False,
+) -> str:
+    """Canonical identity of an analysis request, before any solving.
+
+    Runs the cheap pipeline prefix (build-sdg -> enumerate -> fuse ->
+    canonicalize) and hashes the sorted multiset of canonical problem (8)
+    signatures together with the analysis options.  Two programs share a
+    fingerprint exactly when the solve stage would process the same canonical
+    problems -- renamed loop variables, reordered statements, and permuted
+    variable roles all collapse, which is what lets the analysis service
+    coalesce isomorphic in-flight requests onto one computation.
+
+    Subgraphs that fail to fuse contribute a marker keyed by their array
+    subset, so a program where fusion fails never aliases one where it
+    succeeds.
+    """
+    sdg = SDG.from_program(program)
+    sharing = sdg.sharing_graph()
+    tokens: list[str] = []
+    for subset in enumerate_subgraphs(sharing, max_size=max_subgraph_size):
+        try:
+            fused = fuse_statements(
+                program, subset, policy=policy, unify_same_names=unify_same_names
+            )
+        except SolverError:
+            tokens.append("fuse-failed:" + ",".join(sorted(subset)))
+            continue
+        canonical = canonicalize_problem(
+            fused.objective,
+            fused.constraint,
+            fused.extents,
+            allow_pinning=allow_pinning,
+            allow_caps=allow_pinning,
+        )
+        tokens.append(canonical.signature)
+    payload = json.dumps(
+        {
+            "schema": 1,
+            "policy": policy,
+            "max_subgraph_size": int(max_subgraph_size),
+            "unify_same_names": bool(unify_same_names),
+            "allow_pinning": bool(allow_pinning),
+            "signatures": sorted(tokens),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

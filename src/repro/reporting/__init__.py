@@ -1,6 +1,18 @@
-"""Result reporting: Table 2 regeneration and experiment records."""
+"""Result reporting: Table 2 regeneration, experiment records, JSON reports."""
 
 from repro.reporting.table import render_table2, table2_rows
 from repro.reporting.experiments import experiments_markdown
+from repro.reporting.serialize import (
+    kernel_report,
+    program_bound_report,
+    report_header,
+)
 
-__all__ = ["render_table2", "table2_rows", "experiments_markdown"]
+__all__ = [
+    "render_table2",
+    "table2_rows",
+    "experiments_markdown",
+    "kernel_report",
+    "program_bound_report",
+    "report_header",
+]

@@ -1,0 +1,77 @@
+"""JSON report builders shared by the CLI (``--json``) and the service.
+
+Every machine-readable report carries the same header block (``report`` kind,
+``generator``, package ``version``, ``schema``) so downstream consumers can
+tell which analyzer build produced a payload -- essential once reports are
+served by long-lived daemons that outlive several releases.
+"""
+
+from __future__ import annotations
+
+REPORT_SCHEMA = 1
+
+
+def report_header(kind: str) -> dict:
+    from repro import __version__
+
+    return {
+        "report": kind,
+        "generator": "repro",
+        "version": __version__,
+        "schema": REPORT_SCHEMA,
+    }
+
+
+def diagnostics_dict(result) -> dict | None:
+    diagnostics = getattr(result, "diagnostics", None)
+    return diagnostics.as_dict() if diagnostics is not None else None
+
+
+def per_array_dict(per_array: dict) -> dict:
+    return {
+        array: {
+            "rho": str(analysis.rho),
+            "subgraph": list(analysis.arrays),
+        }
+        for array, analysis in sorted(per_array.items())
+    }
+
+
+def program_bound_report(result, *, name: str, language: str | None = None) -> dict:
+    """Serialize a :class:`~repro.sdg.bounds.ProgramBound` (``analyze``)."""
+    from repro.symbolic.printing import bound_str
+
+    report = report_header("analyze")
+    report.update(
+        {
+            "program": name,
+            "language": language,
+            "bound": bound_str(result.bound),
+            "bound_full": bound_str(result.bound_full),
+            "io_floor": bound_str(result.io_floor),
+            "combined": bound_str(result.combined),
+            "per_array": per_array_dict(result.per_array),
+            "skipped": [list(subset) for subset in result.skipped],
+            "diagnostics": diagnostics_dict(result),
+        }
+    )
+    return report
+
+
+def kernel_report(result) -> dict:
+    """Serialize a :class:`~repro.analysis.KernelResult` (``kernel``)."""
+    from repro.symbolic.printing import bound_str
+
+    report = report_header("kernel")
+    report.update(
+        {
+            "kernel": result.name,
+            "ours": bound_str(result.bound),
+            "paper": bound_str(result.paper_bound),
+            "ratio": str(result.ratio),
+            "shape_matches": result.shape_matches,
+            "per_array": per_array_dict(result.program_bound.per_array),
+            "diagnostics": diagnostics_dict(result),
+        }
+    )
+    return report

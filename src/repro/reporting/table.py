@@ -77,7 +77,10 @@ def table2_json(
     rows: list[Table2Row], *, jobs: int = 1, elapsed: float | None = None
 ) -> dict:
     """Machine-readable Table 2 report (the CLI's ``table2 --json``)."""
-    return {
+    from repro.reporting.serialize import report_header
+
+    report = report_header("table2")
+    report.update({
         "kernels": [
             {
                 "kernel": r.kernel,
@@ -98,4 +101,5 @@ def table2_json(
             "jobs": jobs,
             "elapsed_seconds": elapsed,
         },
-    }
+    })
+    return report

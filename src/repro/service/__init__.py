@@ -1,0 +1,38 @@
+"""Long-lived analysis daemon: serve the staged engine over JSON/HTTP.
+
+The service layer turns the one-shot engine into a daemon that amortizes
+its two-tier solve cache across requests, coalesces duplicate/isomorphic
+in-flight analyses onto one computation, and schedules work through a
+priority job queue drained by a worker pool.
+
+* :mod:`repro.service.core` -- queue, workers, coalescing table
+  (:class:`AnalysisService`, :class:`ServiceConfig`);
+* :mod:`repro.service.http` -- asyncio HTTP frontend
+  (:class:`ServiceServer`, :func:`run_server`, :class:`ServiceThread`);
+* :mod:`repro.service.client` -- typed blocking client
+  (:class:`ServiceClient`);
+* :mod:`repro.service.jobs` / :mod:`repro.service.metrics` -- the job model
+  and the ``/metrics`` counters.
+
+Start a daemon with ``python -m repro serve``; drive it with
+``python -m repro submit`` / ``status`` or :class:`ServiceClient`.
+"""
+
+from repro.service.core import AnalysisService, ServiceConfig
+from repro.service.client import JobRecord, ServiceClient, ServiceError, ServiceHealth
+from repro.service.http import ServiceServer, ServiceThread, run_server
+from repro.service.jobs import PRIORITIES, Job
+
+__all__ = [
+    "AnalysisService",
+    "ServiceConfig",
+    "ServiceServer",
+    "ServiceThread",
+    "run_server",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHealth",
+    "JobRecord",
+    "Job",
+    "PRIORITIES",
+]

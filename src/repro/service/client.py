@@ -1,0 +1,232 @@
+"""Typed HTTP client for the analysis service.
+
+Wraps the JSON API in plain Python calls returning :class:`JobRecord` /
+:class:`ServiceHealth` values.  One client holds one keep-alive connection
+(re-opened transparently if the daemon closes it), so it is cheap to issue
+many sequential requests -- but it is **not** thread-safe: give each client
+thread its own instance (the load harness does exactly that).
+
+>>> client = ServiceClient(port=8731)
+>>> record = client.kernel("gemm")          # blocks until analyzed
+>>> record.result["ours"]
+'2*sqrt(S)*(N/b_0)**3/S'
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass, field
+
+DEFAULT_PORT = 8731
+DEFAULT_TIMEOUT = 600.0
+
+
+class ServiceError(RuntimeError):
+    """Raised when the daemon answers with an HTTP error status."""
+
+    def __init__(self, status: int, payload: dict):
+        message = payload.get("error") or f"HTTP {status}"
+        super().__init__(message)
+        self.status = status
+        self.payload = payload
+
+
+@dataclass(frozen=True)
+class ServiceHealth:
+    """``GET /healthz``."""
+
+    status: str
+    version: str
+    uptime_seconds: float
+    workers: int
+    queue_depth: int
+    coalescing: bool
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ServiceHealth":
+        return cls(
+            status=payload["status"],
+            version=payload["version"],
+            uptime_seconds=payload["uptime_seconds"],
+            workers=payload["workers"],
+            queue_depth=payload["queue_depth"],
+            coalescing=payload["coalescing"],
+        )
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job as reported by the daemon (submit responses, ``/jobs/<id>``)."""
+
+    id: str
+    kind: str
+    state: str
+    priority: str
+    attached: int
+    coalesced: bool
+    request: dict
+    result: dict | None = None
+    error: str | None = None
+    queue_seconds: float | None = None
+    run_seconds: float | None = None
+    total_seconds: float | None = None
+    raw: dict = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "JobRecord":
+        return cls(
+            id=payload["id"],
+            kind=payload["kind"],
+            state=payload["state"],
+            priority=payload["priority"],
+            attached=payload.get("attached", 1),
+            coalesced=payload.get("coalesced", False),
+            request=payload.get("request", {}),
+            result=payload.get("result"),
+            error=payload.get("error"),
+            queue_seconds=payload.get("queue_seconds"),
+            run_seconds=payload.get("run_seconds"),
+            total_seconds=payload.get("total_seconds"),
+            raw=payload,
+        )
+
+    @property
+    def done(self) -> bool:
+        return self.state in ("done", "failed")
+
+    @property
+    def ok(self) -> bool:
+        return self.state == "done"
+
+
+class ServiceClient:
+    """Blocking JSON-over-HTTP client; one instance per thread."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        timeout: float = DEFAULT_TIMEOUT,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> ServiceHealth:
+        return ServiceHealth.from_payload(self._request("GET", "/healthz"))
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def kernel(
+        self,
+        name: str,
+        *,
+        priority: str = "normal",
+        wait: bool = True,
+        timeout: float | None = None,
+    ) -> JobRecord:
+        body = {"name": name, "priority": priority, "wait": wait}
+        if timeout is not None:
+            body["timeout"] = timeout
+        return JobRecord.from_payload(self._request("POST", "/kernel", body))
+
+    def analyze(
+        self,
+        source: str,
+        *,
+        name: str = "program",
+        language: str = "python",
+        policy: str = "sum",
+        max_subgraph_size: int | None = None,
+        allow_pinning: bool = False,
+        priority: str = "normal",
+        wait: bool = True,
+    ) -> JobRecord:
+        body = {
+            "source": source,
+            "name": name,
+            "language": language,
+            "policy": policy,
+            "allow_pinning": allow_pinning,
+            "priority": priority,
+            "wait": wait,
+        }
+        if max_subgraph_size is not None:
+            body["max_subgraph_size"] = max_subgraph_size
+        return JobRecord.from_payload(self._request("POST", "/analyze", body))
+
+    def batch(
+        self, names: list[str], *, priority: str = "low", wait: bool = False
+    ) -> list[JobRecord]:
+        payload = self._request(
+            "POST", "/batch", {"kernels": names, "priority": priority, "wait": wait}
+        )
+        return [JobRecord.from_payload(job) for job in payload["jobs"]]
+
+    def job(self, job_id: str) -> JobRecord:
+        return JobRecord.from_payload(self._request("GET", f"/jobs/{job_id}"))
+
+    def wait_for(
+        self, job_id: str, *, timeout: float = DEFAULT_TIMEOUT, poll: float = 0.05
+    ) -> JobRecord:
+        """Poll ``/jobs/<id>`` until the job finishes."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record.done:
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still {record.state}")
+            time.sleep(poll)
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        encoded = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if encoded else {}
+        for attempt in (0, 1):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=encoded, headers=headers)
+                response = connection.getresponse()
+                payload = json.loads(response.read() or b"{}")
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # stale keep-alive connection: reconnect once, then give up
+                self.close()
+                if attempt:
+                    raise
+                continue
+            if response.status >= 400:
+                # 422 job records still parse; surface them as exceptions
+                raise ServiceError(response.status, payload)
+            return payload
+        raise AssertionError("unreachable")
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection

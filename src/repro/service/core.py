@@ -1,0 +1,311 @@
+"""The analysis service: priority job queue + worker pool + coalescing.
+
+:class:`AnalysisService` turns the staged engine into a long-lived daemon
+core.  It owns
+
+* one shared :class:`~repro.engine.Engine` (and hence one two-tier
+  :class:`~repro.engine.SolveCache`) that every job runs through, so the
+  daemon amortizes solved problem (8) instances across its whole lifetime;
+* a **priority job queue** (``high`` < ``normal`` < ``low``, FIFO within a
+  rank) drained by ``workers`` asyncio tasks that push the actual sympy work
+  onto a thread pool, keeping the HTTP event loop responsive;
+* the **request coalescing** table: jobs are keyed by canonical request
+  identity -- the kernel name for registry requests, the engine's
+  :func:`~repro.engine.program_fingerprint` (a hash over the canonical
+  problem (8) signatures) for source requests -- so identical *or
+  isomorphic* in-flight analyses attach to one computation and all waiters
+  receive the same bit-identical result payload.
+
+Everything here is transport-free; the HTTP frontend lives in
+:mod:`repro.service.http`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.engine import Engine, SolveCache, program_fingerprint
+from repro.service.jobs import (
+    DEFAULT_PRIORITY,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    priority_rank,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.util.errors import SoapError
+
+#: completed/failed jobs retained for ``/jobs/<id>`` polling before eviction
+MAX_RETAINED_JOBS = 1024
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Daemon configuration (CLI ``serve`` flags map 1:1 onto this)."""
+
+    workers: int = 2
+    cache_dir: str | None = None
+    max_cache_entries: int | None = None
+    coalesce: bool = True
+    max_retained_jobs: int = MAX_RETAINED_JOBS
+
+
+class AnalysisService:
+    """Queue, worker pool, and job table behind the HTTP API."""
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        self.metrics = ServiceMetrics()
+        self.engine = Engine(
+            cache=SolveCache(
+                self.config.cache_dir,
+                max_memory_entries=self.config.max_cache_entries,
+            ),
+            on_stage=self.metrics.observe_stage,
+        )
+        self._jobs: dict[str, Job] = {}
+        self._inflight: dict[str, Job] = {}
+        self._retired: deque[str] = deque()
+        self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
+        self._workers: list[asyncio.Task] = []
+        self._seq = 0
+        # Fingerprinting (submission path) gets its own small pool so a busy
+        # worker pool cannot stall new submissions or the event loop.
+        self._prep_pool = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="soap-service-prep"
+        )
+        self.started_at = time.time()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._workers:
+            raise RuntimeError("service already started")
+        for index in range(max(1, int(self.config.workers))):
+            self._workers.append(
+                asyncio.create_task(self._worker(), name=f"analysis-worker-{index}")
+            )
+
+    async def stop(self) -> None:
+        for task in self._workers:
+            task.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers.clear()
+        self._prep_pool.shutdown(wait=False)
+
+    @property
+    def workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    # submission (event-loop side)
+    # ------------------------------------------------------------------
+
+    def submit_kernel(self, name: str, *, priority: str = DEFAULT_PRIORITY) -> Job:
+        """Queue a registered-kernel analysis; unknown names raise KeyError."""
+        from repro.analysis import analyze_kernel
+        from repro.kernels import get_kernel
+        from repro.reporting.serialize import kernel_report
+
+        get_kernel(name)  # validate up front: a bad name is a 404, not a job
+        key = f"kernel:{name}"
+
+        def work() -> dict:
+            return kernel_report(analyze_kernel(name, engine=self.engine))
+
+        return self._submit(
+            kind="kernel",
+            key=key,
+            priority=priority,
+            request={"kernel": name},
+            work=work,
+        )
+
+    async def submit_source(
+        self,
+        source: str,
+        *,
+        name: str = "program",
+        language: str = "python",
+        policy: str = "sum",
+        max_subgraph_size: int | None = None,
+        allow_pinning: bool = False,
+        priority: str = DEFAULT_PRIORITY,
+    ) -> Job:
+        """Queue a source analysis; parse errors raise before a job exists.
+
+        The coalescing key is the engine's canonical program fingerprint, so
+        an isomorphic in-flight request (renamed loop variables, reordered
+        statements) attaches to the running computation and receives its
+        payload verbatim -- including the original submitter's ``program``
+        name field.  Fingerprinting is sympy work, so it runs on a dedicated
+        prep pool: the event loop stays responsive and busy analysis workers
+        cannot delay new submissions.
+        """
+        from repro.frontend.python_frontend import parse_python
+        from repro.reporting.serialize import program_bound_report
+        from repro.sdg.subgraphs import DEFAULT_MAX_SIZE
+
+        if max_subgraph_size is None:
+            max_subgraph_size = DEFAULT_MAX_SIZE
+        if language == "python":
+            program = parse_python(source, name=name)
+        elif language == "c":
+            from repro.frontend.c_frontend import parse_c
+
+            program = parse_c(source, name=name)
+        else:
+            raise ValueError(f"unknown language {language!r}")
+        loop = asyncio.get_running_loop()
+        key = "analyze:" + await loop.run_in_executor(
+            self._prep_pool,
+            lambda: program_fingerprint(
+                program,
+                policy=policy,
+                max_subgraph_size=max_subgraph_size,
+                allow_pinning=allow_pinning,
+            ),
+        )
+
+        def work() -> dict:
+            result = self.engine.analyze(
+                program,
+                policy=policy,
+                max_subgraph_size=max_subgraph_size,
+                allow_pinning=allow_pinning,
+            )
+            return program_bound_report(result, name=name, language=language)
+
+        return self._submit(
+            kind="analyze",
+            key=key,
+            priority=priority,
+            request={"program": name, "language": language, "policy": policy},
+            work=work,
+        )
+
+    def submit_batch(
+        self, names: list[str], *, priority: str = "low"
+    ) -> list[Job]:
+        """Queue one job per kernel name (duplicates coalesce immediately)."""
+        return [self.submit_kernel(name, priority=priority) for name in names]
+
+    def _submit(self, *, kind, key, priority, request, work) -> Job:
+        rank = priority_rank(priority)  # validate before touching any state
+        if self.config.coalesce:
+            existing = self._inflight.get(key)
+            if existing is not None and existing.state in (QUEUED, RUNNING):
+                existing.attached += 1
+                if existing.state == QUEUED and rank < existing.rank:
+                    # A higher-priority waiter attached: escalate the queued
+                    # job by re-pushing it at the better rank (the worker
+                    # skips the stale lower-rank entry when it surfaces).
+                    existing.rank = rank
+                    existing.priority = priority
+                    self._queue.put_nowait((rank, existing.seq, existing))
+                self.metrics.observe_coalesced()
+                return existing
+        self._seq += 1
+        job = Job.new(
+            kind=kind,
+            key=key,
+            priority=priority,
+            seq=self._seq,
+            request=request,
+            work=work,
+        )
+        self._jobs[job.id] = job
+        self._inflight[key] = job
+        self._queue.put_nowait((job.rank, job.seq, job))
+        self.metrics.observe_submitted(self._queue.qsize())
+        return job
+
+    # ------------------------------------------------------------------
+    # job access
+    # ------------------------------------------------------------------
+
+    def get_job(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    async def wait(self, job: Job, timeout: float | None = None) -> Job:
+        """Block until ``job`` finishes (its event fires once, for everyone)."""
+        await asyncio.wait_for(job.done.wait(), timeout=timeout)
+        return job
+
+    # ------------------------------------------------------------------
+    # worker pool
+    # ------------------------------------------------------------------
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            _, _, job = await self._queue.get()
+            if job.state != QUEUED:
+                # stale duplicate entry left behind by a priority escalation
+                self._queue.task_done()
+                continue
+            try:
+                job.state = RUNNING
+                job.started = time.monotonic()
+                try:
+                    job.result = await loop.run_in_executor(None, job.work)
+                    job.state = DONE
+                except (SoapError, KeyError, ValueError, SyntaxError) as err:
+                    job.error = str(err) or type(err).__name__
+                    job.state = FAILED
+                except Exception as err:  # noqa: BLE001 - daemon must survive
+                    job.error = f"{type(err).__name__}: {err}"
+                    job.state = FAILED
+                job.finished = time.monotonic()
+                if self._inflight.get(job.key) is job:
+                    del self._inflight[job.key]
+                self.metrics.observe_finished(job)
+                self._retire(job)
+                job.done.set()
+            finally:
+                self._queue.task_done()
+
+    def _retire(self, job: Job) -> None:
+        """Bound the finished-job table so the daemon's memory stays flat."""
+        self._retired.append(job.id)
+        while len(self._retired) > self.config.max_retained_jobs:
+            self._jobs.pop(self._retired.popleft(), None)
+
+    # ------------------------------------------------------------------
+    # introspection payloads
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        from repro import __version__
+
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_seconds": time.time() - self.started_at,
+            "workers": self.workers,
+            "queue_depth": self.queue_depth,
+            "coalescing": self.config.coalesce,
+        }
+
+    def metrics_snapshot(self) -> dict:
+        states: dict[str, int] = {}
+        for job in self._jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        return self.metrics.snapshot(
+            queue_depth=self.queue_depth,
+            jobs={"by_state": states, "retained": len(self._jobs)},
+            cache=self.engine.cache.stats_snapshot().as_dict(),
+            workers=self.workers,
+        )

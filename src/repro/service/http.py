@@ -1,0 +1,361 @@
+"""Minimal asyncio HTTP/1.1 frontend for the analysis service.
+
+Stdlib-only by design (the ROADMAP forbids new runtime deps): requests are
+parsed directly off asyncio streams, one task per connection, with
+keep-alive so load-generating clients can reuse connections.  The API:
+
+========  ==================  ====================================================
+method    path                body / behaviour
+========  ==================  ====================================================
+POST      ``/analyze``        ``{"source": ..., "language"?, "name"?, "policy"?,
+                              "max_subgraph_size"?, "allow_pinning"?,
+                              "priority"?, "wait"?}``
+POST      ``/kernel``         ``{"name": ..., "priority"?, "wait"?}``
+POST      ``/batch``          ``{"kernels": [...], "priority"?, "wait"?}``
+GET       ``/jobs/<id>``      poll one job record
+GET       ``/metrics``        queue depth, coalesce rate, stage timings, cache
+GET       ``/healthz``        liveness + version
+========  ==================  ====================================================
+
+``wait`` defaults to true on ``/analyze``/``/kernel`` (the response carries
+the finished job record, result included) and false on ``/batch`` (the
+response carries queued job records to poll).  Analysis failures surface as
+HTTP 422 with the job record; malformed requests as 400; unknown kernels or
+job ids as 404.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+from repro.service.core import AnalysisService, ServiceConfig
+from repro.service.jobs import DEFAULT_PRIORITY, FAILED
+from repro.util.errors import SoapError
+
+MAX_BODY_BYTES = 8 * 1024 * 1024
+#: server-side ceiling on how long a ``wait`` request may block
+MAX_WAIT_SECONDS = 600.0
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class ServiceServer:
+    """HTTP frontend bound to one :class:`AnalysisService`."""
+
+    def __init__(
+        self,
+        service: AnalysisService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8731,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port  # replaced by the bound port after start()
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                status, payload = await self._dispatch(method, path, body)
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                await self._write_response(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except _HttpError as err:
+            # protocol-level reject (bad request line, oversized body): the
+            # client still deserves a JSON error, then the connection closes
+            try:
+                await self._write_response(
+                    writer, err.status, {"error": err.message}, False
+                )
+            except (ConnectionError, OSError):
+                pass
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass  # daemon shutdown while the connection idled
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader):
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, OSError):
+            return None
+        if not request_line:
+            return None
+        try:
+            method, path, _ = request_line.decode("latin-1").split(None, 2)
+        except ValueError:
+            raise _HttpError(400, "malformed request line") from None
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", 0) or 0)
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length header") from None
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, headers, body
+
+    async def _write_response(self, writer, status, payload, keep_alive) -> None:
+        body = json.dumps(payload, indent=1).encode("utf-8")
+        reason = {200: "OK", 202: "Accepted"}.get(status, "Error")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        bare = path.split("?")[0]
+        # normalize per-job paths so the endpoint counter stays bounded
+        label = "/jobs/<id>" if bare.startswith("/jobs/") else bare
+        self.service.metrics.observe_request(f"{method} {label}")
+        try:
+            if method == "GET" and path == "/healthz":
+                return 200, self.service.healthz()
+            if method == "GET" and path == "/metrics":
+                return 200, self.service.metrics_snapshot()
+            if method == "GET" and path.startswith("/jobs/"):
+                return self._job_record(path[len("/jobs/"):])
+            if method == "POST" and path == "/analyze":
+                return await self._post_analyze(_json_body(body))
+            if method == "POST" and path == "/kernel":
+                return await self._post_kernel(_json_body(body))
+            if method == "POST" and path == "/batch":
+                return await self._post_batch(_json_body(body))
+            return 404, {"error": f"no route for {method} {path}"}
+        except _HttpError as err:
+            return err.status, {"error": err.message}
+        except KeyError as err:
+            return 404, {"error": str(err).strip("'\"")}
+        except (SoapError, ValueError, SyntaxError) as err:
+            return 400, {"error": str(err) or type(err).__name__}
+        except asyncio.TimeoutError:
+            return 504, {"error": "timed out waiting for job completion"}
+
+    def _job_record(self, job_id: str):
+        job = self.service.get_job(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        return 200, job.record()
+
+    async def _post_kernel(self, body: dict):
+        name = _required(body, "name")
+        job = self.service.submit_kernel(
+            name, priority=body.get("priority", DEFAULT_PRIORITY)
+        )
+        return await self._respond(job, body)
+
+    async def _post_analyze(self, body: dict):
+        source = _required(body, "source")
+        job = await self.service.submit_source(
+            source,
+            name=body.get("name", "program"),
+            language=body.get("language", "python"),
+            policy=body.get("policy", "sum"),
+            max_subgraph_size=body.get("max_subgraph_size"),
+            allow_pinning=bool(body.get("allow_pinning", False)),
+            priority=body.get("priority", DEFAULT_PRIORITY),
+        )
+        return await self._respond(job, body)
+
+    async def _post_batch(self, body: dict):
+        kernels = _required(body, "kernels")
+        if not isinstance(kernels, list) or not kernels:
+            raise _HttpError(400, "'kernels' must be a non-empty list")
+        jobs = self.service.submit_batch(
+            [str(name) for name in kernels],
+            priority=body.get("priority", "low"),
+        )
+        if body.get("wait", False):
+            await asyncio.gather(
+                *(self.service.wait(job, timeout=_wait_timeout(body)) for job in jobs)
+            )
+            status = 422 if any(job.state == FAILED for job in jobs) else 200
+            return status, {"jobs": [job.record() for job in jobs]}
+        return 202, {"jobs": [job.record(include_result=False) for job in jobs]}
+
+    async def _respond(self, job, body: dict):
+        if body.get("wait", True):
+            await self.service.wait(job, timeout=_wait_timeout(body))
+            return (200 if job.finished_ok else 422), job.record()
+        return 202, job.record(include_result=False)
+
+
+def _json_body(body: bytes) -> dict:
+    if not body:
+        raise _HttpError(400, "request body required")
+    try:
+        payload = json.loads(body)
+    except ValueError:
+        raise _HttpError(400, "request body is not valid JSON") from None
+    if not isinstance(payload, dict):
+        raise _HttpError(400, "request body must be a JSON object")
+    return payload
+
+
+def _required(body: dict, field: str):
+    try:
+        return body[field]
+    except KeyError:
+        raise _HttpError(400, f"missing required field {field!r}") from None
+
+
+def _wait_timeout(body: dict) -> float:
+    timeout = float(body.get("timeout", MAX_WAIT_SECONDS))
+    return max(0.0, min(timeout, MAX_WAIT_SECONDS))
+
+
+# ---------------------------------------------------------------------------
+# embedding helpers
+# ---------------------------------------------------------------------------
+
+
+def run_server(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8731,
+    config: ServiceConfig | None = None,
+    ready: "threading.Event | None" = None,
+    on_start=None,
+) -> None:
+    """Run the daemon until interrupted (the CLI ``serve`` verb)."""
+
+    async def main() -> None:
+        service = AnalysisService(config)
+        await service.start()
+        server = ServiceServer(service, host=host, port=port)
+        await server.start()
+        if on_start is not None:
+            on_start(server)
+        if ready is not None:
+            ready.set()
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.close()
+            await service.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+
+
+class ServiceThread:
+    """In-process daemon for tests and the load harness.
+
+    Runs the event loop in a daemon thread; ``port`` is known once the
+    context manager enters (bind with ``port=0`` for an ephemeral port).
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.config = config
+        self.host = host
+        self.port = port
+        self.server: ServiceServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "ServiceThread":
+        def capture(server: ServiceServer) -> None:
+            self.server = server
+            self.port = server.port
+            self._loop = asyncio.get_running_loop()
+
+        self._thread = threading.Thread(
+            target=run_server,
+            kwargs={
+                "host": self.host,
+                "port": self.port,
+                "config": self.config,
+                "ready": self._ready,
+                "on_start": capture,
+            },
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("analysis service failed to start within 30s")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread is not None:
+            self._loop.call_soon_threadsafe(
+                lambda: [task.cancel() for task in asyncio.all_tasks(self._loop)]
+            )
+            self._thread.join(timeout=10)
+        self._loop = None
+        self._thread = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.host, self.port
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

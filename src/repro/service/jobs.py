@@ -1,0 +1,124 @@
+"""Job model of the analysis service: states, priorities, records.
+
+A :class:`Job` is one unit of queued analysis work.  Jobs are keyed by the
+engine's canonical request identity (:func:`repro.engine.program_fingerprint`
+for ``/analyze`` sources, the kernel name for ``/kernel``), which is what the
+service's request coalescing hangs off: a second submission with the same key
+while the first is still in flight *attaches* to the existing job instead of
+creating a new one, and every attached waiter receives the same bit-identical
+result payload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: priority name -> queue rank (lower runs first)
+PRIORITIES: dict[str, int] = {"high": 0, "normal": 1, "low": 2}
+DEFAULT_PRIORITY = "normal"
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+def priority_rank(name: str) -> int:
+    try:
+        return PRIORITIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown priority {name!r}; expected one of {sorted(PRIORITIES)}"
+        ) from None
+
+
+@dataclass
+class Job:
+    """One queued/running/finished analysis request."""
+
+    id: str
+    kind: str  #: "kernel" | "analyze"
+    key: str  #: coalescing key (canonical request identity)
+    priority: str
+    rank: int  #: numeric queue rank derived from ``priority``
+    seq: int  #: submission order; tie-breaker within a rank
+    request: dict  #: client-facing echo of what was asked
+    work: Callable[[], dict]  #: runs in a worker thread, returns the result
+    state: str = QUEUED
+    attached: int = 1  #: total requests served by this job (1 = no coalescing)
+    result: dict | None = None
+    error: str | None = None
+    submitted_at: float = field(default_factory=time.time)
+    created: float = field(default_factory=time.monotonic)
+    started: float | None = None
+    finished: float | None = None
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+    @classmethod
+    def new(
+        cls,
+        *,
+        kind: str,
+        key: str,
+        priority: str,
+        seq: int,
+        request: dict,
+        work: Callable[[], dict],
+    ) -> "Job":
+        return cls(
+            id=uuid.uuid4().hex[:12],
+            kind=kind,
+            key=key,
+            priority=priority,
+            rank=priority_rank(priority),
+            seq=seq,
+            request=request,
+            work=work,
+        )
+
+    @property
+    def finished_ok(self) -> bool:
+        return self.state == DONE
+
+    @property
+    def queue_seconds(self) -> float | None:
+        if self.started is None:
+            return None
+        return self.started - self.created
+
+    @property
+    def run_seconds(self) -> float | None:
+        if self.started is None or self.finished is None:
+            return None
+        return self.finished - self.started
+
+    @property
+    def total_seconds(self) -> float | None:
+        if self.finished is None:
+            return None
+        return self.finished - self.created
+
+    def record(self, *, include_result: bool = True) -> dict:
+        """JSON-safe job record (the ``/jobs/<id>`` payload body)."""
+        payload = {
+            "id": self.id,
+            "kind": self.kind,
+            "key": self.key,
+            "state": self.state,
+            "priority": self.priority,
+            "attached": self.attached,
+            "coalesced": self.attached > 1,
+            "request": self.request,
+            "submitted_at": self.submitted_at,
+            "queue_seconds": self.queue_seconds,
+            "run_seconds": self.run_seconds,
+            "total_seconds": self.total_seconds,
+            "error": self.error,
+        }
+        if include_result:
+            payload["result"] = self.result
+        return payload

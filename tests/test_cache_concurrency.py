@@ -1,0 +1,109 @@
+"""Concurrent access to a shared on-disk solve cache.
+
+Two (or more) processes pointing at one ``--cache-dir`` must never corrupt
+entries -- every file in the directory has to stay a valid, decodable cache
+record -- and a warm reader must see a fully usable cache (no lingering
+misses beyond the transient double-solve window while writers race).
+"""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from repro.engine import SolveCache, SolveOutcome
+from repro.engine.cache import _SCHEMA, _decode
+from repro.opt.kkt import ChiSolution
+
+import sympy as sp
+
+
+def _analyze_with_cache(task):
+    """Run one kernel against the shared disk cache (subprocess target)."""
+    name, cache_dir = task
+    from repro.analysis import analyze_kernel
+    from repro.symbolic.printing import bound_str
+
+    result = analyze_kernel(name, cache_dir=cache_dir)
+    return name, bound_str(result.bound)
+
+
+def _hammer_cache(task):
+    """Write/read a fixed signature set against one directory (subprocess)."""
+    worker, cache_dir, rounds = task
+    from repro.symbolic.symbols import S_SYM, X_SYM
+
+    cache = SolveCache(cache_dir)
+    outcome = SolveOutcome(
+        solution=ChiSolution(
+            chi=X_SYM**2 / S_SYM,
+            tiles={"i": sp.Symbol("b_0", positive=True)},
+            capped=(),
+            pinned=(),
+            exact=True,
+            notes=(f"writer {worker}",),
+        )
+    )
+    for round_no in range(rounds):
+        for index in range(8):
+            signature = f"sig{index:02d}"
+            cache.put(signature, outcome)
+            loaded = cache._load_disk(signature)  # bypass the memory tier
+            assert loaded is not None, f"unreadable entry {signature}"
+            assert loaded.ok
+    return worker
+
+
+def _entries(cache_dir: str) -> list[Path]:
+    return sorted(Path(cache_dir).glob("*.json"))
+
+
+class TestSharedDiskCache:
+    def test_two_processes_same_kernel(self, tmp_path):
+        """Simultaneous cold runs over one cache dir agree and stay clean."""
+        cache_dir = str(tmp_path / "cache")
+        tasks = [("gemm", cache_dir)] * 2 + [("atax", cache_dir)] * 2
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(_analyze_with_cache, tasks))
+        bounds = {}
+        for name, bound in results:
+            bounds.setdefault(name, set()).add(bound)
+        assert bounds["gemm"] == {"2*N**3/sqrt(S)"}
+        assert all(len(values) == 1 for values in bounds.values())
+        for path in _entries(cache_dir):
+            payload = json.loads(path.read_text())  # never truncated/corrupt
+            assert payload["schema"] == _SCHEMA
+            assert _decode(payload) is not None
+        assert not list(Path(cache_dir).glob(".*.tmp")), "leaked temp files"
+
+    def test_warm_process_solves_nothing(self, tmp_path):
+        """After racing writers finish, a fresh process runs all-hits."""
+        cache_dir = str(tmp_path / "cache")
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            list(pool.map(_analyze_with_cache, [("gemm", cache_dir)] * 2))
+        cache = SolveCache(cache_dir)
+        from repro.analysis import analyze_kernel
+        from repro.engine import Engine
+
+        result = analyze_kernel("gemm", engine=Engine(cache=cache))
+        assert result.program_bound.diagnostics.cache.misses == 0
+        assert result.program_bound.diagnostics.cache.disk_hits >= 1
+
+    def test_put_get_hammer_across_processes(self, tmp_path):
+        """Racing writers on identical signatures never publish torn files."""
+        cache_dir = str(tmp_path / "cache")
+        tasks = [(worker, cache_dir, 12) for worker in range(4)]
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            finished = list(pool.map(_hammer_cache, tasks))
+        assert sorted(finished) == [0, 1, 2, 3]
+        entries = _entries(cache_dir)
+        assert len(entries) == 8
+        from repro.symbolic.symbols import S_SYM, X_SYM
+
+        reader = SolveCache(cache_dir)
+        for path in entries:
+            outcome = reader.get(path.stem)
+            assert outcome is not None and outcome.ok
+            assert outcome.solution.chi == X_SYM**2 / S_SYM
+        assert reader.stats.disk_hits == 8
+        assert reader.stats.misses == 0
+        assert not list(Path(cache_dir).glob(".*.tmp"))

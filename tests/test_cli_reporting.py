@@ -79,6 +79,64 @@ class TestCLI:
         assert code == 0
         assert "sound         : True" in out
 
-    def test_unknown_kernel_raises(self):
-        with pytest.raises(KeyError):
-            main(["kernel", "nope"])
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_json_reports_carry_version_header(self, capsys):
+        import json
+
+        from repro import __version__
+
+        assert main(["kernel", "gemm", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == __version__
+        assert payload["generator"] == "repro"
+        assert payload["report"] == "kernel"
+
+    def test_table2_json_carries_version_header(self):
+        from repro import __version__
+
+        rows = table2_rows(names=["gemm"])
+        payload = table2_json(rows, jobs=1, elapsed=0.1)
+        assert payload["version"] == __version__
+        assert payload["report"] == "table2"
+
+
+class TestCLIErrors:
+    """Expected failures exit 2 with a one-line message, never a traceback."""
+
+    def test_unknown_kernel_exits_nonzero(self, capsys):
+        assert main(["kernel", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown kernel 'nope'")
+        assert err.count("\n") == 1
+
+    def test_unknown_validate_kernel_exits_nonzero(self, capsys):
+        assert main(["validate", "nope"]) == 2
+        assert "unknown kernel" in capsys.readouterr().err
+
+    def test_bad_validate_params_exit_nonzero(self, capsys):
+        assert main(["validate", "gemm", "--params", "N"]) == 2
+        assert "expected NAME=INTEGER" in capsys.readouterr().err
+
+    def test_unparsable_source_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "broken.py"
+        path.write_text("for i in range(N:\n    pass\n")
+        assert main(["analyze", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1
+
+    def test_missing_source_file_exits_nonzero(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "absent.py")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_submit_without_daemon_exits_nonzero(self, capsys):
+        assert main(["submit", "gemm", "--port", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "daemon" in err

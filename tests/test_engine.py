@@ -300,3 +300,53 @@ class TestCLIPlumbing:
         assert payload["ratio"] == "1" and payload["shape_matches"] is True
         stage_names = [s["name"] for s in payload["diagnostics"]["stages"]]
         assert stage_names == ["build-sdg", "enumerate", "fuse", "solve", "combine"]
+
+
+class TestLRUCap:
+    """Bounded memory tier: least-recently-used eviction, counted in stats."""
+
+    def _outcome(self, tag):
+        return SolveOutcome(error=f"marker {tag}")
+
+    def test_unbounded_by_default(self):
+        cache = SolveCache()
+        for index in range(100):
+            cache.put(f"sig{index}", self._outcome(index))
+        assert len(cache) == 100
+        assert cache.stats.evictions == 0
+
+    def test_evicts_least_recently_used(self):
+        cache = SolveCache(max_memory_entries=2)
+        cache.put("a", self._outcome("a"))
+        cache.put("b", self._outcome("b"))
+        assert cache.get("a") is not None  # refresh a: b is now LRU
+        cache.put("c", self._outcome("c"))
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert cache.stats.evictions == 1
+
+    def test_eviction_falls_back_to_disk_tier(self, tmp_path):
+        cache = SolveCache(tmp_path / "c", max_memory_entries=1)
+        cache.put("a", self._outcome("a"))
+        cache.put("b", self._outcome("b"))  # evicts a from memory, not disk
+        assert cache.stats.evictions == 1
+        outcome = cache.get("a")
+        assert outcome is not None and outcome.error == "marker a"
+        assert cache.stats.disk_hits == 1
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            SolveCache(max_memory_entries=0)
+
+    def test_engine_runs_with_tiny_cache(self):
+        engine = Engine(cache=SolveCache(max_memory_entries=1))
+        result = analyze_kernel("gemm", engine=engine)
+        assert str(result.bound) == "2*N**3/sqrt(S)"
+
+    def test_stats_snapshot_is_a_copy(self):
+        cache = SolveCache()
+        snapshot = cache.stats_snapshot()
+        cache.put("a", self._outcome("a"))
+        assert snapshot.stores == 0
+        assert cache.stats.stores == 1
