@@ -14,26 +14,17 @@ script for the full 38-kernel suite::
     PYTHONPATH=src python benchmarks/bench_engine.py --jobs 4 -o BENCH_engine.json
 """
 
-import argparse
-import json
 import sys
 import tempfile
-import time
 from pathlib import Path
 
+from _harness import finish, make_parser, run_once, timed
 from repro.engine import analyze_many
 
 #: fast, structurally diverse subset for the pytest target
 SUBSET = ["gemm", "2mm", "atax", "bicg", "mvt", "jacobi1d", "jacobi2d", "trisolv"]
 
 WARM_SPEEDUP_FLOOR = 2.0
-
-
-def _timed_run(names, *, jobs=1, cache_dir=None):
-    started = time.perf_counter()
-    results = analyze_many(names, jobs=jobs, cache_dir=cache_dir)
-    elapsed = time.perf_counter() - started
-    return elapsed, results
 
 
 def run_suite(names=None, *, jobs=4, warm_rounds=1):
@@ -43,22 +34,22 @@ def run_suite(names=None, *, jobs=4, warm_rounds=1):
     names = list(names) if names is not None else kernel_names()
     with tempfile.TemporaryDirectory(prefix="soap-bench-") as tmp:
         cache_dir = str(Path(tmp) / "cache")
-        cold_s, cold = _timed_run(names, cache_dir=cache_dir)
-        warm_samples = []
-        for _ in range(max(1, warm_rounds)):
-            warm_s, warm = _timed_run(names, cache_dir=cache_dir)
-            warm_samples.append(warm_s)
-        warm_s = min(warm_samples)
+        cold = timed(analyze_many, names, cache_dir=cache_dir)
+        warm_samples = [
+            timed(analyze_many, names, cache_dir=cache_dir)
+            for _ in range(max(1, warm_rounds))
+        ]
+        warm = min(warm_samples, key=lambda t: t.wall_seconds)
         parallel_dir = str(Path(tmp) / "cache-par")
-        parallel_s, parallel = _timed_run(names, jobs=jobs, cache_dir=parallel_dir)
+        parallel = timed(analyze_many, names, jobs=jobs, cache_dir=parallel_dir)
 
     mismatches = [
         name
         for name, a, b, c in zip(
             names,
-            (r.bound for r in cold),
-            (r.bound for r in warm),
-            (r.bound for r in parallel),
+            (r.bound for r in cold.value),
+            (r.bound for r in warm.value),
+            (r.bound for r in parallel.value),
         )
         if not (a == b == c)
     ]
@@ -66,39 +57,41 @@ def run_suite(names=None, *, jobs=4, warm_rounds=1):
         "suite": "table2-engine",
         "kernels": names,
         "jobs": jobs,
-        "cold_seconds": cold_s,
-        "warm_seconds": warm_s,
-        "parallel_seconds": parallel_s,
-        "warm_speedup": cold_s / warm_s if warm_s else None,
-        "parallel_speedup": cold_s / parallel_s if parallel_s else None,
+        "cold_seconds": cold.wall_seconds,
+        "warm_seconds": warm.wall_seconds,
+        "parallel_seconds": parallel.wall_seconds,
+        "warm_speedup": (
+            cold.wall_seconds / warm.wall_seconds if warm.wall_seconds else None
+        ),
+        "parallel_speedup": (
+            cold.wall_seconds / parallel.wall_seconds
+            if parallel.wall_seconds
+            else None
+        ),
         "bound_mismatches": mismatches,
     }
 
 
 def test_warm_cache_speedup_and_identity(benchmark):
     """Warm >= 2x over cold on the subset; all configurations bit-identical."""
-    payload = benchmark.pedantic(
-        run_suite, kwargs={"names": SUBSET, "jobs": 2}, rounds=1, iterations=1
-    )
+    payload = run_once(benchmark, run_suite, names=SUBSET, jobs=2)
     assert payload["bound_mismatches"] == []
     assert payload["warm_speedup"] >= WARM_SPEEDUP_FLOOR, payload
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = make_parser(__doc__.splitlines()[0], "BENCH_engine.json")
     parser.add_argument("--jobs", type=int, default=4)
-    parser.add_argument("--subset", action="store_true", help="fast subset only")
-    parser.add_argument("-o", "--output", type=Path, default=Path("BENCH_engine.json"))
     args = parser.parse_args(argv)
     payload = run_suite(SUBSET if args.subset else None, jobs=args.jobs)
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(
+    summary = (
         f"cold {payload['cold_seconds']:.2f}s  warm {payload['warm_seconds']:.2f}s "
         f"({payload['warm_speedup']:.1f}x)  parallel[{payload['jobs']}] "
         f"{payload['parallel_seconds']:.2f}s ({payload['parallel_speedup']:.1f}x)"
     )
-    print(f"wrote {args.output}")
-    return 0 if not payload["bound_mismatches"] else 1
+    return finish(
+        payload, args.output, summary, failed=bool(payload["bound_mismatches"])
+    )
 
 
 if __name__ == "__main__":

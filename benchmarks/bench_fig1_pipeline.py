@@ -6,6 +6,7 @@ sizes -- the complete flow the figure sketches, timed end to end.
 
 import sympy as sp
 
+from _harness import run_once
 from repro.analysis import analyze_source
 from repro.opt.tiling import tiles_at_x0
 from repro.symbolic.symbols import S_SYM
@@ -22,9 +23,7 @@ for i in range(100):
 
 
 def test_fig1_pipeline(benchmark):
-    result = benchmark.pedantic(
-        analyze_source, args=(SOURCE,), kwargs={"name": "fig1"}, rounds=1, iterations=1
-    )
+    result = run_once(benchmark, analyze_source, SOURCE, name="fig1")
     # The MMM statement dominates: 2 * 100^3 / sqrt(S) at leading order.
     assert sp.simplify(result.bound - 2_000_000 / sp.sqrt(S_SYM)) == 0
     # The pipeline is constructive: the maximal subcomputation's tiling is

@@ -6,8 +6,8 @@
 """
 
 import networkx as nx
-import sympy as sp
 
+from _harness import run_once
 from repro.cdag.build import build_cdag
 from repro.ir.program import Program
 from repro.kernels.common import ref, stmt
@@ -37,7 +37,7 @@ def _regenerate():
 
 
 def test_fig2_example(benchmark):
-    sdg, cdag, h1, h3 = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+    sdg, cdag, h1, h3 = run_once(benchmark, _regenerate)
 
     # SDG: V_S = {A, B, C, D, E}, E_S as Example 7, self-edge on E.
     assert set(sdg.graph.nodes) == {"A", "B", "C", "D", "E"}

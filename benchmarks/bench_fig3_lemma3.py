@@ -8,6 +8,7 @@ sweeps arrangements exhaustively for small instances.
 
 import itertools
 
+from _harness import run_once
 from repro.cdag.counting import hyperrectangle_union_size
 
 
@@ -40,7 +41,7 @@ def _sweep():
 
 
 def test_fig3_antipodal_minimality(benchmark):
-    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    results = run_once(benchmark, _sweep)
     for sizes, n_tiles, (spread, min_union) in results:
         # Lemma 3 closed form with |t̂_i| = spread_i (lower bound):
         formula = 2 * sizes[0] * sizes[1] - max(sizes[0] - spread[0], 0) * max(

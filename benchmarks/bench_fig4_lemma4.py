@@ -10,7 +10,7 @@ beats the rectangle.
 import itertools
 import random
 
-from repro.cdag.counting import access_set_size_bruteforce
+from _harness import run_once
 
 
 # Example 1's accesses: A[i-1,t], A[i,t], A[i+1,t] and B[i].
@@ -60,9 +60,7 @@ def _experiment(extent=4, trials=300, seed=7):
 
 
 def test_fig4_rectangular_maximizes_delta(benchmark):
-    rect_delta, worst_violation = benchmark.pedantic(
-        _experiment, rounds=1, iterations=1
-    )
+    rect_delta, worst_violation = run_once(benchmark, _experiment)
     assert rect_delta > 0
     # Lemma 4: no subset beats its spanning rectangle.
     assert worst_violation <= 1e-12

@@ -9,6 +9,7 @@ certified upper bound, and assert the sandwich
 
 import pytest
 
+from _harness import run_once
 from repro.kernels import get_kernel
 from repro.pebbling.validate import validate_bound
 
@@ -29,9 +30,7 @@ CASES = [
 def test_pebbling_sandwich(benchmark, name, params, s):
     spec = get_kernel(name)
     program = spec.build()
-    report = benchmark.pedantic(
-        validate_bound, args=(program, params, s), rounds=1, iterations=1
-    )
+    report = run_once(benchmark, validate_bound, program, params, s)
     assert report.sound, (
         f"{name}{params} S={s}: bound {report.lower_bound:.2f} exceeds "
         f"achievable {report.optimal_cost or report.greedy_cost}"

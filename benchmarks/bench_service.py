@@ -23,13 +23,11 @@ representative subset, or as a script for the full 38-kernel suite::
     PYTHONPATH=src python benchmarks/bench_service.py --clients 8 -o BENCH_service.json
 """
 
-import argparse
-import json
 import sys
 import threading
 import time
-from pathlib import Path
 
+from _harness import finish, make_parser, run_once
 from repro.service import ServiceClient, ServiceConfig, ServiceThread
 from repro.service.metrics import percentile
 
@@ -135,11 +133,8 @@ def run_suite(names=None, *, clients=DEFAULT_CLIENTS, workers=2) -> dict:
 
 def test_service_load(benchmark):
     """>= 8 concurrent clients; coalesce rate > 0; warm >= 2x; bit-identical."""
-    payload = benchmark.pedantic(
-        run_suite,
-        kwargs={"names": SUBSET, "clients": DEFAULT_CLIENTS, "workers": 2},
-        rounds=1,
-        iterations=1,
+    payload = run_once(
+        benchmark, run_suite, names=SUBSET, clients=DEFAULT_CLIENTS, workers=2
     )
     assert payload["cold"]["errors"] == []
     assert payload["warm"]["errors"] == []
@@ -151,36 +146,30 @@ def test_service_load(benchmark):
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = make_parser(__doc__.splitlines()[0], "BENCH_service.json")
     parser.add_argument("--clients", type=int, default=DEFAULT_CLIENTS)
     parser.add_argument("--workers", type=int, default=2)
-    parser.add_argument("--subset", action="store_true", help="fast subset only")
-    parser.add_argument(
-        "-o", "--output", type=Path, default=Path("BENCH_service.json")
-    )
     args = parser.parse_args(argv)
     payload = run_suite(
         SUBSET if args.subset else None,
         clients=args.clients,
         workers=args.workers,
     )
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
     cold, warm = payload["cold"], payload["warm"]
-    print(
+    summary = (
         f"cold {cold['seconds']:.2f}s ({cold['throughput_rps']:.1f} req/s, "
         f"p99 {cold['latency_seconds']['p99']:.3f}s)  "
         f"warm {warm['seconds']:.2f}s ({warm['throughput_rps']:.1f} req/s, "
         f"{payload['warm_speedup']:.1f}x)  "
         f"coalesce rate {payload['coalescing']['coalesce_rate']:.2f}"
     )
-    print(f"wrote {args.output}")
-    failed = (
+    failed = bool(
         payload["identity_mismatches"]
         or cold["errors"]
         or warm["errors"]
         or payload["warm_speedup"] < WARM_SPEEDUP_FLOOR
     )
-    return 1 if failed else 0
+    return finish(payload, args.output, summary, failed=failed)
 
 
 if __name__ == "__main__":

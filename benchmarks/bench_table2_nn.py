@@ -8,6 +8,7 @@ BERT row is an *exact* reproduction: 4*B*H*P*L*(L + 2*H*P)/sqrt(S).
 import pytest
 import sympy as sp
 
+from _harness import run_once
 from repro.analysis import analyze_kernel
 from repro.kernels import kernel_names
 
@@ -16,7 +17,7 @@ NN = kernel_names("nn")
 
 @pytest.mark.parametrize("name", NN)
 def test_table2_nn_row(benchmark, name, expected_bound):
-    result = benchmark.pedantic(analyze_kernel, args=(name,), rounds=1, iterations=1)
+    result = run_once(benchmark, analyze_kernel, name)
     assert sp.simplify(result.bound - expected_bound(name)) == 0
 
 

@@ -9,6 +9,7 @@ shape-checked against the paper's expression by the test suite.
 import pytest
 import sympy as sp
 
+from _harness import run_once
 from repro.analysis import analyze_kernel
 from repro.kernels import kernel_names
 
@@ -17,5 +18,5 @@ POLYBENCH = kernel_names("polybench")
 
 @pytest.mark.parametrize("name", POLYBENCH)
 def test_table2_polybench_row(benchmark, name, expected_bound):
-    result = benchmark.pedantic(analyze_kernel, args=(name,), rounds=1, iterations=1)
+    result = run_once(benchmark, analyze_kernel, name)
     assert sp.simplify(result.bound - expected_bound(name)) == 0

@@ -10,7 +10,7 @@ Run:  python examples/stencil_time_tiling.py
 
 import sympy as sp
 
-from repro.analysis import analyze_kernel, analyze_program
+from repro.analysis import analyze_kernel
 from repro.kernels import get_kernel
 from repro.sdg.bounds import sdg_bound
 from repro.symbolic.printing import bound_str

@@ -54,16 +54,16 @@ class KernelResult:
 
 
 def _engine(
-    engine: Engine | None, cache_dir: str | None, jobs: int
+    engine: Engine | None, cache_dir: str | None, jobs: int, solver: str | None
 ) -> Engine:
     if engine is not None:
-        if cache_dir is not None or jobs != 1:
+        if cache_dir is not None or jobs != 1 or solver is not None:
             raise ValueError(
-                "pass either engine or cache_dir/jobs, not both "
-                "(the engine already carries its cache and job count)"
+                "pass either engine or cache_dir/jobs/solver, not both "
+                "(the engine already carries its cache, job count, and backend)"
             )
         return engine
-    return Engine(cache=SolveCache(cache_dir), jobs=jobs)
+    return Engine(cache=SolveCache(cache_dir), jobs=jobs, solver=solver or "exact")
 
 
 def analyze_program(
@@ -75,9 +75,10 @@ def analyze_program(
     engine: Engine | None = None,
     cache_dir: str | None = None,
     jobs: int = 1,
+    solver: str | None = None,
 ) -> ProgramBound:
     """Derive the I/O lower bound of an IR program (Theorem 1)."""
-    return _engine(engine, cache_dir, jobs).analyze(
+    return _engine(engine, cache_dir, jobs, solver).analyze(
         program,
         policy=policy,
         max_subgraph_size=max_subgraph_size,
@@ -91,6 +92,7 @@ def analyze_kernel(
     engine: Engine | None = None,
     cache_dir: str | None = None,
     jobs: int = 1,
+    solver: str | None = None,
 ) -> KernelResult:
     """Analyze a registered Table 2 kernel and compare with the paper."""
     from repro.kernels import get_kernel
@@ -105,6 +107,7 @@ def analyze_kernel(
         engine=engine,
         cache_dir=cache_dir,
         jobs=jobs,
+        solver=solver,
     )
     bound = result.combined if spec.use_floor else result.bound
     bound = leading_term(sp.sympify(bound)) if bound.free_symbols else bound
@@ -136,6 +139,7 @@ def analyze_source(
     engine: Engine | None = None,
     cache_dir: str | None = None,
     jobs: int = 1,
+    solver: str | None = None,
 ) -> ProgramBound:
     """Parse loop-nest source code and derive its I/O lower bound."""
     if language == "python":
@@ -156,4 +160,5 @@ def analyze_source(
         engine=engine,
         cache_dir=cache_dir,
         jobs=jobs,
+        solver=solver,
     )

@@ -18,7 +18,7 @@ Statement ``guard`` expressions restrict non-rectangular nests.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Mapping
 
 import networkx as nx

@@ -36,7 +36,10 @@ from pathlib import Path
 
 def main(argv: list[str] | None = None) -> int:
     from repro import __version__
+    from repro.opt.backends import available_backends
     from repro.sdg.subgraphs import DEFAULT_MAX_SIZE
+
+    backends = available_backends()
 
     parser = argparse.ArgumentParser(
         prog="soap-analyze",
@@ -60,6 +63,11 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument(
             "--json", action="store_true",
             help="emit a machine-readable JSON report",
+        )
+        p.add_argument(
+            "--solver", choices=backends, default="exact", metavar="BACKEND",
+            help="problem (8) solver backend: one of "
+            f"{', '.join(backends)} (default: exact)",
         )
 
     def add_service_flags(p) -> None:
@@ -114,6 +122,10 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument(
         "--no-coalesce", action="store_true",
         help="disable request coalescing (for benchmarking)",
+    )
+    p_serve.add_argument(
+        "--solver", choices=backends, default="exact", metavar="BACKEND",
+        help="problem (8) solver backend the daemon's engine uses",
     )
 
     p_submit = sub.add_parser("submit", help="submit an analysis to a running daemon")
@@ -201,6 +213,7 @@ def _cmd_analyze(args) -> int:
         allow_pinning=args.allow_pinning,
         cache_dir=_cache_dir(args),
         jobs=args.jobs,
+        solver=args.solver,
     )
     if args.json:
         print(json.dumps(
@@ -226,7 +239,9 @@ def _cmd_kernel(args) -> int:
     from repro.reporting.serialize import kernel_report
     from repro.symbolic.printing import bound_str
 
-    result = analyze_kernel(args.name, cache_dir=_cache_dir(args), jobs=args.jobs)
+    result = analyze_kernel(
+        args.name, cache_dir=_cache_dir(args), jobs=args.jobs, solver=args.solver
+    )
     if args.json:
         print(json.dumps(kernel_report(result), indent=2))
         return 0
@@ -249,7 +264,7 @@ def _cmd_table2(args) -> int:
 
     started = time.perf_counter()
     rows = table2_rows(
-        args.category, jobs=args.jobs, cache_dir=_cache_dir(args)
+        args.category, jobs=args.jobs, cache_dir=_cache_dir(args), solver=args.solver
     )
     elapsed = time.perf_counter() - started
     if args.json:
@@ -305,10 +320,11 @@ def _cmd_serve(args) -> int:
         cache_dir=_cache_dir(args),
         max_cache_entries=args.max_cache_entries,
         coalesce=not args.no_coalesce,
+        solver=args.solver,
     )
     print(
         f"soap-analyze {__version__} serving on http://{args.host}:{args.port} "
-        f"({config.workers} workers, coalescing "
+        f"({config.workers} workers, solver {config.solver}, coalescing "
         f"{'on' if config.coalesce else 'off'})",
         flush=True,
     )
@@ -372,9 +388,14 @@ def _cmd_status(args) -> int:
     print(
         f"daemon at {args.host}:{args.port}: {health.status} "
         f"(v{health.version}, {health.workers} workers, "
-        f"queue depth {health.queue_depth}, "
+        f"solver {health.solver}, queue depth {health.queue_depth}, "
         f"up {health.uptime_seconds:.0f}s)"
     )
+    for backend, counts in sorted(health.solver_stats.items()):
+        line = ", ".join(
+            f"{bucket} {count}" for bucket, count in sorted(counts.items()) if count
+        )
+        print(f"  solves[{backend}]: {line or 'none yet'}")
     return 0
 
 

@@ -9,10 +9,11 @@ parallel batch execution.  See :mod:`repro.engine.core` for the pipeline,
 
 from repro.engine.batch import analyze_many
 from repro.engine.cache import CacheStats, SolveCache, SolveOutcome
-from repro.engine.core import Engine, EngineOptions, program_fingerprint
+from repro.engine.core import Engine, EngineOptions, classify_outcome, program_fingerprint
 from repro.engine.diagnostics import EngineDiagnostics, StageRecord
 from repro.engine.signature import (
     CanonicalProblem,
+    canonicalize_ir,
     canonicalize_problem,
     rename_solution,
     rename_text,
@@ -27,7 +28,9 @@ __all__ = [
     "SolveOutcome",
     "CacheStats",
     "CanonicalProblem",
+    "canonicalize_ir",
     "canonicalize_problem",
+    "classify_outcome",
     "rename_solution",
     "rename_text",
     "analyze_many",

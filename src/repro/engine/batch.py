@@ -22,12 +22,12 @@ from repro.engine.cache import SolveCache
 from repro.engine.core import Engine
 
 
-def _kernel_task(task: tuple[str, str | None]):
+def _kernel_task(task: tuple[str, str | None, str]):
     """Analyze one kernel in a worker process (top-level for pickling)."""
-    name, cache_dir = task
+    name, cache_dir, solver = task
     from repro.analysis import analyze_kernel
 
-    return analyze_kernel(name, cache_dir=cache_dir)
+    return analyze_kernel(name, cache_dir=cache_dir, solver=solver)
 
 
 def analyze_many(
@@ -36,6 +36,7 @@ def analyze_many(
     jobs: int = 1,
     cache_dir: str | None = None,
     engine: Engine | None = None,
+    solver: str | None = None,
 ) -> list:
     """Analyze ``names`` (default: every registered kernel); returns
     :class:`~repro.analysis.KernelResult` objects in input order."""
@@ -44,29 +45,40 @@ def analyze_many(
 
     if engine is not None and cache_dir is not None:
         raise ValueError("pass either engine or cache_dir, not both")
+    if engine is not None and solver is not None:
+        raise ValueError(
+            "pass either engine or solver, not both "
+            "(the engine already carries its backend)"
+        )
     selected: Sequence[str] = (
         list(names) if names is not None else kernel_names()
     )
     jobs = max(1, int(jobs))
     if jobs == 1 or len(selected) <= 1:
         if engine is None:
-            engine = Engine(cache=SolveCache(cache_dir))
+            engine = Engine(
+                cache=SolveCache(cache_dir), solver=solver or "exact"
+            )
         return [analyze_kernel(name, engine=engine) for name in selected]
     if engine is not None:
         # Worker processes cannot share the engine's in-memory tier; they can
         # share its disk tier (None when the engine's cache is memory-only).
         disk = engine.cache.cache_dir
         cache_dir = str(disk) if disk is not None else None
+        solver = engine.solver
+    solver = solver or "exact"
     if cache_dir is not None:
-        return _run_parallel(selected, cache_dir, jobs)
+        return _run_parallel(selected, cache_dir, jobs, solver)
     # No persistent store requested: share solves through a batch-lifetime
     # temp directory, else every worker would re-solve the suite's repeated
     # problem shapes from scratch.
     with tempfile.TemporaryDirectory(prefix="soap-engine-cache-") as tmp:
-        return _run_parallel(selected, tmp, jobs)
+        return _run_parallel(selected, tmp, jobs, solver)
 
 
-def _run_parallel(selected: Sequence[str], cache_dir: str, jobs: int) -> list:
-    tasks = [(name, cache_dir) for name in selected]
+def _run_parallel(
+    selected: Sequence[str], cache_dir: str, jobs: int, solver: str
+) -> list:
+    tasks = [(name, cache_dir, solver) for name in selected]
     with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
         return list(pool.map(_kernel_task, tasks))

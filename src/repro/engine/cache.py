@@ -2,8 +2,12 @@
 
 Tier 1 is an in-process LRU (shared across every kernel analyzed by one
 :class:`repro.engine.Engine`), tier 2 an optional on-disk JSON store (one
-file per signature, written atomically so concurrent ``--jobs`` workers can
-share a directory without locking).  Values are either a serialized
+file per entry, written atomically so concurrent ``--jobs`` workers can
+share a directory without locking).  Keys are composed by the engine as
+``<canonical signature>-<backend>-r<SOLVER_REVISION>``
+(:meth:`~repro.opt.backends.SolverBackend.cache_tag`), so results produced
+by different solver backends -- or different solver generations -- are
+namespaced and never alias.  Values are either a serialized
 :class:`~repro.opt.kkt.ChiSolution` or a *negative* entry recording the
 :class:`~repro.util.errors.SolverError` message -- warm runs must skip the
 same subgraphs the cold run skipped, or the per-array maxima (and hence the

@@ -5,14 +5,19 @@ stage appends a :class:`~repro.engine.diagnostics.StageRecord` (wall time +
 counters), and the hot stage -- solving optimization problem (8) -- goes
 through a canonicalize/dedup/memoize funnel:
 
-* every fused problem is **canonicalized** (:mod:`repro.engine.signature`),
-  so structurally identical subgraphs (renamed loop variables, reordered
-  terms) collapse to one signature -- both within a kernel and across the
-  whole Table 2 suite;
+* every fused problem arrives as a :class:`~repro.opt.problem.ProblemIR`
+  (built once at fusion time) and is **canonicalized**
+  (:mod:`repro.engine.signature`), so structurally identical subgraphs
+  (renamed loop variables, reordered terms) collapse to one signature --
+  both within a kernel and across the whole Table 2 suite;
 * distinct signatures are resolved through the two-tier
   :class:`~repro.engine.cache.SolveCache` (in-process dict + optional
-  on-disk JSON store), with negative entries for solver failures;
-* signatures missing from the cache are solved, optionally in parallel via
+  on-disk JSON store), with negative entries for solver failures.  Entries
+  are namespaced by **solver backend** and :data:`~repro.opt.kkt.SOLVER_REVISION`,
+  so different solving strategies (or solver generations) never alias;
+* signatures missing from the cache are solved by the selected
+  :mod:`~repro.opt.backends` backend (``exact`` by default; ``numeric-first``
+  for the fast path; ``cross-check`` to run both), optionally in parallel via
   :class:`concurrent.futures.ProcessPoolExecutor` (``jobs > 1``); results
   are merged back **in enumeration order**, so the produced
   :class:`~repro.sdg.bounds.ProgramBound` is bit-identical regardless of
@@ -26,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
@@ -37,12 +43,13 @@ from repro.engine.cache import CacheStats, SolveCache, SolveOutcome
 from repro.engine.diagnostics import EngineDiagnostics, StageRecord
 from repro.engine.signature import (
     CanonicalProblem,
-    canonicalize_problem,
+    canonicalize_ir,
     rename_solution,
     rename_text,
 )
 from repro.ir.program import Program
-from repro.opt.kkt import solve_chi
+from repro.opt.backends import DEFAULT_BACKEND, get_backend
+from repro.opt.backends.crosscheck import COVERAGE_MARKER, MISMATCH_PREFIX
 from repro.opt.rho import compare_intensity, intensity_from_chi
 from repro.sdg.graph import SDG
 from repro.sdg.merge import FusedStatement, fuse_statements
@@ -60,32 +67,55 @@ class EngineOptions:
     max_subgraph_size: int = DEFAULT_MAX_SIZE
     unify_same_names: bool = True
     allow_pinning: bool = False
+    solver: str = DEFAULT_BACKEND
 
 
 def _solve_signature(
-    task: tuple[str, CanonicalProblem, bool]
+    task: tuple[str, CanonicalProblem, bool, str]
 ) -> tuple[str, SolveOutcome]:
     """Solve one canonical problem (8); top-level so process pools can pickle it."""
-    signature, canonical, allow_pinning = task
+    key, canonical, allow_pinning, solver = task
+    backend = get_backend(solver)
     try:
-        solution = solve_chi(
-            canonical.objective,
-            canonical.constraint,
-            canonical.extents,
+        solution = backend.solve(
+            canonical.problem,
             allow_pinning=allow_pinning,
             allow_caps=allow_pinning,
         )
-        return signature, SolveOutcome(solution=solution)
+        return key, SolveOutcome(solution=solution)
     except SolverError as err:
-        return signature, SolveOutcome(error=str(err))
+        return key, SolveOutcome(error=str(err))
+
+
+def classify_outcome(outcome: SolveOutcome) -> str:
+    """Solver-health bucket of one outcome: how was the problem resolved?
+
+    ``exact``    -- verified closed form;
+    ``fitted``   -- rational fit of the numeric solution (``exact=False``);
+    ``mismatch`` -- cross-check rho disagreement between backends;
+    ``negative`` -- solver rejected the problem.
+    """
+    if outcome.ok:
+        return "exact" if outcome.solution.exact else "fitted"
+    if outcome.error and outcome.error.startswith(MISMATCH_PREFIX):
+        return "mismatch"
+    return "negative"
+
+
+def _has_coverage_marker(outcome: SolveOutcome) -> bool:
+    """Did cross-check see exactly one backend solve this problem?"""
+    if outcome.ok:
+        return any(COVERAGE_MARKER in note for note in outcome.solution.notes)
+    return bool(outcome.error) and COVERAGE_MARKER in outcome.error
 
 
 class Engine:
     """Composable analysis pipeline with memoized, parallel problem solving.
 
-    One engine holds one :class:`SolveCache`; analyzing many programs through
-    the same engine shares solved problems between them (``analyze_many``
-    relies on this for the cross-kernel dedup of the Table 2 suite).
+    One engine holds one :class:`SolveCache` and one default solver backend;
+    analyzing many programs through the same engine shares solved problems
+    between them (``analyze_many`` relies on this for the cross-kernel dedup
+    of the Table 2 suite).
     """
 
     def __init__(
@@ -93,13 +123,38 @@ class Engine:
         cache: SolveCache | None = None,
         jobs: int = 1,
         on_stage: Callable[[StageRecord], None] | None = None,
+        solver: str = DEFAULT_BACKEND,
     ):
         self.cache = cache if cache is not None else SolveCache()
         self.jobs = max(1, int(jobs))
+        get_backend(solver)  # validate eagerly: a bad name is a config error
+        self.solver = solver
         #: job hook: called with each completed StageRecord (the analysis
         #: service feeds its per-stage metrics through this; must be cheap
         #: and thread-safe when the engine is shared by a worker pool)
         self.on_stage = on_stage
+        # Per-backend solve-health counters (fresh solves only, not cache
+        # hits), keyed backend -> {exact, fitted, negative, mismatch}.
+        self._solver_stats: dict[str, dict[str, int]] = {}
+        self._solver_stats_lock = threading.Lock()
+
+    def solver_stats_snapshot(self) -> dict[str, dict[str, int]]:
+        """Per-backend counters of every fresh solve this engine performed."""
+        with self._solver_stats_lock:
+            return {name: dict(counts) for name, counts in self._solver_stats.items()}
+
+    def _count_solves(self, solver: str, outcomes: list[SolveOutcome]) -> None:
+        if not outcomes:
+            return
+        with self._solver_stats_lock:
+            counts = self._solver_stats.setdefault(
+                solver,
+                {"exact": 0, "fitted": 0, "negative": 0, "mismatch": 0, "coverage": 0},
+            )
+            for outcome in outcomes:
+                counts[classify_outcome(outcome)] += 1
+                if _has_coverage_marker(outcome):
+                    counts["coverage"] += 1
 
     # ------------------------------------------------------------------
     # pipeline
@@ -114,6 +169,7 @@ class Engine:
         unify_same_names: bool = True,
         allow_pinning: bool = False,
         jobs: int | None = None,
+        solver: str | None = None,
     ):
         """Run the staged pipeline; returns a :class:`ProgramBound`."""
         from repro.sdg.bounds import ProgramBound, SubgraphAnalysis, io_footprint_floor
@@ -123,7 +179,9 @@ class Engine:
             max_subgraph_size=max_subgraph_size,
             unify_same_names=unify_same_names,
             allow_pinning=allow_pinning,
+            solver=solver if solver is not None else self.solver,
         )
+        get_backend(options.solver)  # fail fast on unknown backends
         jobs = self.jobs if jobs is None else max(1, int(jobs))
         stages: list[StageRecord] = []
 
@@ -134,6 +192,7 @@ class Engine:
 
         notes: list[str] = []
         stats_before = replace(self.cache.stats)
+        solver_before = self.solver_stats_snapshot().get(options.solver, {})
 
         # ---- stage: build-sdg -------------------------------------------
         started = time.perf_counter()
@@ -201,10 +260,8 @@ class Engine:
                 canonicals.append(None)
                 continue
             canonicals.append(
-                canonicalize_problem(
-                    fused.objective,
-                    fused.constraint,
-                    fused.extents,
+                canonicalize_ir(
+                    fused.problem,
                     allow_pinning=options.allow_pinning,
                     allow_caps=options.allow_pinning,
                 )
@@ -213,6 +270,7 @@ class Engine:
             [c for c in canonicals if c is not None],
             allow_pinning=options.allow_pinning,
             jobs=jobs,
+            solver=options.solver,
         )
 
         analyses: list[SubgraphAnalysis] = []
@@ -242,6 +300,9 @@ class Engine:
                 continue
             analyses.append(SubgraphAnalysis(subset, fused, intensity))
         cache_delta = _stats_delta(stats_before, self.cache.stats)
+        solver_delta = _solver_delta(
+            solver_before, self.solver_stats_snapshot().get(options.solver, {})
+        )
         record(
             StageRecord(
                 "solve",
@@ -254,6 +315,10 @@ class Engine:
                     ("cache_hits", cache_delta.hits),
                     ("cache_misses", cache_delta.misses),
                     ("jobs", jobs),
+                    *sorted(
+                        (f"solver_{bucket}", count)
+                        for bucket, count in solver_delta.items()
+                    ),
                 ),
             )
         )
@@ -293,7 +358,10 @@ class Engine:
         )
 
         diagnostics = EngineDiagnostics(
-            stages=tuple(stages), cache=cache_delta, jobs=jobs
+            stages=tuple(stages),
+            cache=cache_delta,
+            jobs=jobs,
+            solver=options.solver,
         )
         return ProgramBound(
             program=program,
@@ -317,32 +385,55 @@ class Engine:
         *,
         allow_pinning: bool,
         jobs: int,
+        solver: str | None = None,
     ) -> dict[str, SolveOutcome]:
-        """Outcome per signature: cache first, then (parallel) fresh solves."""
+        """Outcome per signature: cache first, then (parallel) fresh solves.
+
+        Cache entries are keyed ``<signature>-<backend>-r<revision>``
+        (:meth:`~repro.opt.backends.SolverBackend.cache_tag`): a signature
+        solved by one backend is re-solved -- not replayed -- under another.
+        """
+        solver = solver if solver is not None else self.solver
+        backend = get_backend(solver)
+        tag = backend.cache_tag()
         outcomes: dict[str, SolveOutcome] = {}
         pending: dict[str, CanonicalProblem] = {}
         for canonical in canonicals:
             signature = canonical.signature
             if signature in outcomes or signature in pending:
                 continue
-            cached = self.cache.get(signature)
+            cached = self.cache.get(f"{signature}-{tag}")
             if cached is not None:
                 outcomes[signature] = cached
             else:
                 pending[signature] = canonical
 
-        tasks = [
-            (signature, canonical, allow_pinning)
-            for signature, canonical in pending.items()
-        ]
-        if jobs > 1 and len(tasks) > 1:
+        fresh: list[tuple[str, SolveOutcome]] = []
+        if jobs > 1 and len(pending) > 1:
+            tasks = [
+                (signature, canonical, allow_pinning, solver)
+                for signature, canonical in pending.items()
+            ]
             with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-                solved = list(pool.map(_solve_signature, tasks))
-        else:
-            solved = [_solve_signature(task) for task in tasks]
-        for signature, outcome in solved:
-            self.cache.put(signature, outcome)
+                fresh = list(pool.map(_solve_signature, tasks))
+        elif pending:
+            # In-process: let the backend see the whole batch at once (the
+            # numeric-first backend chains warm starts across it).
+            signatures = list(pending)
+            results = backend.solve_batch(
+                [pending[s].problem for s in signatures],
+                allow_pinning=allow_pinning,
+                allow_caps=allow_pinning,
+            )
+            for signature, result in zip(signatures, results):
+                if isinstance(result, SolverError):
+                    fresh.append((signature, SolveOutcome(error=str(result))))
+                else:
+                    fresh.append((signature, SolveOutcome(solution=result)))
+        for signature, outcome in fresh:
+            self.cache.put(f"{signature}-{tag}", outcome)
             outcomes[signature] = outcome
+        self._count_solves(solver, [outcome for _, outcome in fresh])
         return outcomes
 
 
@@ -356,6 +447,14 @@ def _stats_delta(before: CacheStats, after: CacheStats) -> CacheStats:
     )
 
 
+def _solver_delta(before: dict[str, int], after: dict[str, int]) -> dict[str, int]:
+    return {
+        bucket: after.get(bucket, 0) - before.get(bucket, 0)
+        for bucket in after
+        if after.get(bucket, 0) - before.get(bucket, 0)
+    }
+
+
 def program_fingerprint(
     program: Program,
     *,
@@ -363,12 +462,14 @@ def program_fingerprint(
     max_subgraph_size: int = DEFAULT_MAX_SIZE,
     unify_same_names: bool = True,
     allow_pinning: bool = False,
+    solver: str = DEFAULT_BACKEND,
 ) -> str:
     """Canonical identity of an analysis request, before any solving.
 
     Runs the cheap pipeline prefix (build-sdg -> enumerate -> fuse ->
     canonicalize) and hashes the sorted multiset of canonical problem (8)
-    signatures together with the analysis options.  Two programs share a
+    signatures together with the analysis options (including the solver
+    backend, whose results are not interchangeable).  Two programs share a
     fingerprint exactly when the solve stage would process the same canonical
     problems -- renamed loop variables, reordered statements, and permuted
     variable roles all collapse, which is what lets the analysis service
@@ -389,21 +490,20 @@ def program_fingerprint(
         except SolverError:
             tokens.append("fuse-failed:" + ",".join(sorted(subset)))
             continue
-        canonical = canonicalize_problem(
-            fused.objective,
-            fused.constraint,
-            fused.extents,
+        canonical = canonicalize_ir(
+            fused.problem,
             allow_pinning=allow_pinning,
             allow_caps=allow_pinning,
         )
         tokens.append(canonical.signature)
     payload = json.dumps(
         {
-            "schema": 1,
+            "schema": 2,
             "policy": policy,
             "max_subgraph_size": int(max_subgraph_size),
             "unify_same_names": bool(unify_same_names),
             "allow_pinning": bool(allow_pinning),
+            "solver": solver,
             "signatures": sorted(tokens),
         },
         sort_keys=True,

@@ -46,6 +46,7 @@ class EngineDiagnostics:
     stages: tuple[StageRecord, ...] = ()
     cache: CacheStats = field(default_factory=CacheStats)
     jobs: int = 1
+    solver: str = "exact"  #: solver backend the solve stage ran with
 
     @property
     def total_seconds(self) -> float:
@@ -62,5 +63,6 @@ class EngineDiagnostics:
             "stages": [stage.as_dict() for stage in self.stages],
             "cache": self.cache.as_dict(),
             "jobs": self.jobs,
+            "solver": self.solver,
             "total_seconds": self.total_seconds,
         }

@@ -4,8 +4,8 @@ Across the Table 2 suite the same problem (8) is solved over and over: every
 gemm-shaped contraction, every streaming copy, every ping-pong stencil pair
 produces a fused statement whose objective/constraint posynomials differ only
 in *loop-variable names* and term order.  This module computes a **canonical
-form** of the triple ``(objective, constraint, extents)`` so that all such
-instances share one cache entry:
+form** of the backend-neutral :class:`~repro.opt.problem.ProblemIR` so that
+all such instances share one cache entry:
 
 1. Loop variables are ranked by a name-free structural fingerprint (their
    exponent pattern across objective and constraint monomials, plus the
@@ -15,6 +15,10 @@ instances share one cache entry:
 2. Variables are renamed ``c0, c1, ...`` in rank order (ties broken by
    original appearance order, which keeps the map deterministic).
 3. Monomials are re-sorted by their canonical exponent vectors.
+
+The fingerprints come straight off the IR's ``Fraction`` exponent matrix
+and interned coefficient keys -- no sympy traversal on this path; the IR
+computed both once at fusion time.
 
 The **signature** is a SHA-256 over the canonical content (including the
 solver flags, which change the feasible set).  Renaming is a bijection, so
@@ -32,13 +36,13 @@ from __future__ import annotations
 import hashlib
 import json
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import sympy as sp
 
 from repro.opt.kkt import ChiSolution
-from repro.symbolic.posynomial import Monomial, Posynomial
-from repro.symbolic.symbols import tile, tile_name
+from repro.opt.problem import ProblemIR, TermIR
+from repro.symbolic.posynomial import Posynomial
 
 
 @dataclass(frozen=True)
@@ -46,11 +50,90 @@ class CanonicalProblem:
     """A fused problem (8) in canonical form, ready for the solver/cache."""
 
     signature: str  #: SHA-256 hex digest of the canonical content
-    objective: Posynomial
-    constraint: Posynomial
-    extents: dict[str, sp.Expr]  #: canonical-name -> extent (uncapped vars only)
+    problem: ProblemIR  #: the canonical IR every backend consumes
     rename: dict[str, str]  #: original loop var -> canonical loop var
     inverse: dict[str, str]  #: canonical loop var -> original loop var
+
+    @property
+    def objective(self) -> Posynomial:
+        return self.problem.objective_posynomial()
+
+    @property
+    def constraint(self) -> Posynomial:
+        return self.problem.constraint_posynomial()
+
+    @property
+    def extents(self) -> dict[str, sp.Expr]:
+        return self.problem.extents_dict()
+
+
+def canonicalize_ir(
+    problem: ProblemIR,
+    *,
+    allow_pinning: bool = False,
+    allow_caps: bool = False,
+) -> CanonicalProblem:
+    """Canonicalize a :class:`ProblemIR` and hash it."""
+    variables = problem.variables
+    constrained = problem.constrained_columns()
+    objective_cols = _used_columns(problem.objective, len(variables))
+    extents = problem.extents_dict()
+    # Only extents of constraint-uncapped objective variables influence the
+    # solution (the solver substitutes them); restricting the signature to
+    # those maximizes sharing between kernels with different loop bounds.
+    relevant: dict[int, str] = {}
+    for idx, name in enumerate(variables):
+        if objective_cols[idx] and not constrained[idx]:
+            value = extents.get(name)
+            relevant[idx] = sp.srepr(value) if value is not None else "-"
+
+    ranks = _stable_ranks(problem, relevant)
+    ordered = sorted(range(len(variables)), key=lambda idx: (ranks[idx], idx))
+    rename = {variables[idx]: f"c{pos}" for pos, idx in enumerate(ordered)}
+    inverse = {canonical: original for original, canonical in rename.items()}
+
+    # Extents are attached with their *canonical* names after renaming --
+    # attaching them before would rename them a second time whenever an
+    # original loop variable happens to be called ``cN``.
+    canonical_extents = tuple(
+        sorted(
+            (rename[variables[idx]], extents[variables[idx]])
+            for idx, key in relevant.items()
+            if key != "-"
+        )
+    )
+    canonical_ir = replace(
+        ProblemIR(
+            variables=problem.variables,
+            coeffs=problem.coeffs,
+            coeff_keys=problem.coeff_keys,
+            coeff_floats=problem.coeff_floats,
+            objective=problem.objective,
+            constraint=problem.constraint,
+            extents=(),
+        ).renamed(rename).permuted(ordered),
+        extents=canonical_extents,
+    )
+
+    payload = {
+        "schema": 2,
+        "objective": _rows_key(canonical_ir, canonical_ir.objective),
+        "constraint": _rows_key(canonical_ir, canonical_ir.constraint),
+        "extents": sorted(
+            (rename[variables[idx]], key) for idx, key in relevant.items()
+        ),
+        "allow_pinning": bool(allow_pinning),
+        "allow_caps": bool(allow_caps),
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return CanonicalProblem(
+        signature=digest,
+        problem=canonical_ir,
+        rename=rename,
+        inverse=inverse,
+    )
 
 
 def canonicalize_problem(
@@ -61,58 +144,11 @@ def canonicalize_problem(
     allow_pinning: bool = False,
     allow_caps: bool = False,
 ) -> CanonicalProblem:
-    """Canonicalize ``(objective, constraint, extents)`` and hash it."""
-    variables = _problem_variables(objective, constraint)
-    constrained = set(constraint.variables())
-    # Only extents of constraint-uncapped objective variables influence the
-    # solution (solve_chi substitutes them); restricting the signature to
-    # those maximizes sharing between kernels with different loop bounds.
-    relevant_extents: dict[str, sp.Expr | None] = {}
-    for sym in objective.variables():
-        if sym not in constrained:
-            name = tile_name(sym)
-            value = extents.get(name)
-            relevant_extents[name] = sp.sympify(value) if value is not None else None
-
-    ranks = _stable_ranks(variables, objective.terms, constraint.terms, relevant_extents)
-    ordered = sorted(
-        range(len(variables)), key=lambda idx: (ranks[variables[idx]], idx)
-    )
-    rename = {
-        tile_name(variables[idx]): f"c{pos}" for pos, idx in enumerate(ordered)
-    }
-    inverse = {canonical: original for original, canonical in rename.items()}
-    symbol_map = {tile(orig): tile(new) for orig, new in rename.items()}
-
-    canon_obj = _renamed_sorted(objective, symbol_map, rename)
-    canon_con = _renamed_sorted(constraint, symbol_map, rename)
-    canon_ext = {
-        rename[name]: value
-        for name, value in relevant_extents.items()
-        if value is not None
-    }
-
-    payload = {
-        "schema": 1,
-        "objective": _posynomial_key(canon_obj),
-        "constraint": _posynomial_key(canon_con),
-        "extents": sorted(
-            (rename[name], sp.srepr(value) if value is not None else None)
-            for name, value in relevant_extents.items()
-        ),
-        "allow_pinning": bool(allow_pinning),
-        "allow_caps": bool(allow_caps),
-    }
-    digest = hashlib.sha256(
-        json.dumps(payload, sort_keys=True).encode("utf-8")
-    ).hexdigest()
-    return CanonicalProblem(
-        signature=digest,
-        objective=canon_obj,
-        constraint=canon_con,
-        extents=canon_ext,
-        rename=rename,
-        inverse=inverse,
+    """Posynomial-level convenience wrapper around :func:`canonicalize_ir`."""
+    return canonicalize_ir(
+        ProblemIR.from_posynomials(objective, constraint, extents),
+        allow_pinning=allow_pinning,
+        allow_caps=allow_caps,
     )
 
 
@@ -158,54 +194,50 @@ def rename_text(text: str, inverse: dict[str, str]) -> str:
 # ---------------------------------------------------------------------------
 
 
-def _problem_variables(
-    objective: Posynomial, constraint: Posynomial
-) -> list[sp.Symbol]:
-    """Tile variables in deterministic appearance order (objective first)."""
-    seen: dict[sp.Symbol, None] = {}
-    for posy in (objective, constraint):
-        for term in posy.terms:
-            for sym in term.variables():
-                seen.setdefault(sym)
-    return list(seen)
+def _used_columns(terms: tuple[TermIR, ...], n_cols: int) -> tuple[bool, ...]:
+    flags = [False] * n_cols
+    for term in terms:
+        for idx, exp in enumerate(term.exponents):
+            if exp != 0:
+                flags[idx] = True
+    return tuple(flags)
 
 
-def _local_profile(sym: sp.Symbol, terms: tuple[Monomial, ...]) -> tuple:
-    """Name-free view of how ``sym`` participates in ``terms``."""
+def _local_profile(problem: ProblemIR, col: int, terms: tuple[TermIR, ...]) -> tuple:
+    """Name-free view of how variable ``col`` participates in ``terms``."""
     rows = []
     for term in terms:
-        exponent = term.exponent(sym)
+        exponent = term.exponents[col]
         if exponent == 0:
             continue
-        others = sorted(str(term.exponent(u)) for u in term.variables() if u != sym)
-        rows.append((sp.srepr(term.coeff), str(exponent), tuple(others)))
+        others = tuple(
+            sorted(e for idx, e in enumerate(term.exponents) if idx != col and e != 0)
+        )
+        rows.append((problem.coeff_keys[term.coeff], exponent, others))
     return tuple(sorted(rows))
 
 
-def _stable_ranks(
-    variables: list[sp.Symbol],
-    obj_terms: tuple[Monomial, ...],
-    con_terms: tuple[Monomial, ...],
-    extents_by_name: dict[str, sp.Expr | None],
-) -> dict[sp.Symbol, int]:
+def _stable_ranks(problem: ProblemIR, extent_keys: dict[int, str]) -> list[int]:
     """Rank variables by structure, WL-refined to a fixpoint."""
-    fingerprints: dict[sp.Symbol, object] = {}
-    for sym in variables:
-        extent = extents_by_name.get(tile_name(sym))
-        fingerprints[sym] = (
-            _local_profile(sym, obj_terms),
-            _local_profile(sym, con_terms),
-            sp.srepr(extent) if extent is not None else "-",
+    n = len(problem.variables)
+    fingerprints: list[object] = [
+        (
+            _local_profile(problem, col, problem.objective),
+            _local_profile(problem, col, problem.constraint),
+            extent_keys.get(col, "-"),
         )
+        for col in range(n)
+    ]
     ranks = _dense_ranks(fingerprints)
-    for _ in range(len(variables)):
-        refined: dict[sp.Symbol, object] = {}
-        for sym in variables:
-            refined[sym] = (
-                ranks[sym],
-                _rank_context(sym, obj_terms, ranks),
-                _rank_context(sym, con_terms, ranks),
+    for _ in range(n):
+        refined: list[object] = [
+            (
+                ranks[col],
+                _rank_context(problem.objective, col, ranks),
+                _rank_context(problem.constraint, col, ranks),
             )
+            for col in range(n)
+        ]
         new_ranks = _dense_ranks(refined)
         if new_ranks == ranks:
             break
@@ -214,58 +246,33 @@ def _stable_ranks(
 
 
 def _rank_context(
-    sym: sp.Symbol, terms: tuple[Monomial, ...], ranks: dict[sp.Symbol, int]
+    terms: tuple[TermIR, ...], col: int, ranks: list[int]
 ) -> tuple:
     rows = []
     for term in terms:
-        exponent = term.exponent(sym)
+        exponent = term.exponents[col]
         if exponent == 0:
             continue
         neighbours = sorted(
-            (ranks[u], str(term.exponent(u))) for u in term.variables() if u != sym
+            (ranks[idx], e)
+            for idx, e in enumerate(term.exponents)
+            if idx != col and e != 0
         )
-        rows.append((str(exponent), tuple(neighbours)))
+        rows.append((exponent, tuple(neighbours)))
     return tuple(sorted(rows))
 
 
-def _dense_ranks(fingerprints: dict[sp.Symbol, object]) -> dict[sp.Symbol, int]:
-    ordered = sorted(set(map(repr, fingerprints.values())))
-    index = {fp: idx for idx, fp in enumerate(ordered)}
-    return {sym: index[repr(fp)] for sym, fp in fingerprints.items()}
+def _dense_ranks(fingerprints: list[object]) -> list[int]:
+    ordered = sorted(set(map(repr, fingerprints)))
+    index = {fp: rank for rank, fp in enumerate(ordered)}
+    return [index[repr(fp)] for fp in fingerprints]
 
 
-# ---------------------------------------------------------------------------
-# canonical posynomials
-# ---------------------------------------------------------------------------
-
-
-def _renamed_sorted(
-    posy: Posynomial,
-    symbol_map: dict[sp.Symbol, sp.Symbol],
-    rename: dict[str, str],
-) -> Posynomial:
-    canon_order = [
-        tile(canonical)
-        for canonical in sorted(rename.values(), key=lambda n: int(n[1:]))
-    ]
-    renamed = [
-        Monomial.make(
-            term.coeff,
-            {symbol_map.get(sym, sym): exp for sym, exp in term.powers},
-        )
-        for term in posy.terms
-    ]
-    renamed.sort(
-        key=lambda t: (
-            tuple(str(t.exponent(sym)) for sym in canon_order),
-            sp.srepr(t.coeff),
-        )
-    )
-    return Posynomial(renamed)
-
-
-def _posynomial_key(posy: Posynomial) -> list:
+def _rows_key(problem: ProblemIR, terms: tuple[TermIR, ...]) -> list:
     return [
-        [sp.srepr(term.coeff), [[sym.name, str(exp)] for sym, exp in term.powers]]
-        for term in posy.terms
+        [
+            problem.coeff_keys[term.coeff],
+            [str(exponent) for exponent in term.exponents],
+        ]
+        for term in terms
     ]

@@ -39,7 +39,7 @@ def _lower_assignment(
 ) -> Statement:
     if not loops:
         raise FrontendError(f"line {node.line}: statement outside any loop")
-    loop_vars = [l.var for l in loops]
+    loop_vars = [loop.var for loop in loops]
     out_array = node.target.array
     out_component = _component(node.target, loop_vars)
 
@@ -163,7 +163,7 @@ def _bound_to_source(expr: A.Expr) -> str:
 
 
 def _domain_and_guard(loops: list[A.ForLoop]):
-    loop_syms = {l.var: loop_symbol(l.var) for l in loops}
+    loop_syms = {loop.var: loop_symbol(loop.var) for loop in loops}
     extents: dict[str, sp.Expr] = {}
     max_value: dict[sp.Symbol, sp.Expr] = {}
     min_value: dict[sp.Symbol, sp.Expr] = {}

@@ -98,7 +98,7 @@ def _parse_for(node: ast.For, outer: list[_Loop]) -> _Loop:
         stop_node = call.args[0]
     else:
         start_node, stop_node = call.args
-    known = {l.var for l in outer}
+    known = {loop.var for loop in outer}
     start = _affine_to_sympy(start_node, known) if start_node is not None else sp.Integer(0)
     stop = _affine_to_sympy(stop_node, known)
     start_src = ast.unparse(start_node) if start_node is not None else "0"
@@ -124,7 +124,7 @@ def _parse_assignment(
     if not isinstance(target, ast.Subscript):
         raise FrontendError(f"line {node.lineno}: target must be an array element")
 
-    loop_vars = [l.var for l in loops]
+    loop_vars = [loop.var for loop in loops]
     out_array, out_component = _parse_subscript(target, loop_vars)
 
     reads: dict[str, list[AccessComponent]] = {}
@@ -278,7 +278,7 @@ def _build_domain(loops: list[_Loop]) -> IterationDomain:
     statement guard.
     """
     extents: dict[str, sp.Expr] = {}
-    loop_syms = {l.var: loop_symbol(l.var) for l in loops}
+    loop_syms = {loop.var: loop_symbol(loop.var) for loop in loops}
     max_value: dict[sp.Symbol, sp.Expr] = {}
     min_value: dict[sp.Symbol, sp.Expr] = {}
     for loop in loops:
@@ -308,7 +308,7 @@ def _build_guard(loops: list[_Loop]) -> str | None:
     parameters in scope.
     """
     conditions = []
-    loop_vars = {l.var for l in loops}
+    loop_vars = {loop.var for loop in loops}
     for loop in loops:
         dependent = any(
             s.name in loop_vars for s in sp.sympify(loop.stop - loop.start).free_symbols

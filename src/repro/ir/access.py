@@ -11,7 +11,7 @@ references one array (the paper's access function vector
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 

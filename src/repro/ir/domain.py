@@ -14,7 +14,7 @@ the exact (or leading-order) point count of the nest.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 import sympy as sp

@@ -12,46 +12,45 @@
 
 from __future__ import annotations
 
-import sympy as sp
 
 from repro.ir.array import Array
 from repro.ir.program import Program
 from repro.kernels.common import ref, stmt, sym
 from repro.kernels.registry import KernelSpec, register
 
-I, J, K = sym("I"), sym("J"), sym("K")
+I_SYM, J, K = sym("I"), sym("J"), sym("K")
 
 
 def build_horizontal_diffusion() -> Program:
     lap = stmt(
         "lap",
-        {"i": I, "j": J, "k": K},
+        {"i": I_SYM, "j": J, "k": K},
         ref("lap", "i,j,k"),
         ref("inp", "i,j,k", "i-1,j,k", "i+1,j,k", "i,j-1,k", "i,j+1,k"),
     )
     flx = stmt(
         "flx",
-        {"i2": I, "j2": J, "k2": K},
+        {"i2": I_SYM, "j2": J, "k2": K},
         ref("flx", "i2,j2,k2"),
         ref("lap", "i2,j2,k2", "i2+1,j2,k2"),
         ref("inp", "i2,j2,k2", "i2+1,j2,k2"),
     )
     fly = stmt(
         "fly",
-        {"i3": I, "j3": J, "k3": K},
+        {"i3": I_SYM, "j3": J, "k3": K},
         ref("fly", "i3,j3,k3"),
         ref("lap", "i3,j3,k3", "i3,j3+1,k3"),
         ref("inp", "i3,j3,k3", "i3,j3+1,k3"),
     )
     out = stmt(
         "out",
-        {"i4": I, "j4": J, "k4": K},
+        {"i4": I_SYM, "j4": J, "k4": K},
         ref("out", "i4,j4,k4"),
         ref("inp", "i4,j4,k4"),
         ref("flx", "i4,j4,k4", "i4-1,j4,k4"),
         ref("fly", "i4,j4,k4", "i4,j4-1,k4"),
     )
-    arrays = (Array("inp", 3, I * J * K), Array("out", 3, I * J * K))
+    arrays = (Array("inp", 3, I_SYM * J * K), Array("out", 3, I_SYM * J * K))
     return Program.make("horizontal_diffusion", [lap, flx, fly, out], arrays)
 
 
@@ -60,7 +59,7 @@ register(
         name="horizontal-diffusion",
         category="various",
         build=build_horizontal_diffusion,
-        paper_bound=2 * I * J * K,
+        paper_bound=2 * I_SYM * J * K,
         improvement="(first bound)",
         use_floor=True,
         description="COSMO hdiff: lap/flx/fly/out sweep composition",
@@ -71,14 +70,14 @@ register(
 def build_vertical_advection() -> Program:
     ccol = stmt(
         "ccol_fwd",
-        {"i": I, "j": J, "k": K},
+        {"i": I_SYM, "j": J, "k": K},
         ref("ccol", "i,j,k"),
         ref("ccol", "i,j,k-1"),
         ref("wcon", "i,j,k", "i,j,k+1"),
     )
     dcol = stmt(
         "dcol_fwd",
-        {"i2": I, "j2": J, "k2": K},
+        {"i2": I_SYM, "j2": J, "k2": K},
         ref("dcol", "i2,j2,k2"),
         ref("dcol", "i2,j2,k2-1"),
         ref("ccol", "i2,j2,k2-1"),
@@ -89,19 +88,19 @@ def build_vertical_advection() -> Program:
     )
     back = stmt(
         "backward",
-        {"i3": I, "j3": J, "k3": K},
+        {"i3": I_SYM, "j3": J, "k3": K},
         ref("outf", "i3,j3,k3"),
         ref("outf", "i3,j3,k3+1"),
         ref("ccol", "i3,j3,k3"),
         ref("dcol", "i3,j3,k3"),
     )
     arrays = (
-        Array("wcon", 3, I * J * K),
-        Array("ustage", 3, I * J * K),
-        Array("utens", 3, I * J * K),
-        Array("utensstage", 3, I * J * K),
-        Array("upos", 2, I * J),
-        Array("outf", 3, I * J * K),
+        Array("wcon", 3, I_SYM * J * K),
+        Array("ustage", 3, I_SYM * J * K),
+        Array("utens", 3, I_SYM * J * K),
+        Array("utensstage", 3, I_SYM * J * K),
+        Array("upos", 2, I_SYM * J),
+        Array("outf", 3, I_SYM * J * K),
     )
     return Program.make("vertical_advection", [ccol, dcol, back], arrays)
 
@@ -111,7 +110,7 @@ register(
         name="vertical-advection",
         category="various",
         build=build_vertical_advection,
-        paper_bound=5 * I * J * K,
+        paper_bound=5 * I_SYM * J * K,
         improvement="(first bound)",
         use_floor=True,
         description="COSMO vadv: vertical tridiagonal solve (fwd/bwd sweeps)",

@@ -11,7 +11,6 @@ operand element is touched once, yielding the bandwidth bound
 
 from __future__ import annotations
 
-import sympy as sp
 
 from repro.ir.array import Array
 from repro.ir.program import Program

@@ -27,13 +27,13 @@ _HIDDEN = H * P
 
 
 def _projection(name: str, out: str, loop_suffix: str) -> object:
-    n, l, h, p, e = (v + loop_suffix for v in ("n", "l", "h", "p", "e"))
+    n, lv, h, p, e = (v + loop_suffix for v in ("n", "l", "h", "p", "e"))
     return stmt(
         name,
-        {n: B, l: L, h: H, p: P, e: _HIDDEN},
-        ref(out, f"{n},{h},{l},{p}"),
-        ref(out, f"{n},{h},{l},{p}"),
-        ref("x", f"{n},{l},{e}"),
+        {n: B, lv: L, h: H, p: P, e: _HIDDEN},
+        ref(out, f"{n},{h},{lv},{p}"),
+        ref(out, f"{n},{h},{lv},{p}"),
+        ref("x", f"{n},{lv},{e}"),
         ref("W" + out, f"{h},{p},{e}"),
     )
 

@@ -9,7 +9,6 @@ writes of its tensor-sized operands).
 
 from __future__ import annotations
 
-import sympy as sp
 
 from repro.ir.array import Array
 from repro.ir.program import Program

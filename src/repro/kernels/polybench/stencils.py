@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import sympy as sp
 
-from repro.ir.array import Array
 from repro.ir.program import Program
 from repro.kernels.common import box9, ref, star5, star7_3d, stmt, sym
 from repro.kernels.registry import KernelSpec, register

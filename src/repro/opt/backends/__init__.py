@@ -1,0 +1,108 @@
+"""Pluggable solver backends for optimization problem (8).
+
+Every backend consumes the same backend-neutral
+:class:`~repro.opt.problem.ProblemIR` and produces a
+:class:`~repro.opt.kkt.ChiSolution`, so the engine, the cache, and the
+benchmarks can swap solving strategies without touching the pipeline:
+
+* ``exact`` -- the numerically-guided symbolic KKT solver
+  (:mod:`repro.opt.kkt`), rehosted on ProblemIR.  Full symbolic
+  verification; the reference backend.
+* ``numeric-first`` -- warm-started scipy probe plus exact KKT linear
+  algebra over :class:`fractions.Fraction`, verified numerically; the
+  expensive sympy verification and tile closed forms are deferred.  Falls
+  back to ``exact`` per problem whenever a fast-path check fails.
+* ``cross-check`` -- runs both and raises unless they agree on the
+  leading-order ``chi`` (hence on the leading-order intensity ``rho``).
+
+Backends register themselves via :func:`register_backend`; resolve one with
+:func:`get_backend`.  Cache entries are namespaced per backend **and**
+per :data:`~repro.opt.kkt.SOLVER_REVISION` (:meth:`SolverBackend.cache_tag`)
+so results computed by different strategies or solver generations never
+alias.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.opt.kkt import SOLVER_REVISION, ChiSolution
+from repro.opt.problem import ProblemIR
+from repro.util.errors import SolverError
+
+DEFAULT_BACKEND = "exact"
+
+
+class SolverBackend:
+    """One solving strategy for problem (8)."""
+
+    #: registry key; also part of the cache namespace
+    name: str = ""
+
+    def cache_tag(self) -> str:
+        """Cache-key namespace: backend identity + solver generation."""
+        return f"{self.name}-r{SOLVER_REVISION}"
+
+    def solve(
+        self, problem: ProblemIR, *, allow_pinning: bool, allow_caps: bool
+    ) -> ChiSolution:
+        raise NotImplementedError
+
+    def solve_batch(
+        self,
+        problems: Sequence[ProblemIR],
+        *,
+        allow_pinning: bool,
+        allow_caps: bool,
+    ) -> list[ChiSolution | SolverError]:
+        """Solve a batch; failures are returned (not raised) per position.
+
+        The base implementation is a sequential map; backends override it to
+        exploit cross-problem structure (the numeric-first backend groups
+        problems by exponent structure so scipy warm starts chain).
+        """
+        results: list[ChiSolution | SolverError] = []
+        for problem in problems:
+            try:
+                results.append(
+                    self.solve(
+                        problem, allow_pinning=allow_pinning, allow_caps=allow_caps
+                    )
+                )
+            except SolverError as err:
+                results.append(err)
+        return results
+
+
+_REGISTRY: dict[str, type[SolverBackend]] = {}
+_INSTANCES: dict[str, SolverBackend] = {}
+
+
+def register_backend(cls: type[SolverBackend]) -> type[SolverBackend]:
+    """Class decorator: make ``cls`` resolvable by :func:`get_backend`."""
+    if not cls.name:
+        raise ValueError(f"backend {cls!r} has no name")
+    _REGISTRY[cls.name] = cls
+    _INSTANCES.pop(cls.name, None)
+    return cls
+
+
+def available_backends() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str | None = None) -> SolverBackend:
+    """Resolve a backend by name (instances are shared per process)."""
+    key = name or DEFAULT_BACKEND
+    if key not in _REGISTRY:
+        raise SolverError(
+            f"unknown solver backend {key!r}; available: "
+            f"{', '.join(available_backends())}"
+        )
+    if key not in _INSTANCES:
+        _INSTANCES[key] = _REGISTRY[key]()
+    return _INSTANCES[key]
+
+
+# Import for the registration side effect (after the registry exists).
+from repro.opt.backends import crosscheck, exact, numeric_first  # noqa: E402,F401

@@ -1,0 +1,559 @@
+"""The numeric-first backend: rational KKT algebra on a warm-started probe.
+
+Profiling the exact backend shows the cold-solve cost is **not** scipy: it
+is the symbolic reconstruction -- ``sympy.linsolve`` over symbolic unknowns,
+``simplify``/``powsimp`` verification, and closed-form tile recovery.  This
+backend keeps the same mathematical derivation but replaces every symbolic
+step that admits an exact rational counterpart:
+
+1. one scipy probe, **warm-started** from the nearest previously-solved
+   problem class (problems sharing an exponent structure have nearby optima
+   in log space, so one SLSQP call usually converges);
+2. active sets and live objective monomials from the probe (same tolerances
+   as :mod:`repro.opt.kkt`);
+3. the stationarity system and the ``mu`` decompositions solved **exactly
+   over** :class:`fractions.Fraction` (plain Gaussian elimination -- no
+   sympy expressions ever enter the linear algebra);
+4. ``chi`` assembled directly as ``sum_p c_p * prod_r (q_r/k_r)^mu_r *
+   X^alpha_p`` without ``simplify``;
+5. verification is *numeric* (objective value and softmax weights at the
+   probe point) plus an exact rational consistency check of the tile
+   system's left-nullspace -- the condition that makes ``chi`` independent
+   of the particular ``mu`` chosen.  Exact **tile closed forms are
+   deferred**: they need symbolic logs and nothing downstream of the bound
+   needs them.
+
+Any failed check falls back to the exact backend for that problem, so the
+fast path can be aggressive without risking a wrong (or missing) bound.
+The ``cross-check`` backend exists to prove the shortcut sound over a whole
+corpus.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import replace
+from fractions import Fraction
+
+import numpy as np
+import sympy as sp
+
+from repro.opt.backends import SolverBackend, register_backend
+from repro.opt.kkt import (
+    _NUMERIC_PARAM,
+    _OBJ_TOLERANCE,
+    _PIN_TOLERANCE,
+    _PROBE_X,
+    ChiSolution,
+    solve_chi,
+)
+from repro.opt.numeric import NumericSolution, ProbeResult, probe_arrays
+from repro.opt.problem import (
+    ProblemIR,
+    nullspace_rational,
+    rationalize,
+    solve_rational,
+)
+from repro.symbolic.symbols import X_SYM, tile
+from repro.util.errors import SolverError
+
+_VALUE_RTOL = 5e-3  #: chi(probe X) must match the numeric optimum this well
+_WEIGHT_ATOL = 5e-3  #: softmax identity tolerance |u_p/chi - w_p|
+_LOG_CONSISTENCY_ATOL = 1e-6  #: numeric tile-consistency tolerance
+
+
+class _Fallback(Exception):
+    """Fast path declined; solve this problem with the exact machinery.
+
+    Carries a zero-argument callable producing the **reference-schedule**
+    numeric guidance for the capped problem (when the problem got far enough
+    to build its arrays).  The warm-started fast probe is deliberately NOT
+    reused here: the exact solver's accept/reject decisions are sensitive to
+    which (possibly degenerate) optimum the probe lands on, so the fallback
+    re-probes with exactly the schedule :func:`repro.opt.numeric.solve_numeric`
+    would use -- making a deferred solve bit-identical to a pure ``exact``
+    solve while still skipping the matrix rebuild.
+    """
+
+    def __init__(self, reason, guidance=None):
+        super().__init__(reason)
+        self.guidance = guidance
+
+
+#: per-process warm-start store: exponent structure -> last optimal log tiles.
+#: Bounded (a long-lived daemon analyzing arbitrary sources must not grow
+#: without limit -- same concern as SolveCache's LRU cap) and lock-guarded
+#: (the analysis service mutates it from several worker threads).
+_SEEDS: dict[tuple, np.ndarray] = {}
+_ROUGH_SEEDS: dict[int, np.ndarray] = {}  #: by variable count only
+#: structures whose last interior-only solve hit a boundary optimum: the next
+#: problem of the class skips the cheap probe and goes straight to the
+#: reference schedule (the cheap probe would be thrown away anyway)
+_BOUNDARY_CLASSES: set[tuple] = set()
+_STORE_CAP = 4096  #: max entries per warm-start / boundary-class store
+_STORE_LOCK = threading.Lock()
+
+
+def _store_put(store, key, value) -> None:
+    with _STORE_LOCK:
+        if key not in store and len(store) >= _STORE_CAP:
+            if isinstance(store, set):
+                store.pop()
+            else:
+                store.pop(next(iter(store)))  # FIFO: oldest insertion
+        if isinstance(store, set):
+            store.add(key)
+        else:
+            store[key] = value
+
+
+@register_backend
+class NumericFirstBackend(SolverBackend):
+    """Batched, warm-started probes with deferred exact reconstruction."""
+
+    name = "numeric-first"
+
+    def solve(
+        self, problem: ProblemIR, *, allow_pinning: bool, allow_caps: bool
+    ) -> ChiSolution:
+        try:
+            return _solve_fast(
+                problem, allow_pinning=allow_pinning, allow_caps=allow_caps
+            )
+        except _Fallback as reason:
+            guidance = reason.guidance() if reason.guidance is not None else None
+            solution = solve_chi(
+                problem.objective_posynomial(),
+                problem.constraint_posynomial(),
+                problem.extents_dict(),
+                allow_pinning=allow_pinning,
+                allow_caps=allow_caps,
+                guidance=guidance,
+            )
+            return replace(
+                solution,
+                notes=solution.notes
+                + (f"numeric-first: fell back to exact ({reason})",),
+            )
+
+    def solve_batch(
+        self,
+        problems,
+        *,
+        allow_pinning: bool,
+        allow_caps: bool,
+    ) -> list[ChiSolution | SolverError]:
+        """Solve structurally similar problems consecutively.
+
+        Sorting by exponent structure makes every problem after the first of
+        its class hit the warm-start store while the optimum is freshest.
+        """
+        order = sorted(
+            range(len(problems)), key=lambda i: repr(problems[i].structure_key())
+        )
+        results: list[ChiSolution | SolverError] = [None] * len(problems)  # type: ignore[list-item]
+        for index in order:
+            try:
+                results[index] = self.solve(
+                    problems[index],
+                    allow_pinning=allow_pinning,
+                    allow_caps=allow_caps,
+                )
+            except SolverError as err:
+                results[index] = err
+        return results
+
+
+# ---------------------------------------------------------------------------
+# fast path
+# ---------------------------------------------------------------------------
+
+
+def _solve_fast(
+    problem: ProblemIR, *, allow_pinning: bool, allow_caps: bool
+) -> ChiSolution:
+    if not problem.constraint:
+        raise _Fallback("empty constraint")
+    notes: list[str] = []
+
+    # ---- cap variables the constraint cannot bound -------------------------
+    constrained = problem.constrained_columns()
+    extents = problem.extents_dict()
+    capped: list[str] = []
+    for idx, name in enumerate(problem.variables):
+        if constrained[idx]:
+            continue
+        if any(term.exponents[idx] != 0 for term in problem.objective):
+            capped.append(name)
+    if capped:
+        if not allow_caps:
+            raise SolverError(
+                f"optimum requires capping tiles {capped} at full extents; "
+                "interior-only solve requested"
+            )
+        missing = [name for name in capped if name not in extents]
+        if missing:
+            raise SolverError(
+                f"variable {missing[0]} is unconstrained and has no extent cap"
+            )
+        notes.append(f"capped {capped} at full extents")
+
+    keep = [idx for idx, flag in enumerate(constrained) if flag]
+    names = [problem.variables[idx] for idx in keep]
+    if not keep:
+        raise _Fallback("no constrained variables")
+
+    # Objective rows over the kept columns, capped extents folded into the
+    # coefficients; identical rows merge (their coefficients add), matching
+    # the Posynomial-level substitution of the exact path.
+    merged: dict[tuple[Fraction, ...], sp.Expr] = {}
+    row_order: list[tuple[Fraction, ...]] = []
+    for term in problem.objective:
+        coeff = problem.coeffs[term.coeff]
+        for idx, name in enumerate(problem.variables):
+            exp = term.exponents[idx]
+            if exp != 0 and not constrained[idx]:
+                coeff = coeff * extents[name] ** sp.Rational(
+                    exp.numerator, exp.denominator
+                )
+        row = tuple(term.exponents[idx] for idx in keep)
+        if row in merged:
+            merged[row] = merged[row] + coeff
+        else:
+            merged[row] = coeff
+            row_order.append(row)
+    obj_rows = row_order
+    obj_coeffs = [merged[row] for row in obj_rows]
+    con_rows = [
+        tuple(term.exponents[idx] for idx in keep) for term in problem.constraint
+    ]
+    con_coeffs = [problem.coeffs[term.coeff] for term in problem.constraint]
+
+    # ---- numeric probe (warm-started) --------------------------------------
+    params = sorted(
+        {sym for coeff in obj_coeffs + con_coeffs for sym in coeff.free_symbols},
+        key=lambda s: s.name,
+    )
+    param_subs = {sym: _NUMERIC_PARAM for sym in params}
+
+    def as_float(expr: sp.Expr) -> float:
+        value = float(expr.subs(param_subs)) if params else float(expr)
+        if not math.isfinite(value) or value <= 0:
+            raise _Fallback(f"non-positive numeric coefficient {expr}")
+        return value
+
+    try:
+        c_obj = np.array([as_float(c) for c in obj_coeffs])
+        k_con = np.array([as_float(c) for c in con_coeffs])
+    except (TypeError, ValueError) as err:
+        raise _Fallback(f"coefficient not numeric: {err}") from err
+    a_obj = np.array([[float(e) for e in row] for row in obj_rows])
+    e_con = np.array([[float(e) for e in row] for row in con_rows])
+
+    reference_cache: list[ProbeResult] = []
+
+    def reference_probe() -> ProbeResult:
+        """Reference-schedule probe: exactly what a pure exact solve sees."""
+        if not reference_cache:
+            reference_cache.append(
+                probe_arrays(c_obj, a_obj, k_con, e_con, _PROBE_X)
+            )
+        return reference_cache[0]
+
+    structure = (
+        len(obj_rows[0]), tuple(sorted(obj_rows)), tuple(sorted(con_rows))
+    )
+    with _STORE_LOCK:
+        boundary_class = structure in _BOUNDARY_CLASSES
+    if not allow_pinning and boundary_class:
+        # This shape pinned last time: the cheap probe would be discarded.
+        probe = reference_probe()
+    else:
+        probe = _warm_probe(structure, c_obj, a_obj, k_con, e_con)
+    tile_values = probe.tile_values_array
+
+    def guidance() -> NumericSolution:
+        reference = reference_probe()
+        return NumericSolution(
+            variables=tuple(tile(name) for name in names),
+            tile_values={
+                tile(name): float(val)
+                for name, val in zip(names, reference.tile_values_array)
+            },
+            objective_value=reference.objective_value,
+            constraint_terms=tuple(float(m) for m in reference.m_values),
+            active=reference.active,
+            dual_weights=reference.dual_weights,
+        )
+
+    # ---- boundary arbitration and reconstruction -----------------------------
+    pinned = [
+        names[idx] for idx in range(len(keep)) if tile_values[idx] < _PIN_TOLERANCE
+    ]
+
+    def reconstruct(fold_pins: bool, probe: ProbeResult) -> ChiSolution:
+        pinned = [
+            names[idx]
+            for idx in range(len(keep))
+            if probe.tile_values_array[idx] < _PIN_TOLERANCE
+        ]
+        obj_values = c_obj * np.exp(a_obj @ probe.x_log)
+        total_obj = float(np.sum(obj_values)) or 1.0
+        live = [float(v) / total_obj > _OBJ_TOLERANCE for v in obj_values]
+        if not any(live):
+            raise _Fallback("no live objective monomials", guidance)
+        active = list(probe.active)
+        if not any(active):
+            raise _Fallback("no active constraint terms", guidance)
+
+        drop = {idx for idx, name in enumerate(names) if fold_pins and name in pinned}
+        cols = [idx for idx in range(len(names)) if idx not in drop]
+        live_rows = [obj_rows[p] for p in range(len(obj_rows)) if live[p]]
+        live_coeffs = [obj_coeffs[p] for p in range(len(obj_rows)) if live[p]]
+        live_hints = [
+            float(v) / total_obj for p, v in enumerate(obj_values) if live[p]
+        ]
+        act_rows = [con_rows[r] for r in range(len(con_rows)) if active[r]]
+        act_coeffs = [con_coeffs[r] for r in range(len(con_rows)) if active[r]]
+        act_hints = [probe.dual_weights[r] for r in range(len(con_rows)) if active[r]]
+
+        # ---- stationarity over the rationals -----------------------------------
+        # The activity threshold can marginally include a constraint term the
+        # optimum does not actually touch; its dual then solves to exactly 0
+        # and complementary slackness licenses dropping it -- retry with the
+        # reduced active set instead of rejecting (strictly negative duals
+        # still reject: the active-set guess is genuinely wrong).
+        for _ in range(len(act_rows)):
+            free_cols = [
+                idx
+                for idx in cols
+                if any(row[idx] != 0 for row in live_rows)
+                or any(row[idx] != 0 for row in act_rows)
+            ]
+            if not free_cols:
+                raise _Fallback("no free variables after folding", guidance)
+            n_live, n_act = len(live_rows), len(act_rows)
+            system = [
+                [row[idx] for row in live_rows] + [-row[idx] for row in act_rows]
+                for idx in free_cols
+            ]
+            system.append([Fraction(1)] * n_live + [Fraction(0)] * n_act)
+            rhs = [Fraction(0)] * len(free_cols) + [Fraction(1)]
+            hints = [rationalize(h) for h in live_hints + act_hints]
+            wy = solve_rational(system, rhs, hints)
+            if wy is None:
+                raise _Fallback("stationarity system inconsistent", guidance)
+            w, y = wy[:n_live], wy[n_live:]
+            if any(value <= 0 for value in w) or any(value < 0 for value in y):
+                raise _Fallback("non-positive stationarity weights", guidance)
+            slack = [r for r, value in enumerate(y) if value == 0]
+            if not slack:
+                break
+            if len(slack) == len(y):
+                raise _Fallback("every active dual solved to zero", guidance)
+            act_rows = [row for r, row in enumerate(act_rows) if r not in slack]
+            act_coeffs = [c for r, c in enumerate(act_coeffs) if r not in slack]
+            act_hints = [h for r, h in enumerate(act_hints) if r not in slack]
+        else:
+            raise _Fallback("active-set reduction did not converge", guidance)
+        total_y = sum(y)
+        q = [value / total_y for value in y]
+
+        # ---- chi via the mu decompositions -------------------------------------
+        e_transpose = [[row[idx] for row in act_rows] for idx in free_cols]
+        ratio_cache: list[sp.Expr | Fraction | None] = [None] * n_act
+
+        def ratio(r: int) -> sp.Expr | Fraction:
+            """``m_r / (k_r X) = q_r / k_r`` -- Fraction when ``k_r`` is rational."""
+            if ratio_cache[r] is None:
+                k_expr = act_coeffs[r]
+                if k_expr.is_Rational:
+                    ratio_cache[r] = q[r] / Fraction(int(k_expr.p), int(k_expr.q))
+                else:
+                    ratio_cache[r] = sp.Rational(q[r]) / k_expr
+            return ratio_cache[r]
+
+        u_values: list[sp.Expr] = []
+        u_floats: list[float] = []
+        log_x_probe = math.log(_PROBE_X)
+        for row, coeff in zip(live_rows, live_coeffs):
+            target = [row[idx] for idx in free_cols]
+            mu = solve_rational(e_transpose, target)
+            if mu is None:
+                raise _Fallback("objective exponents outside constraint row space", guidance)
+            alpha = sum(mu, Fraction(0))
+            factor: sp.Expr = sp.Integer(1)
+            log_factor = 0.0
+            for r, mu_r in enumerate(mu):
+                if mu_r == 0:
+                    continue
+                base = ratio(r)
+                if isinstance(base, Fraction):
+                    factor *= sp.Rational(base) ** sp.Rational(
+                        mu_r.numerator, mu_r.denominator
+                    )
+                    log_factor += float(mu_r) * math.log(float(base))
+                else:
+                    factor *= base ** sp.Rational(mu_r.numerator, mu_r.denominator)
+                    log_factor += float(mu_r) * math.log(
+                        float(q[r]) / float(act_coeffs[r].subs(param_subs))
+                    )
+            u_values.append(
+                coeff
+                * factor
+                * X_SYM ** sp.Rational(alpha.numerator, alpha.denominator)
+            )
+            u_floats.append(
+                as_float(coeff) * math.exp(log_factor + float(alpha) * log_x_probe)
+            )
+
+        chi = sp.Add(*u_values)
+        chi_value = sum(u_floats)
+
+        # ---- verification -------------------------------------------------------
+        if not math.isclose(chi_value, probe.objective_value, rel_tol=_VALUE_RTOL):
+            raise _Fallback(
+                f"chi(probe X) = {chi_value:.6g} disagrees with numeric optimum "
+                f"{probe.objective_value:.6g}",
+                guidance,
+            )
+        for weight, u_float in zip(w, u_floats):
+            if abs(u_float / chi_value - float(weight)) > _WEIGHT_ATOL:
+                raise _Fallback("softmax identity w_p * chi == u_p violated", guidance)
+        _check_tile_consistency(e_transpose, q, act_coeffs, param_subs, guidance)
+
+        # ---- compose ------------------------------------------------------------
+        tiles: dict[str, sp.Expr] = {name: extents[name] for name in capped}
+        pinned_out: tuple[str, ...] = ()
+        if fold_pins:
+            for name in pinned:
+                tiles[name] = sp.Integer(1)
+            pinned_out = tuple(pinned)
+        local_notes = list(notes)
+        local_notes.append(
+            "numeric-first: rational KKT; exact tile closed forms deferred"
+        )
+        return ChiSolution(
+            chi=chi,
+            tiles=tiles,
+            capped=tuple(capped),
+            pinned=pinned_out,
+            exact=True,
+            notes=tuple(local_notes),
+        )
+
+    if pinned and not allow_pinning:
+        _store_put(_BOUNDARY_CLASSES, structure, None)
+        # Boundary point under an interior-only solve.  The exact solver owns
+        # the delicate accept-degenerate/reject-streaming distinction, so the
+        # arbitration runs on the **reference** probe (exactly what a pure
+        # exact solve would see).  A boundary optimum that admits an interior
+        # rational reading is deferred to the exact interior retry -- its
+        # symbolic verification decides acceptance, with the reference probe
+        # as guidance, keeping the deferred solve identical to a pure exact
+        # solve.  When even the rational reconstruction -- empirically
+        # stronger than the sympy interior retry -- finds no interior
+        # reading, the problem is rejected the way the exact solver would,
+        # skipping its symbolic machinery entirely; the cross-check backend
+        # exists to prove this shortcut sound.
+        reference = reference_probe()
+        ref_pinned = [
+            names[idx]
+            for idx in range(len(keep))
+            if reference.tile_values_array[idx] < _PIN_TOLERANCE
+        ]
+        if not ref_pinned:
+            # The exact solver's probe lands on an interior optimum: no
+            # boundary question arises there at all.  Reconstruct from the
+            # reference probe (degenerate geometries often stall SLSQP, and
+            # the exact solver would pay the 3-probe numeric fit here);
+            # defer verbatim only when the rational reading fails too.
+            return reconstruct(fold_pins=False, probe=reference)
+        try:
+            reconstruct(fold_pins=False, probe=reference)
+        except _Fallback:
+            raise SolverError(
+                f"optimum pins tiles {tuple(ref_pinned)} to the boundary; "
+                "interior-only solve requested"
+            ) from None
+        raise _Fallback(
+            f"boundary optimum at {ref_pinned} admits an interior reading; "
+            "deferring to the exact interior retry",
+            guidance,
+        )
+    try:
+        return reconstruct(fold_pins=bool(pinned), probe=probe)
+    except _Fallback:
+        # Second chance on the reference probe: the cheap probe's hints can
+        # land just outside the rationalizable region.  Pointless when the
+        # first attempt already ran on the reference probe (boundary-class
+        # shortcut), and only allowed when the reference probe is interior
+        # too -- a pinned reference point must go through the boundary
+        # arbitration of the exact solver.
+        reference = reference_probe()
+        if reference is probe:
+            raise
+        ref_pinned = any(
+            val < _PIN_TOLERANCE for val in reference.tile_values_array
+        )
+        if ref_pinned and not allow_pinning:
+            raise
+        return reconstruct(fold_pins=ref_pinned, probe=reference)
+
+
+def _warm_probe(structure, c_obj, a_obj, k_con, e_con) -> ProbeResult:
+    """Scipy probe seeded from the nearest solved problem class."""
+    with _STORE_LOCK:
+        seed = _SEEDS.get(structure)
+        if seed is None:
+            seed = _ROUGH_SEEDS.get(structure[0])
+    try:
+        probe = probe_arrays(
+            c_obj, a_obj, k_con, e_con, _PROBE_X,
+            restarts=1 if seed is not None else 2,
+            x0_seed=seed,
+            rescue=False,
+            ftol=1e-9,
+        )
+    except SolverError as err:
+        # Hard geometry: defer immediately -- the fallback's reference-
+        # schedule probe (full restarts + trust-constr rescue) runs once.
+        raise _Fallback(f"fast probe failed: {err}") from err
+    _store_put(_SEEDS, structure, probe.x_log)
+    _store_put(_ROUGH_SEEDS, structure[0], probe.x_log)
+    return probe
+
+
+def _check_tile_consistency(e_transpose, q, act_coeffs, param_subs, guidance) -> None:
+    """Reject stationarity solutions no tile assignment can realize.
+
+    The tile system is ``<e_r, log b> = log(q_r X / k_r)``.  For every
+    left-nullspace vector ``z`` of the active exponent rows it requires
+    ``sum_r z_r = 0`` (the ``log X`` component) and
+    ``prod_r (q_r/k_r)^{z_r} = 1`` -- checked exactly over the rationals
+    when every ``k_r`` is rational, numerically otherwise.  This is also
+    the condition that makes ``chi`` independent of the chosen ``mu``.
+    """
+    for z in nullspace_rational(e_transpose):
+        if sum(z, Fraction(0)) != 0:
+            raise _Fallback("tile system inconsistent (X component)", guidance)
+        scale = math.lcm(*(term.denominator for term in z))
+        integral = [int(term * scale) for term in z]
+        if all(coeff.is_Rational for coeff in act_coeffs):
+            product = Fraction(1)
+            for z_r, q_r, k_expr in zip(integral, q, act_coeffs):
+                if z_r:
+                    product *= (q_r / Fraction(int(k_expr.p), int(k_expr.q))) ** z_r
+            if product != 1:
+                raise _Fallback("tile system inconsistent (coefficient component)", guidance)
+        else:
+            log_sum = 0.0
+            for z_r, q_r, k_expr in zip(integral, q, act_coeffs):
+                if z_r:
+                    log_sum += z_r * (
+                        math.log(float(q_r))
+                        - math.log(float(k_expr.subs(param_subs)))
+                    )
+            if abs(log_sum) > _LOG_CONSISTENCY_ATOL:
+                raise _Fallback("tile system inconsistent (numeric check)", guidance)

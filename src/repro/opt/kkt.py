@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Mapping, Sequence
 
 import sympy as sp
@@ -49,9 +50,10 @@ from repro.symbolic.symbols import X_SYM, tile, tile_name
 from repro.util.errors import SolverError
 
 #: Bump when the solver's *capabilities* change (new reconstruction paths,
-#: relaxed rejection rules, ...): persistent caches treat negative entries
-#: recorded under an older revision as stale and re-solve them.
-SOLVER_REVISION = 1
+#: relaxed rejection rules, new backends, ...): persistent caches namespace
+#: every entry by backend + revision, so older-generation results are never
+#: replayed by a newer solver.
+SOLVER_REVISION = 2
 
 _PIN_TOLERANCE = 1.2  #: numeric tile value below this counts as pinned to 1
 _OBJ_TOLERANCE = 1e-3  #: objective weight below this counts as negligible
@@ -115,6 +117,7 @@ def solve_chi(
     probe_x: float = _PROBE_X,
     allow_pinning: bool = True,
     allow_caps: bool = True,
+    guidance: NumericSolution | None = None,
 ) -> ChiSolution:
     """Solve problem (8) symbolically; see module docstring for the method.
 
@@ -130,6 +133,11 @@ def solve_chi(
     streaming-update subcomputations that the paper's interior-only solver
     never reports (see DESIGN.md §4.5); rejecting them reproduces the
     paper's behaviour.
+
+    ``guidance`` supplies a precomputed numeric solution of the
+    parameter-substituted problem at ``probe_x`` (the numeric-first backend
+    passes its warm-started probe when it defers to this solver), skipping
+    the internal scipy solve.
     """
     extents = dict(extents or {})
     notes: list[str] = []
@@ -167,10 +175,12 @@ def solve_chi(
     # numeric probe substitutes a large common value -- the probe only guides
     # active-set selection, the exact algebra below keeps parameters symbolic.
     param_subs = _parameter_substitution(objective, constraint)
-    numeric_obj = _substituted(objective, param_subs)
-    numeric_con = _substituted(constraint, param_subs)
-
-    numeric = solve_numeric(numeric_obj, numeric_con, probe_x)
+    if guidance is not None:
+        numeric = guidance
+    else:
+        numeric_obj = _substituted(objective, param_subs)
+        numeric_con = _substituted(constraint, param_subs)
+        numeric = solve_numeric(numeric_obj, numeric_con, probe_x)
     pinned = tuple(
         tile_name(v) for v, val in numeric.tile_values.items() if val < _PIN_TOLERANCE
     )
@@ -414,8 +424,8 @@ def _recover_tiles(
     equations = []
     for term, m_val in zip(terms, m_values):
         lhs = sp.Integer(0)
-        for v, l in zip(variables, logs):
-            lhs += term.exponent(v) * l
+        for v, log_sym in zip(variables, logs):
+            lhs += term.exponent(v) * log_sym
         equations.append(sp.Eq(lhs, sp.log(m_val / term.coeff)))
     solutions = sp.linsolve(equations, logs)
     if not solutions:
@@ -447,11 +457,25 @@ def _fit_from_numeric(
     alpha = sp.nsimplify(alpha_f, rational=True, tolerance=1e-3)
     if sp.Rational(alpha).q > 12:
         raise SolverError(f"cannot rationalize chi exponent {alpha_f}")
-    coeff_f = s1.objective_value / x1 ** float(alpha)
-    try:
-        coeff = sp.nsimplify(coeff_f, tolerance=1e-4, full=True)
-    except (TypeError, ValueError):  # mpmath.identify can crash on edge inputs
-        coeff = sp.nsimplify(coeff_f, rational=True, tolerance=1e-4)
+    # Estimate the coefficient at the *largest* probe: lower-order chi terms
+    # (and constraint slack) contaminate c(X) = chi(X)/X^alpha by O(X^(beta
+    # - alpha)), so the far probe is an order of magnitude cleaner than the
+    # near one (deriche: 3.3e-4 rel error at X=1e9, 2.1e-5 at 64e9).
+    coeff_f = s2.objective_value / x2 ** float(alpha)
+    # When the coefficient is within probe noise of a small rational, the
+    # rational is the answer (mpmath.identify would otherwise dress the
+    # noise up as an exotic closed form: 5.00065 -> log(889/6)).  The 1e-4
+    # gate sits well below the distance from genuine radical constants to
+    # denominator<=24 rationals (the closest, 2/sqrt(3) vs 15/13, is 7.5e-4
+    # away), so no such constant can mis-snap.
+    snapped = Fraction(coeff_f).limit_denominator(24)
+    if snapped > 0 and abs(float(snapped) - coeff_f) <= 1e-4 * abs(coeff_f):
+        coeff = sp.Rational(snapped)
+    else:
+        try:
+            coeff = sp.nsimplify(coeff_f, tolerance=1e-4, full=True)
+        except (TypeError, ValueError):  # mpmath.identify can crash on edge inputs
+            coeff = sp.nsimplify(coeff_f, rational=True, tolerance=1e-4)
     chi = coeff * X_SYM**alpha
     s3 = solve_numeric(objective, constraint, x3)
     predicted = float(coeff) * x3 ** float(alpha)

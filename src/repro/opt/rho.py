@@ -20,7 +20,7 @@ retained in ``rho_exact`` for small-S evaluation (pebbling validation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import sympy as sp
 

@@ -14,11 +14,11 @@ topological order, closing the loop of the paper's pipeline: derived tiling
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, Iterable, Mapping, Sequence
+from typing import Callable, Hashable, Mapping, Sequence
 
 import networkx as nx
 
-from repro.pebbling.game import Move, PebbleGame, replay
+from repro.pebbling.game import Move, replay
 from repro.util.errors import PebblingError
 
 

@@ -14,7 +14,6 @@ losing optimality: any schedule can be normalized to discard only on demand.
 from __future__ import annotations
 
 import heapq
-from itertools import combinations
 from typing import Hashable
 
 import networkx as nx

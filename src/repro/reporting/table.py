@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import sympy as sp
 
 from repro.engine import analyze_many
 from repro.symbolic.printing import bound_str
@@ -34,12 +33,13 @@ def table2_rows(
     names: list[str] | None = None,
     jobs: int = 1,
     cache_dir: str | None = None,
+    solver: str | None = None,
 ) -> list[Table2Row]:
     """Analyze the requested kernels and build comparison rows."""
     from repro.kernels import get_kernel, kernel_names
 
     selected = names if names is not None else kernel_names(category)
-    results = analyze_many(selected, jobs=jobs, cache_dir=cache_dir)
+    results = analyze_many(selected, jobs=jobs, cache_dir=cache_dir, solver=solver)
     rows: list[Table2Row] = []
     for name, result in zip(selected, results):
         spec = get_kernel(name)

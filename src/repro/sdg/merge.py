@@ -34,13 +34,14 @@ The result feeds optimization problem (8) exactly like a single statement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import sympy as sp
 
 from repro.ir.access import AccessComponent, AffineIndex, ArrayAccess
 from repro.ir.program import Program
 from repro.ir.statement import Statement
+from repro.opt.problem import ProblemIR
 from repro.soap.access_size import group_constraint_terms
 from repro.soap.classify import OverlapPolicy, SimpleOverlapGroup, classify_access
 from repro.soap.projections import version_output
@@ -63,6 +64,7 @@ class FusedStatement:
     extents: dict[str, sp.Expr]
     objective: Posynomial
     constraint: Posynomial
+    problem: ProblemIR  #: solver-backend view, built once for all consumers
     groups: tuple[SimpleOverlapGroup, ...]
     input_arrays: tuple[str, ...]  #: In(St_H)
     notes: tuple[str, ...] = ()
@@ -127,6 +129,7 @@ def fuse_statements(
         extents=extents,
         objective=objective,
         constraint=constraint,
+        problem=ProblemIR.from_posynomials(objective, constraint, extents),
         groups=tuple(groups),
         input_arrays=tuple(input_arrays),
         notes=tuple(notes),

@@ -43,6 +43,8 @@ class ServiceHealth:
     workers: int
     queue_depth: int
     coalescing: bool
+    solver: str = "exact"
+    solver_stats: dict = field(default_factory=dict)
 
     @classmethod
     def from_payload(cls, payload: dict) -> "ServiceHealth":
@@ -53,6 +55,8 @@ class ServiceHealth:
             workers=payload["workers"],
             queue_depth=payload["queue_depth"],
             coalescing=payload["coalescing"],
+            solver=payload.get("solver", "exact"),
+            solver_stats=payload.get("solver_stats", {}),
         )
 
 

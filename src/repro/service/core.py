@@ -53,6 +53,7 @@ class ServiceConfig:
     cache_dir: str | None = None
     max_cache_entries: int | None = None
     coalesce: bool = True
+    solver: str = "exact"  #: problem (8) solver backend for the shared engine
     max_retained_jobs: int = MAX_RETAINED_JOBS
 
 
@@ -68,6 +69,7 @@ class AnalysisService:
                 max_memory_entries=self.config.max_cache_entries,
             ),
             on_stage=self.metrics.observe_stage,
+            solver=self.config.solver,
         )
         self._jobs: dict[str, Job] = {}
         self._inflight: dict[str, Job] = {}
@@ -176,6 +178,7 @@ class AnalysisService:
                 policy=policy,
                 max_subgraph_size=max_subgraph_size,
                 allow_pinning=allow_pinning,
+                solver=self.config.solver,
             ),
         )
 
@@ -297,6 +300,8 @@ class AnalysisService:
             "workers": self.workers,
             "queue_depth": self.queue_depth,
             "coalescing": self.config.coalesce,
+            "solver": self.config.solver,
+            "solver_stats": self.engine.solver_stats_snapshot(),
         }
 
     def metrics_snapshot(self) -> dict:
@@ -308,4 +313,8 @@ class AnalysisService:
             jobs={"by_state": states, "retained": len(self._jobs)},
             cache=self.engine.cache.stats_snapshot().as_dict(),
             workers=self.workers,
+            solver={
+                "backend": self.config.solver,
+                "solves": self.engine.solver_stats_snapshot(),
+            },
         )

@@ -93,7 +93,15 @@ class ServiceMetrics:
         total = self.jobs_submitted + self.coalesced
         return self.coalesced / total if total else 0.0
 
-    def snapshot(self, *, queue_depth: int, jobs: dict, cache: dict, workers: int) -> dict:
+    def snapshot(
+        self,
+        *,
+        queue_depth: int,
+        jobs: dict,
+        cache: dict,
+        workers: int,
+        solver: dict | None = None,
+    ) -> dict:
         with self._lock:
             run_samples = list(self._latencies)
             queue_samples = list(self._queue_latencies)
@@ -131,4 +139,5 @@ class ServiceMetrics:
                     for name, seconds in sorted(self._stage_seconds.items())
                 },
                 "cache": cache,
+                "solver": solver or {},
             }

@@ -163,5 +163,23 @@ class Posynomial:
         """True if every coefficient is (provably) positive."""
         return all(sp.simplify(t.coeff).is_positive for t in self._terms)
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same monomials with equal coefficients.
+
+        The constructor already merges duplicate power patterns, so each
+        ``powers`` tuple appears at most once per posynomial; coefficients
+        are compared by expanded difference (``2*N`` equals ``N + N``).
+        """
+        if not isinstance(other, Posynomial):
+            return NotImplemented
+        mine = {t.powers: t.coeff for t in self._terms}
+        theirs = {t.powers: t.coeff for t in other._terms}
+        if mine.keys() != theirs.keys():
+            return False
+        return all(sp.expand(mine[k] - theirs[k]) == 0 for k in mine)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(t.powers for t in self._terms))
+
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return str(self.expr)

@@ -2,12 +2,10 @@
 
 import networkx as nx
 import pytest
-import sympy as sp
 
 from repro.cdag.build import build_cdag
 from repro.cdag.dominator import min_dominator_size, min_set
 from repro.ir.program import Program
-from repro.ir.statement import Statement
 from repro.kernels.common import ref, stmt
 from repro.frontend.python_frontend import parse_python
 from tests.test_sdg_graph import figure2_program

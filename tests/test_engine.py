@@ -22,7 +22,7 @@ from repro.kernels.common import ref, stmt
 from repro.opt.kkt import ChiSolution
 from repro.sdg.bounds import io_footprint_floor, sdg_bound
 from repro.sdg.merge import fuse_statements
-from repro.symbolic.symbols import S_SYM, X_SYM
+from repro.symbolic.symbols import X_SYM
 
 N = sp.Symbol("N", positive=True)
 M = sp.Symbol("M", positive=True)
@@ -96,6 +96,41 @@ class TestCanonicalSignature:
             fused.objective, fused.constraint, fused.extents, allow_pinning=True
         )
         assert interior.signature != boundary.signature
+
+    def test_canonical_name_collision_keeps_extents_attached(self):
+        """A user loop variable literally named 'c1' must not steal extents.
+
+        Canonical names are c0, c1, ...; extents are attached after renaming,
+        so an original variable called like a canonical name cannot cause a
+        second remap that hands its extent to a different variable.
+        """
+        program = Program.make(
+            "collide",
+            [
+                stmt(
+                    "s",
+                    {"c1": "N", "j": "M"},
+                    ref("out", "c1"),
+                    ref("out", "c1"),
+                    ref("inp", "c1"),
+                )
+            ],
+        )
+        fused = fuse_statements(program, ("out",))
+        canonical = canonicalize_problem(
+            fused.objective, fused.constraint, fused.extents
+        )
+        # the uncapped variable's extent survives under its canonical name
+        assert set(canonical.extents) <= set(canonical.rename.values())
+        [(name, value)] = list(canonical.extents.items())
+        assert canonical.inverse[name] == "j"
+        assert value == M
+        # and the whole analysis caps j at M instead of failing
+        from repro.analysis import analyze_program
+
+        bound = analyze_program(program, allow_pinning=True)
+        assert bound.per_array  # solved (capped at M), not skipped
+        assert bound.per_array["out"].intensity.chi_solution.capped == ("j",)
 
     def test_rename_is_bijective(self):
         canonical = _canonical(_gemm_program(("i", "j", "k")))
@@ -197,7 +232,9 @@ class TestCacheCorrectness:
         )
         from repro.engine.core import _solve_signature
 
-        _, outcome = _solve_signature((canonical.signature, canonical, False))
+        _, outcome = _solve_signature(
+            (canonical.signature, canonical, False, "exact")
+        )
         store = SolveCache(tmp_path / "cache")
         store.put(canonical.signature, outcome)
         fresh = SolveCache(tmp_path / "cache")  # new in-process tier

@@ -184,7 +184,8 @@ class TestCoalescing:
         a = client.kernel("gemm")
         b = client.kernel("gemm")
         assert a.id != b.id
-        strip = lambda r: {k: v for k, v in r.items() if k != "diagnostics"}
+        def strip(r):
+            return {k: v for k, v in r.items() if k != "diagnostics"}
         assert strip(a.result) == strip(b.result)
 
     def test_coalescing_can_be_disabled(self):
