@@ -1,0 +1,191 @@
+"""Tightness benchmark: replay throughput at scale + the corpus audit.
+
+Three measurements, all gated on **CPU time** (the `_harness.timed`
+convention: wall time swings +-25% on shared boxes):
+
+1. **Replay scale** -- build the blocked gemm access stream straight from
+   the IR (no graph materialized) at >= 10^6 computed vertices and replay it
+   under Belady and LRU.  Acceptance: the Belady replay finishes within the
+   CPU budget (the "replays a million-vertex CDAG in seconds" claim).
+2. **Simulator vs pebble game** -- same mid-size CDAG, same schedule, a
+   sweep of S values through both executors.  Acceptance: bit-identical
+   costs and a real speedup (stream replay vs. per-move game mutation with
+   legality replay).
+3. **Audit smoke** -- a small-kernel tightness audit; acceptance: every
+   audited row reports a finite gap.
+
+Run:  PYTHONPATH=src python benchmarks/bench_tightness.py [--subset]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _harness import finish, make_parser, timed  # noqa: E402
+
+#: CPU budget for the scale replay (measured ~6-7s on the dev box; the gate
+#: is generous because CI boxes vary, but still "seconds, not minutes")
+REPLAY_CPU_BUDGET_SECONDS = 60.0
+MIN_SPEEDUP = 2.0
+
+
+def bench_replay_scale(n: int, s: int) -> dict:
+    from repro.kernels import get_kernel
+    from repro.schedule.simulator import simulate_io
+    from repro.schedule.stream import single_statement_stream
+
+    program = get_kernel("gemm").build()
+    tile = max(2, int(s ** 0.5))
+    build = timed(
+        single_statement_stream,
+        program,
+        {"N": n},
+        tile_sizes={"i": tile, "j": tile, "k": tile},
+        variable_order=["i", "j", "k"],
+    )
+    stream = build.value
+    policies = {}
+    for policy in ("belady", "lru"):
+        run = timed(simulate_io, stream, s, policy=policy)
+        policies[policy] = {
+            "cost": run.value.cost,
+            "loads": run.value.loads,
+            "stores": run.value.stores,
+            "evictions": run.value.evictions,
+            "cpu_seconds": run.cpu_seconds,
+            "wall_seconds": run.wall_seconds,
+            "accesses_per_cpu_second": (
+                stream.n_accesses / run.cpu_seconds if run.cpu_seconds else None
+            ),
+        }
+    bound = 2 * n**3 / s**0.5
+    return {
+        "kernel": "gemm",
+        "n": n,
+        "s": s,
+        "tile": tile,
+        "positions": stream.n_positions,
+        "accesses": stream.n_accesses,
+        "ids": stream.n_ids,
+        "stream_build_cpu_seconds": build.cpu_seconds,
+        "bound": bound,
+        "belady_gap": policies["belady"]["cost"] / bound,
+        "policies": policies,
+    }
+
+
+def bench_simulator_vs_game(n: int, s_values: list[int]) -> dict:
+    from repro.cdag.build import build_cdag
+    from repro.kernels import get_kernel
+    from repro.pebbling.greedy import greedy_pebbling_cost
+    from repro.schedule.simulator import simulate_io
+    from repro.schedule.stream import stream_from_graph
+
+    cdag = build_cdag(get_kernel("gemm").build(), {"N": n})
+
+    def run_game() -> list[int]:
+        return [greedy_pebbling_cost(cdag.graph, s) for s in s_values]
+
+    def run_replay() -> list[int]:
+        stream = stream_from_graph(cdag.graph)
+        return [simulate_io(stream, s).cost for s in s_values]
+
+    game = timed(run_game)
+    replay = timed(run_replay)
+    return {
+        "kernel": "gemm",
+        "n": n,
+        "s_values": list(s_values),
+        "vertices": cdag.n_vertices,
+        "game_costs": game.value,
+        "replay_costs": replay.value,
+        "identical": game.value == replay.value,
+        "game_cpu_seconds": game.cpu_seconds,
+        "replay_cpu_seconds": replay.cpu_seconds,
+        "speedup": (
+            game.cpu_seconds / replay.cpu_seconds
+            if replay.cpu_seconds
+            else None
+        ),
+    }
+
+
+def bench_audit(kernels: list[str]) -> dict:
+    from repro.reporting.serialize import tightness_report
+    from repro.schedule.tightness import audit_corpus
+
+    run = timed(audit_corpus, kernels)
+    payload = tightness_report(run.value)
+    return {
+        "kernels": kernels,
+        "cpu_seconds": run.cpu_seconds,
+        "wall_seconds": run.wall_seconds,
+        "summary": payload["summary"],
+        "rows": [
+            {
+                "kernel": r["kernel"],
+                "s": r["s"],
+                "gap": r["gap"],
+                "classification": r["classification"],
+            }
+            for r in payload["rows"]
+        ],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = make_parser(
+        "Schedule-replay tightness benchmark", "BENCH_tightness.json"
+    )
+    args = parser.parse_args(argv)
+
+    if args.subset:
+        scale = bench_replay_scale(n=50, s=256)
+        versus = bench_simulator_vs_game(n=12, s_values=[8, 18])
+        audit = bench_audit(["gemm", "atax"])
+    else:
+        scale = bench_replay_scale(n=100, s=1024)
+        versus = bench_simulator_vs_game(n=20, s_values=[8, 18, 64])
+        audit = bench_audit(["gemm", "atax", "jacobi1d"])
+
+    belady_cpu = scale["policies"]["belady"]["cpu_seconds"]
+    acceptance = {
+        "replay_within_cpu_budget": belady_cpu <= REPLAY_CPU_BUDGET_SECONDS,
+        "replay_cpu_budget_seconds": REPLAY_CPU_BUDGET_SECONDS,
+        "million_vertices": args.subset or scale["positions"] >= 1_000_000,
+        "bit_identical_to_game": versus["identical"],
+        "speedup_over_game": versus["speedup"],
+        "speedup_ok": versus["speedup"] is not None
+        and versus["speedup"] >= MIN_SPEEDUP,
+        "audit_gaps_finite": audit["summary"]["finite_gaps"],
+    }
+    failed = not (
+        acceptance["replay_within_cpu_budget"]
+        and acceptance["million_vertices"]
+        and acceptance["bit_identical_to_game"]
+        and acceptance["speedup_ok"]
+        and acceptance["audit_gaps_finite"]
+    )
+    payload = {
+        "benchmark": "tightness",
+        "subset": bool(args.subset),
+        "replay_scale": scale,
+        "simulator_vs_game": versus,
+        "audit": audit,
+        "acceptance": acceptance,
+    }
+    summary = (
+        f"replay {scale['positions']} vertices in {belady_cpu:.1f}s CPU "
+        f"({scale['policies']['belady']['accesses_per_cpu_second']:.0f} acc/s); "
+        f"vs game: identical={versus['identical']} "
+        f"speedup={versus['speedup']:.1f}x; "
+        f"audit finite gaps={audit['summary']['finite_gaps']}"
+    )
+    return finish(payload, args.output, summary, failed=failed)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,7 @@ Statement ``guard`` expressions restrict non-rectangular nests.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
 import networkx as nx
@@ -43,6 +43,9 @@ class ConcreteCDAG:
     outputs: tuple[Vertex, ...]
     #: vertices grouped by array name (computed vertices only)
     by_array: dict[str, tuple[Vertex, ...]]
+    #: computed vertex -> (statement name, iteration point); empty when the
+    #: CDAG was built with ``record_points=False``
+    points: dict[Vertex, tuple[str, dict[str, int]]] = field(default_factory=dict)
 
     @property
     def n_vertices(self) -> int:
@@ -51,8 +54,30 @@ class ConcreteCDAG:
     def vertices_of(self, array: str) -> tuple[Vertex, ...]:
         return self.by_array.get(array, ())
 
+    def point_of(self, vertex: Vertex) -> dict[str, int] | None:
+        """Iteration point of a computed vertex (``None`` for inputs).
 
-def _extent_values(statement: Statement, params: Mapping[str, int]) -> dict[str, int]:
+        This is the generic point mapping for blocked-schedule construction
+        (:func:`repro.pebbling.greedy.tiled_order` and
+        :mod:`repro.schedule`): no per-kernel hand-coding needed.
+        """
+        entry = self.points.get(vertex)
+        return entry[1] if entry is not None else None
+
+    def statement_of(self, vertex: Vertex) -> str | None:
+        """Name of the statement that computed ``vertex`` (``None`` for inputs)."""
+        entry = self.points.get(vertex)
+        return entry[0] if entry is not None else None
+
+
+def extent_values(statement: Statement, params: Mapping[str, int]) -> dict[str, int]:
+    """Concrete loop extents of one statement under ``params``.
+
+    The single place extents are evaluated: the CDAG builder, the schedule
+    deriver, and the IR-direct stream generator all agree on loop bounds by
+    construction.  Raises :class:`SoapError` when an extent does not resolve
+    to a non-negative integer.
+    """
     values: dict[str, int] = {}
     for var, extent in statement.domain.extents:
         concrete = sp.sympify(extent).subs(
@@ -87,17 +112,28 @@ def _iteration_points(
         yield point
 
 
-def build_cdag(program: Program, params: Mapping[str, int]) -> ConcreteCDAG:
-    """Materialize ``program`` for concrete ``params`` (e.g. ``{"N": 4}``)."""
+def build_cdag(
+    program: Program,
+    params: Mapping[str, int],
+    *,
+    record_points: bool = True,
+) -> ConcreteCDAG:
+    """Materialize ``program`` for concrete ``params`` (e.g. ``{"N": 4}``).
+
+    ``record_points`` keeps the (statement, iteration point) of every computed
+    vertex on the result, enabling generic blocked-schedule derivation; pass
+    ``False`` to save memory when only the graph structure is needed.
+    """
     graph = nx.DiGraph()
     latest: dict[tuple[str, tuple[int, ...]], Vertex] = {}
     version_counter: dict[tuple[str, tuple[int, ...]], int] = {}
     by_array: dict[str, list[Vertex]] = {}
     input_vertices: dict[Vertex, None] = {}
+    points: dict[Vertex, tuple[str, dict[str, int]]] = {}
 
     computed_arrays = set(program.computed_arrays())
     extents_per_stmt = {
-        st.name: _extent_values(st, params) for st in program.statements
+        st.name: extent_values(st, params) for st in program.statements
     }
 
     # Shared loop variables (same name in several statements) iterate
@@ -147,6 +183,8 @@ def build_cdag(program: Program, params: Mapping[str, int]) -> ConcreteCDAG:
                 graph.add_edge(parent, vertex)
             latest[key] = vertex
             by_array.setdefault(st.output.array, []).append(vertex)
+            if record_points:
+                points[vertex] = (st.name, dict(point))
 
     def run_shared(index: int, fixed: dict[str, int]) -> None:
         if index == len(shared):
@@ -170,4 +208,5 @@ def build_cdag(program: Program, params: Mapping[str, int]) -> ConcreteCDAG:
         inputs=tuple(input_vertices),
         outputs=outputs,
         by_array={a: tuple(vs) for a, vs in by_array.items()},
+        points=points,
     )

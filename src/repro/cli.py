@@ -8,6 +8,8 @@ Usage examples::
     soap-analyze table2 --category polybench       # regenerate Table 2
     soap-analyze table2 --jobs 4 --json            # parallel, machine-readable
     soap-analyze validate gemm --params N=4 --S 8  # pebbling sandwich check
+    soap-analyze tightness gemm atax --s 8,18      # schedule-replay gap audit
+    soap-analyze tightness --markdown TIGHTNESS.md # full corpus, written out
 
     soap-analyze serve --port 8731 --workers 4     # long-lived analysis daemon
     soap-analyze submit gemm                       # analyze via the daemon
@@ -103,6 +105,32 @@ def main(argv: list[str] | None = None) -> int:
     p_val.add_argument("--params", nargs="+", default=[], metavar="NAME=VALUE")
     p_val.add_argument("--S", dest="s", type=int, default=8)
 
+    p_tight = sub.add_parser(
+        "tightness",
+        help="schedule-replay tightness audit (simulated I/O vs lower bound)",
+    )
+    p_tight.add_argument(
+        "kernels", nargs="*", metavar="KERNEL",
+        help="kernels to audit (default: the full corpus)",
+    )
+    p_tight.add_argument(
+        "--s", dest="s_values", default=None, metavar="S1,S2,...",
+        help="fast-memory sizes to sweep (default: 8,18)",
+    )
+    p_tight.add_argument(
+        "--params", nargs="+", default=[], metavar="NAME=VALUE",
+        help="parameter overrides applied to every audited kernel",
+    )
+    p_tight.add_argument(
+        "--max-vertices", type=int, default=None, metavar="N",
+        help="skip instances whose CDAG exceeds N vertices",
+    )
+    p_tight.add_argument(
+        "--markdown", type=Path, default=None, metavar="FILE",
+        help="also write the TIGHTNESS.md rendering to FILE",
+    )
+    add_engine_flags(p_tight)
+
     p_list = sub.add_parser("list", help="list registered kernels")
 
     p_serve = sub.add_parser("serve", help="run the analysis daemon")
@@ -160,6 +188,7 @@ def main(argv: list[str] | None = None) -> int:
         "kernel": _cmd_kernel,
         "table2": _cmd_table2,
         "validate": _cmd_validate,
+        "tightness": _cmd_tightness,
         "list": _cmd_list,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
@@ -277,16 +306,21 @@ def _cmd_table2(args) -> int:
     return 0
 
 
-def _cmd_validate(args) -> int:
-    from repro.kernels import get_kernel
-    from repro.pebbling.validate import validate_bound
-
+def _parse_params(items) -> dict[str, int]:
     params = {}
-    for item in args.params:
+    for item in items:
         key, sep, value = item.partition("=")
         if not sep or not value.lstrip("-").isdigit():
             raise ValueError(f"bad --params entry {item!r}; expected NAME=INTEGER")
         params[key] = int(value)
+    return params
+
+
+def _cmd_validate(args) -> int:
+    from repro.kernels import get_kernel
+    from repro.pebbling.validate import validate_bound
+
+    params = _parse_params(args.params)
     spec = get_kernel(args.name)
     report = validate_bound(spec.build(), params, args.s)
     print(f"kernel {args.name} params={params} S={args.s}")
@@ -294,8 +328,82 @@ def _cmd_validate(args) -> int:
     print(f"  lower bound   : {report.lower_bound:.2f}")
     print(f"  optimal Q     : {report.optimal_cost}")
     print(f"  greedy upper  : {report.greedy_cost}")
+    print(f"  stream replay : {report.replay_cost}   consistent: {report.consistent}")
+    if report.schedule_cost is not None:
+        print(f"  derived sched : {report.schedule_cost}")
     print(f"  sound         : {report.sound}   gap: {report.gap:.2f}x")
-    return 0 if report.sound else 1
+    return 0 if report.sound and report.consistent else 1
+
+
+def _cmd_tightness(args) -> int:
+    from repro.reporting.serialize import tightness_report
+    from repro.reporting.tightness import tightness_markdown
+    from repro.schedule.tightness import (
+        DEFAULT_MAX_VERTICES,
+        DEFAULT_S_VALUES,
+        audit_corpus,
+    )
+
+    if args.s_values is not None:
+        try:
+            s_values = tuple(int(x) for x in args.s_values.split(",") if x)
+        except ValueError:
+            raise ValueError(
+                f"bad --s value {args.s_values!r}; expected e.g. 8,18"
+            ) from None
+        if not s_values:
+            raise ValueError("--s needs at least one fast-memory size")
+    else:
+        s_values = DEFAULT_S_VALUES
+    names = args.kernels or None
+    if names:
+        from repro.kernels import get_kernel
+
+        for name in names:
+            get_kernel(name)  # unknown kernels are an input error, not a row
+    report = audit_corpus(
+        names,
+        s_values=s_values,
+        params=_parse_params(args.params) or None,
+        jobs=args.jobs,
+        cache_dir=_cache_dir(args),
+        solver=args.solver,
+        max_vertices=(
+            args.max_vertices
+            if args.max_vertices is not None
+            else DEFAULT_MAX_VERTICES
+        ),
+    )
+    if args.markdown is not None:
+        args.markdown.write_text(tightness_markdown(report))
+    if args.json:
+        print(json.dumps(tightness_report(report), indent=2))
+    else:
+        header = (
+            f"{'kernel':20s} {'S':>4s} {'|V|':>7s} {'bound':>10s} "
+            f"{'schedule':>9s} {'prog-order':>10s} {'gap':>7s}  class"
+        )
+        print(header)
+        print("-" * len(header))
+        for r in report.rows:
+            if not r.ok:
+                print(f"{r.kernel:20s} {r.s:>4d} skipped: {r.error}")
+                continue
+            print(
+                f"{r.kernel:20s} {r.s:>4d} {r.n_vertices:>7d} "
+                f"{r.bound_value:>10.1f} {r.schedule_cost:>9d} "
+                f"{r.program_order_cost:>10d} {r.gap:>6.2f}x  {r.classification}"
+            )
+        summary = report.summary()
+        print(
+            f"\n{summary['audited']}/{summary['kernels']} audited: "
+            f"{summary['attained']} attained, {summary['near']} near, "
+            f"{summary['loose']} loose"
+            + (f"; failed: {', '.join(summary['failed'])}" if summary["failed"] else "")
+        )
+    summary = report.summary()
+    ok = summary["finite_gaps"] and not summary["failed"] and summary["audited"] > 0
+    return 0 if ok else 1
 
 
 def _cmd_list(args) -> int:

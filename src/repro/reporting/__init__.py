@@ -6,7 +6,9 @@ from repro.reporting.serialize import (
     kernel_report,
     program_bound_report,
     report_header,
+    tightness_report,
 )
+from repro.reporting.tightness import tightness_markdown
 
 __all__ = [
     "render_table2",
@@ -15,4 +17,6 @@ __all__ = [
     "kernel_report",
     "program_bound_report",
     "report_header",
+    "tightness_report",
+    "tightness_markdown",
 ]

@@ -75,3 +75,18 @@ def kernel_report(result) -> dict:
         }
     )
     return report
+
+
+def tightness_report(report) -> dict:
+    """Serialize a :class:`~repro.schedule.tightness.TightnessReport`
+    (``tightness``): per-(kernel, S) gap rows plus the corpus summary."""
+    payload = report_header("tightness")
+    payload.update(
+        {
+            "s_values": list(report.s_values),
+            "rows": [row.as_dict() for row in report.rows],
+            "summary": report.summary(),
+            "elapsed_seconds": report.elapsed_seconds,
+        }
+    )
+    return payload

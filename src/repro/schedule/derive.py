@@ -1,0 +1,185 @@
+"""Generic tiled-schedule derivation (paper Section 4.5, made executable).
+
+``derive_schedule`` turns an analyzed program's optimal tile closed forms
+(:func:`repro.opt.tiling.concrete_tiles_at_x0`) into a :class:`TiledSchedule`
+for concrete parameters and fast-memory size: one integer tile size per loop
+variable, plus the loop order the concrete CDAG executes (shared variables
+outermost, mirroring :func:`repro.cdag.build.build_cdag`).  The mapping from
+CDAG vertices to iteration points is the generic one recorded at CDAG
+construction -- no per-kernel hand-coded ``point_of`` anywhere.
+
+Bandwidth-bound kernels (``alpha == 1``, ``X0 = oo``) have no finite optimal
+tiles: the analysis says a *streaming* schedule already attains the bound at
+leading order.  ``derive_schedule`` degrades gracefully to exactly that
+(``tiled=False``, unit tiles == program order) instead of leaking symbolic
+``X`` tiles to consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+from repro.cdag.build import ConcreteCDAG, extent_values
+from repro.ir.program import Program
+from repro.opt.tiling import concrete_tiles_at_x0
+from repro.pebbling.greedy import tiled_order
+from repro.sdg.bounds import ProgramBound
+from repro.util import unique_in_order
+from repro.util.errors import SoapError
+
+
+@dataclass(frozen=True)
+class TiledSchedule:
+    """A concrete blocked execution order for one program instance."""
+
+    program: str
+    params: dict[str, int]
+    s: int
+    variable_order: tuple[str, ...]
+    tile_sizes: dict[str, int]  #: >= 1 per variable (1 = streaming along it)
+    tiled: bool  #: False -> no finite tiles derived; plain program order
+    source_arrays: tuple[str, ...]  #: arrays whose subgraph supplied tiles
+    notes: tuple[str, ...] = ()
+    symbolic_tiles: dict[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "params": dict(self.params),
+            "s": self.s,
+            "variable_order": list(self.variable_order),
+            "tile_sizes": dict(self.tile_sizes),
+            "tiled": self.tiled,
+            "source_arrays": list(self.source_arrays),
+            "symbolic_tiles": dict(self.symbolic_tiles),
+            "notes": list(self.notes),
+        }
+
+
+def _variable_order(program: Program) -> tuple[str, ...]:
+    """Loop order of the concrete execution: shared vars outermost, then each
+    statement's private variables in declared order (same convention as
+    :func:`repro.cdag.build.build_cdag`)."""
+    counts: dict[str, int] = {}
+    for st in program.statements:
+        for var in st.iteration_vars:
+            counts[var] = counts.get(var, 0) + 1
+    shared = unique_in_order(
+        v for st in program.statements for v in st.iteration_vars if counts[v] > 1
+    )
+    private = unique_in_order(
+        v for st in program.statements for v in st.iteration_vars if counts[v] == 1
+    )
+    return tuple(shared) + tuple(private)
+
+
+def _concrete_extents(
+    program: Program, params: Mapping[str, int]
+) -> dict[str, int]:
+    """Concrete extents across all statements; unresolvable ones are simply
+    absent (their tiles then stay unclamped rather than failing derivation)."""
+    extents: dict[str, int] = {}
+    for st in program.statements:
+        try:
+            values = extent_values(st, params)
+        except SoapError:
+            continue
+        for var, value in values.items():
+            extents.setdefault(var, value)
+    return extents
+
+
+def derive_schedule(
+    program: Program,
+    bound: ProgramBound,
+    params: Mapping[str, int],
+    s: int,
+) -> TiledSchedule:
+    """Derive the blocked schedule of ``program`` at ``params`` and ``S=s``.
+
+    Tile sizes come from the intensity-maximizing subgraph of each array
+    (``bound.per_array``), matched to loop variables by the unified names the
+    fusion kept; statements whose analysis is bandwidth-bound (or whose
+    variables the fusion renamed beyond recognition) fall back to streaming
+    (tile 1) along the unmatched variables.
+    """
+    order = _variable_order(program)
+    extents = _concrete_extents(program, params)
+    tile_sizes: dict[str, int] = {}
+    symbolic: dict[str, str] = {}
+    sources: list[str] = []
+    notes: list[str] = []
+
+    for st in program.statements:
+        analysis = bound.per_array.get(st.output.array)
+        if analysis is None:
+            continue
+        tiles = concrete_tiles_at_x0(analysis.intensity, params, s)
+        if tiles is None:
+            notes.append(
+                f"{st.output.array}: bandwidth-bound subgraph "
+                f"{analysis.arrays}; streaming (no finite tiles)"
+            )
+            continue
+        used = False
+        solution = analysis.intensity.chi_solution
+        sym_tiles = solution.tiles if solution is not None else {}
+        for var in st.iteration_vars:
+            if var in tile_sizes or var not in tiles:
+                continue
+            size = tiles[var]
+            if var in extents:
+                size = min(size, extents[var])
+            tile_sizes[var] = max(1, size)
+            if var in sym_tiles:
+                symbolic[var] = str(sym_tiles[var])
+            used = True
+        if used and st.output.array not in sources:
+            sources.append(st.output.array)
+
+    for var in order:
+        tile_sizes.setdefault(var, 1)
+
+    tiled = any(size > 1 for size in tile_sizes.values())
+    if not tiled:
+        notes.append("no finite tiles derived; schedule is plain program order")
+    return TiledSchedule(
+        program=program.name,
+        params={k: int(v) for k, v in params.items()},
+        s=s,
+        variable_order=order,
+        tile_sizes=tile_sizes,
+        tiled=tiled,
+        source_arrays=tuple(sources),
+        notes=tuple(notes),
+    )
+
+
+def blocked_order(cdag: ConcreteCDAG, schedule: TiledSchedule) -> list[Hashable]:
+    """Blocked topological order of ``cdag`` under ``schedule``.
+
+    Uses the iteration points recorded on the CDAG (the generic vertex ->
+    point mapping) and ranks statements sharing a tile by program position.
+    Returns the default topological order for untiled schedules.
+    """
+    if not schedule.tiled:
+        from repro.pebbling.greedy import default_order
+
+        return default_order(cdag.graph)
+    statement_pos: dict[str, int] = {}
+    for vertex, (st_name, _) in cdag.points.items():
+        if st_name not in statement_pos:
+            statement_pos[st_name] = len(statement_pos)
+
+    def rank(vertex: Hashable) -> int:
+        entry = cdag.points.get(vertex)
+        return statement_pos.get(entry[0], 0) if entry is not None else 0
+
+    return tiled_order(
+        cdag.graph,
+        cdag.point_of,
+        schedule.tile_sizes,
+        schedule.variable_order,
+        statement_rank=rank,
+    )

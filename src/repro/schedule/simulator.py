@@ -1,0 +1,252 @@
+"""Streaming I/O replay: flat-array pebbling without the pebble game.
+
+``simulate_io`` replays an :class:`~repro.schedule.stream.AccessStream`
+against a fast memory of ``S`` slots and counts loads and stores.  The
+semantics are exactly those of :func:`repro.pebbling.greedy
+.greedy_pebbling_cost`: operands are loaded on miss, a slot is freed by
+evicting the victim chosen by the policy (Belady: farthest next use; LRU:
+least recently touched; ties to the largest stream id), evicted live values
+(a further use exists and no blue copy) are written back first, and program
+outputs are stored at compute time.  Cross-validation tests assert the two
+implementations produce **bit-identical** costs on the same stream.
+
+Why it scales where :class:`~repro.pebbling.game.PebbleGame` cannot: no
+per-vertex hashing of tuple labels, no move list, no legality replay.
+State is integer-indexed arrays; Belady uses *precomputed next-use indices*
+(one ascending use list per id, consumed by pointer) and a lazy max-heap of
+``next_use * n_ids + id`` keys, so the whole replay is
+``O(accesses * log S)`` with tiny constants -- million-vertex CDAG streams
+replay in seconds of CPU time (``benchmarks/bench_tightness.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from heapq import heappop, heappush
+
+from repro.schedule.stream import AccessStream
+from repro.util.errors import PebblingError
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one replay."""
+
+    policy: str
+    s: int
+    loads: int
+    stores: int
+    n_positions: int
+    n_accesses: int
+    evictions: int
+
+    @property
+    def cost(self) -> int:
+        """Total I/O: the certified upper bound on ``Q`` for this schedule."""
+        return self.loads + self.stores
+
+
+def simulate_io(stream: AccessStream, s: int, *, policy: str = "belady") -> SimulationResult:
+    """Replay ``stream`` with ``s`` fast-memory slots under ``policy``."""
+    if s < 1:
+        raise PebblingError("need at least one fast-memory slot")
+    if policy == "belady":
+        return _simulate_belady(stream, s)
+    if policy == "lru":
+        return _simulate_lru(stream, s)
+    raise PebblingError(f"unknown eviction policy {policy!r}")
+
+
+def _simulate_belady(stream: AccessStream, s: int) -> SimulationResult:
+    n_ids = stream.n_ids
+    n_positions = stream.n_positions
+    inf = n_positions  # strictly greater than any real use position
+    offsets = stream.parent_offsets
+    parents = stream.parent_ids
+    computed = stream.computed_ids
+    store_at_compute = stream.store_at_compute
+
+    uses = stream.uses_by_id()
+    ptr = [0] * n_ids
+    nu = [u[0] if u else inf for u in uses]  # current next-use position
+
+    red = bytearray(n_ids)
+    blue = bytearray(stream.starts_blue)
+    red_count = 0
+    loads = stores = evictions = 0
+    heap: list[int] = []  # -(nu * n_ids + id): pop yields max (nu, id)
+    stash: list[int] = []
+
+    def make_room(protect: frozenset | set, want: int) -> int:
+        """Evict until ``want`` slots are free; returns new red_count."""
+        nonlocal stores, evictions
+        count = red_count
+        while count > s - want:
+            victim = -1
+            while heap:
+                key = -heappop(heap)
+                pid = key % n_ids
+                if not red[pid] or key // n_ids != nu[pid]:
+                    continue  # stale snapshot
+                if pid in protect:
+                    stash.append(-key)
+                    continue
+                victim = pid
+                break
+            for entry in stash:
+                heappush(heap, entry)
+            del stash[:]
+            if victim < 0:
+                raise PebblingError(f"S={s} too small for the working set")
+            if nu[victim] < inf and not blue[victim]:
+                stores += 1
+                blue[victim] = 1
+            red[victim] = 0
+            count -= 1
+            evictions += 1
+        return count
+
+    for pos in range(n_positions):
+        lo, hi = offsets[pos], offsets[pos + 1]
+        pos_parents = parents[lo:hi]
+        protect = frozenset(pos_parents)
+        for pid in pos_parents:
+            if not red[pid]:
+                if not blue[pid]:
+                    raise PebblingError(
+                        f"value id={pid} needed but neither red nor blue "
+                        "(order recomputes a discarded value?)"
+                    )
+                red_count = make_room(protect, 1)
+                red[pid] = 1
+                red_count += 1
+                loads += 1
+                heappush(heap, -(nu[pid] * n_ids + pid))
+        vid = computed[pos]
+        red_count = make_room(protect | {vid}, 1)
+        red[vid] = 1
+        red_count += 1
+        heappush(heap, -(nu[vid] * n_ids + vid))
+        # Consume this position's uses; refresh heap entries of red parents.
+        for pid in pos_parents:
+            u = uses[pid]
+            k = ptr[pid]
+            while k < len(u) and u[k] <= pos:
+                k += 1
+            ptr[pid] = k
+            nu[pid] = u[k] if k < len(u) else inf
+            heappush(heap, -(nu[pid] * n_ids + pid))
+        if store_at_compute[pos]:
+            blue[vid] = 1
+            stores += 1
+
+    return SimulationResult(
+        policy="belady",
+        s=s,
+        loads=loads,
+        stores=stores,
+        n_positions=n_positions,
+        n_accesses=stream.n_accesses,
+        evictions=evictions,
+    )
+
+
+def _simulate_lru(stream: AccessStream, s: int) -> SimulationResult:
+    n_ids = stream.n_ids
+    n_positions = stream.n_positions
+    inf = n_positions
+    offsets = stream.parent_offsets
+    parents = stream.parent_ids
+    computed = stream.computed_ids
+    store_at_compute = stream.store_at_compute
+
+    uses = stream.uses_by_id()
+    ptr = [0] * n_ids
+    nu = [u[0] if u else inf for u in uses]  # for write-back decisions only
+
+    red = bytearray(n_ids)
+    blue = bytearray(stream.starts_blue)
+    red_count = 0
+    loads = stores = evictions = 0
+    clock = 0
+    stamp = [0] * n_ids
+    heap: list[int] = []  # stamp * n_ids + id: pop yields min stamp
+    stash: list[int] = []
+
+    def touch(pid: int) -> None:
+        nonlocal clock
+        clock += 1
+        stamp[pid] = clock
+        heappush(heap, clock * n_ids + pid)
+
+    def make_room(protect: frozenset | set, want: int) -> int:
+        nonlocal stores, evictions
+        count = red_count
+        while count > s - want:
+            victim = -1
+            while heap:
+                key = heappop(heap)
+                pid = key % n_ids
+                if not red[pid] or key // n_ids != stamp[pid]:
+                    continue
+                if pid in protect:
+                    stash.append(key)
+                    continue
+                victim = pid
+                break
+            for entry in stash:
+                heappush(heap, entry)
+            del stash[:]
+            if victim < 0:
+                raise PebblingError(f"S={s} too small for the working set")
+            if nu[victim] < inf and not blue[victim]:
+                stores += 1
+                blue[victim] = 1
+            red[victim] = 0
+            count -= 1
+            evictions += 1
+        return count
+
+    for pos in range(n_positions):
+        lo, hi = offsets[pos], offsets[pos + 1]
+        pos_parents = parents[lo:hi]
+        protect = frozenset(pos_parents)
+        for pid in pos_parents:
+            if not red[pid]:
+                if not blue[pid]:
+                    raise PebblingError(
+                        f"value id={pid} needed but neither red nor blue "
+                        "(order recomputes a discarded value?)"
+                    )
+                red_count = make_room(protect, 1)
+                red[pid] = 1
+                red_count += 1
+                loads += 1
+                touch(pid)
+            else:
+                touch(pid)
+        vid = computed[pos]
+        red_count = make_room(protect | {vid}, 1)
+        red[vid] = 1
+        red_count += 1
+        touch(vid)
+        for pid in pos_parents:
+            u = uses[pid]
+            k = ptr[pid]
+            while k < len(u) and u[k] <= pos:
+                k += 1
+            ptr[pid] = k
+            nu[pid] = u[k] if k < len(u) else inf
+        if store_at_compute[pos]:
+            blue[vid] = 1
+            stores += 1
+
+    return SimulationResult(
+        policy="lru",
+        s=s,
+        loads=loads,
+        stores=stores,
+        n_positions=n_positions,
+        n_accesses=stream.n_accesses,
+        evictions=evictions,
+    )

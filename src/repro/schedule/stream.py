@@ -1,0 +1,296 @@
+"""Flat access streams: the replay simulator's input encoding.
+
+An :class:`AccessStream` is the memory traffic of one schedule in struct-of-
+arrays form: for every computed vertex, in execution order, the integer ids
+of its parents plus its own id.  Ids are first-appearance positions in the
+stream (:func:`repro.pebbling.greedy.stream_vertex_ids`), so the stream and
+the mutating :class:`~repro.pebbling.game.PebbleGame` path agree on eviction
+tie-breaks exactly.
+
+Two builders:
+
+* :func:`stream_from_graph` -- from a materialized CDAG and a topological
+  order; works for any program, costs one pass over the edges.
+* :func:`single_statement_stream` -- straight from the IR for
+  single-statement self-update kernels (gemm, syrk, jacobi-style sweeps
+  collapse to this shape after versioning): no graph is ever materialized,
+  so million-vertex instances stream in bounded memory.  Legality of the
+  blocked order (the self-update chain must execute in program order) is
+  checked during emission.
+"""
+
+from __future__ import annotations
+
+import itertools
+from array import array
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+import networkx as nx
+
+from repro.ir.program import Program
+from repro.pebbling.greedy import default_order, stream_vertex_ids
+from repro.util.errors import PebblingError, SoapError
+
+
+class ScheduleError(SoapError):
+    """Raised when a schedule cannot be derived or streamed."""
+
+
+@dataclass
+class AccessStream:
+    """One schedule's memory traffic as flat arrays.
+
+    ``parent_ids[parent_offsets[p]:parent_offsets[p+1]]`` are the operands of
+    the vertex computed at position ``p``; ``computed_ids[p]`` is the vertex
+    itself.  ``starts_blue`` marks input ids (initially in slow memory);
+    ``store_at_compute`` marks positions computing a program output (stored
+    immediately, mirroring the greedy pebbler).
+    """
+
+    n_positions: int
+    n_ids: int
+    parent_offsets: array  #: int64, length n_positions + 1
+    parent_ids: array  #: int64
+    computed_ids: array  #: int64, length n_positions
+    starts_blue: bytearray  #: per id
+    store_at_compute: bytearray  #: per position
+    labels: list | None = None  #: id -> vertex label (None for IR-direct streams)
+
+    @property
+    def n_accesses(self) -> int:
+        """Total operand reads -- the stream's length in the I/O sense."""
+        return len(self.parent_ids)
+
+    def uses_by_id(self) -> list[list[int]]:
+        """Use positions per id, ascending -- the Belady next-use index."""
+        uses: list[list[int]] = [[] for _ in range(self.n_ids)]
+        offsets, parents = self.parent_offsets, self.parent_ids
+        for pos in range(self.n_positions):
+            for k in range(offsets[pos], offsets[pos + 1]):
+                uses[parents[k]].append(pos)
+        return uses
+
+
+def stream_from_graph(
+    graph: nx.DiGraph, order: Sequence[Hashable] | None = None
+) -> AccessStream:
+    """Flatten a CDAG + topological order into an :class:`AccessStream`."""
+    inputs = {v for v in graph.nodes if graph.in_degree(v) == 0}
+    if order is None:
+        order = default_order(graph)
+    else:
+        order = list(order)
+        if len(order) != graph.number_of_nodes() - len(inputs):
+            raise PebblingError(
+                "order must cover every computed vertex exactly once"
+            )
+    ids = stream_vertex_ids(graph, order)
+
+    offsets = array("q", [0])
+    parent_ids = array("q")
+    computed_ids = array("q")
+    store_at_compute = bytearray(len(order))
+    labels: list = [None] * len(ids)
+    for vertex, vid in ids.items():
+        labels[vid] = vertex
+
+    for pos, v in enumerate(order):
+        for parent in graph.predecessors(v):
+            parent_ids.append(ids[parent])
+        offsets.append(len(parent_ids))
+        computed_ids.append(ids[v])
+        if graph.out_degree(v) == 0:
+            store_at_compute[pos] = 1
+
+    starts_blue = bytearray(len(ids))
+    for v in inputs:
+        vid = ids.get(v)
+        if vid is not None:  # isolated inputs never enter the stream
+            starts_blue[vid] = 1
+
+    return AccessStream(
+        n_positions=len(order),
+        n_ids=len(ids),
+        parent_offsets=offsets,
+        parent_ids=parent_ids,
+        computed_ids=computed_ids,
+        starts_blue=starts_blue,
+        store_at_compute=store_at_compute,
+        labels=labels,
+    )
+
+
+# ---------------------------------------------------------------------------
+# IR-direct streaming (the million-vertex path)
+# ---------------------------------------------------------------------------
+
+
+def _self_update_statement(program: Program):
+    """The single statement, validated for IR-direct streaming.
+
+    Supported shape: one statement whose only computed-array read is the
+    element it writes (``C[i,j] = f(C[i,j], ...)`` after loop versioning);
+    every other read touches pure input arrays.  This is exactly the class
+    whose CDAG factorizes into per-element version chains, so parents can be
+    resolved on the fly without materializing the graph.
+    """
+    if len(program.statements) != 1:
+        raise ScheduleError(
+            "IR-direct streaming supports single-statement programs; "
+            f"{program.name!r} has {len(program.statements)}"
+        )
+    st = program.statements[0]
+    out = st.output
+    for acc in st.inputs:
+        if acc.array == out.array:
+            if acc.components != out.components:
+                raise ScheduleError(
+                    f"{program.name!r}: self-read of {acc.array!r} must match "
+                    "the written element for IR-direct streaming"
+                )
+        # other arrays are treated as inputs below
+    return st
+
+
+def single_statement_stream(
+    program: Program,
+    params: Mapping[str, int],
+    *,
+    tile_sizes: Mapping[str, int] | None = None,
+    variable_order: Sequence[str] | None = None,
+) -> AccessStream:
+    """Stream a single-statement self-update kernel without building a graph.
+
+    Iterates the blocked order (tiles lexicographic over ``variable_order``,
+    then intra-tile points), resolving each read against the latest version
+    of the element.  Raises :class:`ScheduleError` if the blocked order would
+    execute a self-update chain out of program order (illegal tiling).
+    """
+    st = _self_update_statement(program)
+    variables = list(variable_order or st.iteration_vars)
+    if set(variables) != set(st.iteration_vars):
+        raise ScheduleError(
+            f"variable order {variables} does not match loop variables "
+            f"{list(st.iteration_vars)}"
+        )
+    from repro.cdag.build import extent_values
+
+    extents = extent_values(st, params)
+    tiles = {
+        var: max(1, min(int(tile_sizes.get(var, 1)), extents[var]))
+        if tile_sizes is not None
+        else extents[var]
+        for var in variables
+    }
+
+    guard = compile(st.guard, "<guard>", "eval") if st.guard else None
+    guard_scope = dict(params)
+
+    out_array = st.output.array
+    out_component = st.output.components[0]
+    # (array, component, is_self) per read, skipping the self-read (resolved
+    # against the version chain) -- order preserved to match build_cdag edges.
+    reads = []
+    for acc in st.inputs:
+        for comp in acc.components:
+            reads.append((acc.array, comp, acc.array == out_array))
+    # Without a self-read, versions of an element are independent vertices:
+    # all of them are program outputs and any execution order is legal.
+    has_self = any(is_self for _, _, is_self in reads)
+
+    # Reduction variables: those the output access does not use.  Their
+    # lexicographic order (in declared variable order) is the program order
+    # of each element's version chain.
+    out_vars = set()
+    for idx in out_component:
+        out_vars.update(idx.variables())
+    reduction_vars = [v for v in st.iteration_vars if v not in out_vars]
+
+    offsets = array("q", [0])
+    parent_ids = array("q")
+    computed_ids = array("q")
+    starts_blue_ids: list[int] = []
+
+    ids: dict[tuple, int] = {}  # (array, element) for inputs
+    latest: dict[tuple[int, ...], int] = {}  # output element -> version id
+    last_reduction: dict[tuple[int, ...], tuple[int, ...]] = {}
+    position_of_id: dict[int, int] = {}
+    next_id = 0
+    n_positions = 0
+
+    def tile_ranges(var: str):
+        extent, tile = extents[var], tiles[var]
+        return range((extent + tile - 1) // tile)
+
+    for tile_combo in itertools.product(*(tile_ranges(v) for v in variables)):
+        intra_ranges = []
+        for var, t in zip(variables, tile_combo):
+            lo = t * tiles[var]
+            hi = min(lo + tiles[var], extents[var])
+            intra_ranges.append(range(lo, hi))
+        for combo in itertools.product(*intra_ranges):
+            point = dict(zip(variables, combo))
+            if guard is not None:
+                guard_scope.update(point)
+                if not eval(guard, {}, guard_scope):  # noqa: S307 - trusted IR
+                    continue
+            element = tuple(idx.evaluate(point) for idx in out_component)
+            if has_self:
+                reduction = tuple(point[v] for v in reduction_vars)
+                previous = last_reduction.get(element)
+                if previous is not None and reduction <= previous:
+                    raise ScheduleError(
+                        f"blocked order executes element {element} of "
+                        f"{out_array!r} out of program order "
+                        f"({previous} before {reduction})"
+                    )
+                last_reduction[element] = reduction
+            seen: set[int] = set()  # build_cdag dedups parents per vertex
+            for arr, comp, is_self in reads:
+                if is_self:
+                    vid = latest.get(element)
+                    if vid is not None and vid not in seen:
+                        # first write reads the initial value: no parent
+                        seen.add(vid)
+                        parent_ids.append(vid)
+                    continue
+                elem = tuple(idx.evaluate(point) for idx in comp)
+                key = (arr, elem)
+                vid = ids.get(key)
+                if vid is None:
+                    vid = next_id
+                    next_id += 1
+                    ids[key] = vid
+                    starts_blue_ids.append(vid)
+                if vid not in seen:
+                    seen.add(vid)
+                    parent_ids.append(vid)
+            offsets.append(len(parent_ids))
+            vid = next_id
+            next_id += 1
+            computed_ids.append(vid)
+            position_of_id[vid] = n_positions
+            latest[element] = vid
+            n_positions += 1
+
+    if has_self:
+        store_at_compute = bytearray(n_positions)
+        for vid in latest.values():
+            store_at_compute[position_of_id[vid]] = 1
+    else:
+        store_at_compute = bytearray(b"\x01" * n_positions)
+    starts_blue = bytearray(next_id)
+    for vid in starts_blue_ids:
+        starts_blue[vid] = 1
+
+    return AccessStream(
+        n_positions=n_positions,
+        n_ids=next_id,
+        parent_offsets=offsets,
+        parent_ids=parent_ids,
+        computed_ids=computed_ids,
+        starts_blue=starts_blue,
+        store_at_compute=store_at_compute,
+        labels=None,
+    )

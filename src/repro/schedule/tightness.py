@@ -1,0 +1,357 @@
+"""Corpus-wide tightness audit: is the lower bound attained?
+
+For every kernel the analysis derives a lower bound *and* (Section 4.5) the
+tiling that should attain it.  This module closes the sandwich empirically:
+derive the blocked schedule, replay its access stream through the streaming
+I/O simulator, and compare against the evaluated bound:
+
+    gap  =  simulated I/O (certified upper bound)  /  evaluated lower bound
+
+A gap near 1 means the bound is tight *and* the constructive tiling is
+real; the per-kernel classification (``attained`` / ``near`` / ``loose``)
+summarizes it for the whole Table 2 corpus.  Small concrete instances carry
+constant-factor slop (leading-order truncation, cold misses, tile rounding),
+so the thresholds are deliberately generous; the trend with growing ``S``
+and problem size is the signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.cdag.build import build_cdag
+from repro.pebbling.validate import evaluate_bound
+from repro.schedule.derive import blocked_order, derive_schedule
+from repro.schedule.simulator import simulate_io
+from repro.schedule.stream import stream_from_graph
+from repro.util.errors import SoapError
+
+#: gap thresholds for the classification buckets
+ATTAINED_MAX = 2.5
+NEAR_MAX = 10.0
+
+#: default fast-memory sizes swept per kernel (clamped per-graph feasibility)
+DEFAULT_S_VALUES = (8, 18)
+
+#: vertex budget: kernels are audited on instances at most this large
+#: (lenet5's fixed channel dimensions force ~90k vertices at minimum size)
+DEFAULT_MAX_VERTICES = 120_000
+
+#: default value for every size parameter, unless overridden below
+DEFAULT_BASE = 8
+
+#: per-kernel parameter overrides keeping concrete CDAGs tractable (time
+#: loops short, deep nests narrow) -- audit instances, not benchmarks
+PARAM_OVERRIDES: dict[str, dict[str, int]] = {
+    "jacobi1d": {"T": 4},
+    "jacobi2d": {"T": 4},
+    "seidel2d": {"T": 4},
+    "heat3d": {"T": 3, "N": 7},
+    "fdtd2d": {"T": 3},
+    "adi": {"T": 3},
+    "doitgen": {"NR": 6, "NQ": 6, "NP": 6},
+    "softmax": {"B": 2, "H": 2, "M": 8, "N": 8},
+    "mlp": {"N": 4, "inp": 6, "fc1": 6, "fc2": 6, "out": 4},
+    "conv": {"B": 2, "Cin": 3, "Cout": 3, "Hker": 2, "Wker": 2, "Hout": 5, "Wout": 5},
+    "conv-unit-stride": {
+        "B": 2, "Cin": 3, "Cout": 3, "Hker": 2, "Wker": 2, "Hout": 5, "Wout": 5,
+    },
+    "lenet5": {"N": 1, "C": 1, "H": 8, "W": 8},
+    "bert-encoder": {"B": 1, "H": 4, "L": 6, "P": 4},
+    "bert-ffn": {"B": 1, "H": 4, "L": 6, "P": 4},
+    "lulesh": {"numElem": 8},
+    "horizontal-diffusion": {"I": 6, "J": 6, "K": 4},
+    "vertical-advection": {"I": 6, "J": 6, "K": 4},
+}
+
+
+def classify_gap(gap: float) -> str:
+    """Bucket a gap: ``attained`` / ``near`` / ``loose``."""
+    if gap <= ATTAINED_MAX:
+        return "attained"
+    if gap <= NEAR_MAX:
+        return "near"
+    return "loose"
+
+
+def audit_params(name: str, program) -> dict[str, int]:
+    """Concrete audit parameters for a kernel: base value + overrides."""
+    import sympy as sp
+
+    symbols: set[str] = set()
+    for st in program.statements:
+        for _, extent in st.domain.extents:
+            symbols.update(s.name for s in sp.sympify(extent).free_symbols)
+    params = {sym: DEFAULT_BASE for sym in sorted(symbols)}
+    params.update(PARAM_OVERRIDES.get(name, {}))
+    return params
+
+
+@dataclass(frozen=True)
+class TightnessRow:
+    """One (kernel, S) audit point."""
+
+    kernel: str
+    category: str
+    params: dict[str, int]
+    s: int  #: fast-memory size actually used (feasibility-clamped)
+    s_requested: int
+    n_vertices: int
+    bound_value: float
+    schedule_cost: int  #: simulated I/O of the derived blocked schedule
+    program_order_cost: int  #: simulated I/O of plain program order
+    gap: float  #: schedule_cost / bound_value
+    gap_program_order: float
+    classification: str
+    tiled: bool
+    tile_sizes: dict[str, int] = field(default_factory=dict)
+    notes: tuple[str, ...] = ()
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def as_dict(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "category": self.category,
+            "params": dict(self.params),
+            "s": self.s,
+            "s_requested": self.s_requested,
+            "n_vertices": self.n_vertices,
+            "bound": self.bound_value,
+            "schedule_cost": self.schedule_cost,
+            "program_order_cost": self.program_order_cost,
+            "gap": self.gap,
+            "gap_program_order": self.gap_program_order,
+            "classification": self.classification,
+            "tiled": self.tiled,
+            "tile_sizes": dict(self.tile_sizes),
+            "notes": list(self.notes),
+            "error": self.error,
+        }
+
+
+@dataclass
+class TightnessReport:
+    """Audit outcome over a kernel selection."""
+
+    rows: list[TightnessRow]
+    s_values: tuple[int, ...]
+    elapsed_seconds: float = 0.0
+
+    @property
+    def kernels(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for row in self.rows:
+            seen.setdefault(row.kernel)
+        return list(seen)
+
+    def summary(self) -> dict:
+        ok = [r for r in self.rows if r.ok]
+        buckets: dict[str, int] = {"attained": 0, "near": 0, "loose": 0}
+        best: dict[str, TightnessRow] = {}
+        for row in ok:
+            current = best.get(row.kernel)
+            if current is None or row.gap < current.gap:
+                best[row.kernel] = row
+        for row in best.values():
+            buckets[row.classification] += 1
+        failed = [r.kernel for r in self.rows if not r.ok]
+        return {
+            "kernels": len(self.kernels),
+            "rows": len(self.rows),
+            "audited": len(best),
+            "attained": buckets["attained"],
+            "near": buckets["near"],
+            "loose": buckets["loose"],
+            "failed": sorted(set(failed)),
+            "finite_gaps": all(
+                r.gap == r.gap and r.gap != float("inf") for r in ok
+            ),
+        }
+
+
+def _error_row(name: str, category: str, params, s: int, message: str) -> TightnessRow:
+    return TightnessRow(
+        kernel=name,
+        category=category,
+        params=dict(params or {}),
+        s=s,
+        s_requested=s,
+        n_vertices=0,
+        bound_value=float("nan"),
+        schedule_cost=0,
+        program_order_cost=0,
+        gap=float("nan"),
+        gap_program_order=float("nan"),
+        classification="error",
+        tiled=False,
+        error=message,
+    )
+
+
+def audit_kernel(
+    name: str,
+    *,
+    result=None,
+    params: Mapping[str, int] | None = None,
+    s_values: Sequence[int] = DEFAULT_S_VALUES,
+    max_vertices: int = DEFAULT_MAX_VERTICES,
+) -> list[TightnessRow]:
+    """Audit one kernel: one row per fast-memory size.
+
+    ``result`` takes a precomputed :class:`~repro.analysis.KernelResult`
+    (the batch driver shares one engine); otherwise the kernel is analyzed
+    on the spot.
+    """
+    from repro.analysis import analyze_kernel
+    from repro.kernels import get_kernel
+
+    spec = get_kernel(name)
+    program = spec.build()
+    defaults = audit_params(name, program)
+    if params:
+        # Overrides merge over the audit defaults; names the program does not
+        # use are dropped (one global --params can serve a whole selection).
+        defaults.update(
+            {k: int(v) for k, v in params.items() if k in defaults}
+        )
+    params = defaults
+
+    if result is None:
+        result = analyze_kernel(name)
+
+    try:
+        cdag = build_cdag(program, params)
+    except SoapError as err:
+        return [
+            _error_row(name, spec.category, params, s, f"CDAG build failed: {err}")
+            for s in s_values
+        ]
+    if cdag.n_vertices > max_vertices:
+        return [
+            _error_row(
+                name, spec.category, params, s,
+                f"instance too large: {cdag.n_vertices} > {max_vertices} vertices",
+            )
+            for s in s_values
+        ]
+
+    # Feasibility floor: every vertex's operands plus itself must fit.
+    max_indegree = max(
+        (cdag.graph.in_degree(v) for v in cdag.graph.nodes), default=0
+    )
+    min_s = max_indegree + 2
+
+    baseline_stream = stream_from_graph(cdag.graph)
+    rows: list[TightnessRow] = []
+    audited_s: set[int] = set()
+    for s_requested in s_values:
+        s = max(int(s_requested), min_s)
+        if s in audited_s:
+            continue  # clamping collapsed two requested sizes
+        audited_s.add(s)
+        notes: list[str] = []
+        if s != s_requested:
+            notes.append(f"S clamped to {s} (max in-degree {max_indegree})")
+        try:
+            bound_value = evaluate_bound(result.bound, params, s)
+            schedule = derive_schedule(program, result.program_bound, params, s)
+            order = blocked_order(cdag, schedule)
+            stream = stream_from_graph(cdag.graph, order)
+            schedule_cost = simulate_io(stream, s).cost
+            program_order_cost = simulate_io(baseline_stream, s).cost
+        except SoapError as err:
+            rows.append(
+                _error_row(name, spec.category, params, s, str(err))
+            )
+            continue
+        if not bound_value > 0:
+            rows.append(
+                _error_row(
+                    name, spec.category, params, s,
+                    f"bound evaluates to {bound_value}; gap undefined",
+                )
+            )
+            continue
+        gap = schedule_cost / bound_value
+        if gap < 1.0:
+            # Legal: the leading-order bound need not bind on tiny instances
+            # (e.g. the whole working set fits in S, or the truncated
+            # lower-order terms dominate).  Flag it rather than hiding it.
+            notes.append(
+                "gap < 1: instance too small for the leading-order bound to bind"
+            )
+        rows.append(
+            TightnessRow(
+                kernel=name,
+                category=spec.category,
+                params=params,
+                s=s,
+                s_requested=int(s_requested),
+                n_vertices=cdag.n_vertices,
+                bound_value=bound_value,
+                schedule_cost=schedule_cost,
+                program_order_cost=program_order_cost,
+                gap=gap,
+                gap_program_order=program_order_cost / bound_value,
+                classification=classify_gap(gap),
+                tiled=schedule.tiled,
+                tile_sizes=dict(schedule.tile_sizes),
+                notes=tuple(notes) + schedule.notes,
+            )
+        )
+    return rows
+
+
+def audit_corpus(
+    names: Sequence[str] | None = None,
+    *,
+    s_values: Sequence[int] = DEFAULT_S_VALUES,
+    params_overrides: Mapping[str, Mapping[str, int]] | None = None,
+    params: Mapping[str, int] | None = None,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    engine=None,
+    solver: str | None = None,
+    max_vertices: int = DEFAULT_MAX_VERTICES,
+) -> TightnessReport:
+    """Audit a kernel selection (default: the full Table 2 corpus).
+
+    ``params`` overrides apply to every kernel (unused names are ignored);
+    ``params_overrides`` adds per-kernel overrides on top.  ``engine``
+    shares a live engine (and its solve cache) with the caller -- the
+    service daemon's audit endpoint uses this.
+    """
+    import time
+
+    from repro.engine import analyze_many
+    from repro.kernels import kernel_names
+
+    started = time.perf_counter()
+    selected = list(names) if names is not None else kernel_names()
+    results = analyze_many(
+        selected, jobs=jobs, cache_dir=cache_dir, engine=engine, solver=solver
+    )
+    rows: list[TightnessRow] = []
+    for name, result in zip(selected, results):
+        merged: dict[str, int] = dict(params or {})
+        if params_overrides and name in params_overrides:
+            merged.update(params_overrides[name])
+        rows.extend(
+            audit_kernel(
+                name,
+                result=result,
+                params=merged or None,
+                s_values=s_values,
+                max_vertices=max_vertices,
+            )
+        )
+    return TightnessReport(
+        rows=rows,
+        s_values=tuple(int(s) for s in s_values),
+        elapsed_seconds=time.perf_counter() - started,
+    )

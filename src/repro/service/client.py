@@ -168,6 +168,28 @@ class ServiceClient:
             body["max_subgraph_size"] = max_subgraph_size
         return JobRecord.from_payload(self._request("POST", "/analyze", body))
 
+    def tightness(
+        self,
+        kernels: list[str] | None = None,
+        *,
+        s_values: list[int] | None = None,
+        params: dict[str, int] | None = None,
+        priority: str = "low",
+        wait: bool = False,
+        timeout: float | None = None,
+    ) -> JobRecord:
+        """``POST /tightness``: queue (or block on) a tightness audit."""
+        body: dict = {"priority": priority, "wait": wait}
+        if kernels is not None:
+            body["kernels"] = kernels
+        if s_values is not None:
+            body["s_values"] = s_values
+        if params is not None:
+            body["params"] = params
+        if timeout is not None:
+            body["timeout"] = timeout
+        return JobRecord.from_payload(self._request("POST", "/tightness", body))
+
     def batch(
         self, names: list[str], *, priority: str = "low", wait: bool = False
     ) -> list[JobRecord]:

@@ -205,6 +205,67 @@ class AnalysisService:
         """Queue one job per kernel name (duplicates coalesce immediately)."""
         return [self.submit_kernel(name, priority=priority) for name in names]
 
+    def submit_tightness(
+        self,
+        kernels: list[str] | None = None,
+        *,
+        s_values: list[int] | None = None,
+        params: dict[str, int] | None = None,
+        priority: str = "low",
+    ) -> Job:
+        """Queue a schedule-replay tightness audit over ``kernels``.
+
+        The audit runs through the daemon's shared engine, so the analysis
+        half reuses every cached problem (8) solve.  Coalescing key: the
+        kernel selection plus the S sweep plus the parameter overrides --
+        identical in-flight audits share one computation.
+        """
+        import json as _json
+
+        from repro.kernels import get_kernel, kernel_names
+        from repro.reporting.serialize import tightness_report
+        from repro.schedule.tightness import DEFAULT_S_VALUES, audit_corpus
+
+        if kernels is None:
+            names = kernel_names()
+        elif not kernels:
+            # an explicitly empty selection is a caller bug, not a request
+            # for the (expensive) full-corpus default
+            raise ValueError("'kernels' must name at least one kernel")
+        else:
+            names = list(kernels)
+        for name in names:
+            get_kernel(name)  # unknown kernels are a 404, not a failed job
+        try:
+            sweep = tuple(int(s) for s in (s_values or DEFAULT_S_VALUES))
+            overrides = {str(k): int(v) for k, v in (params or {}).items()}
+        except (TypeError, ValueError):
+            # surfaces as a 400, like every other malformed request body
+            raise ValueError(
+                "s_values entries and params values must be integers"
+            ) from None
+        key = "tightness:" + _json.dumps(
+            [sorted(names), list(sweep), sorted(overrides.items())]
+        )
+
+        def work() -> dict:
+            report = audit_corpus(
+                names, s_values=sweep, params=overrides or None, engine=self.engine
+            )
+            return tightness_report(report)
+
+        return self._submit(
+            kind="tightness",
+            key=key,
+            priority=priority,
+            request={
+                "kernels": names,
+                "s_values": list(sweep),
+                "params": overrides,
+            },
+            work=work,
+        )
+
     def _submit(self, *, kind, key, priority, request, work) -> Job:
         rank = priority_rank(priority)  # validate before touching any state
         if self.config.coalesce:

@@ -12,6 +12,9 @@ POST      ``/analyze``        ``{"source": ..., "language"?, "name"?, "policy"?,
                               "priority"?, "wait"?}``
 POST      ``/kernel``         ``{"name": ..., "priority"?, "wait"?}``
 POST      ``/batch``          ``{"kernels": [...], "priority"?, "wait"?}``
+POST      ``/tightness``      ``{"kernels"?, "s_values"?, "params"?,
+                              "priority"?, "wait"?}`` -- schedule-replay
+                              tightness audit (default: full corpus)
 GET       ``/jobs/<id>``      poll one job record
 GET       ``/metrics``        queue depth, coalesce rate, stage timings, cache
 GET       ``/healthz``        liveness + version
@@ -176,6 +179,8 @@ class ServiceServer:
                 return await self._post_kernel(_json_body(body))
             if method == "POST" and path == "/batch":
                 return await self._post_batch(_json_body(body))
+            if method == "POST" and path == "/tightness":
+                return await self._post_tightness(_json_body(body))
             return 404, {"error": f"no route for {method} {path}"}
         except _HttpError as err:
             return err.status, {"error": err.message}
@@ -228,8 +233,31 @@ class ServiceServer:
             return status, {"jobs": [job.record() for job in jobs]}
         return 202, {"jobs": [job.record(include_result=False) for job in jobs]}
 
-    async def _respond(self, job, body: dict):
-        if body.get("wait", True):
+    async def _post_tightness(self, body: dict):
+        kernels = body.get("kernels")
+        if kernels is not None and (
+            not isinstance(kernels, list)
+            or not all(isinstance(k, str) for k in kernels)
+        ):
+            raise _HttpError(400, "'kernels' must be a list of kernel names")
+        s_values = body.get("s_values")
+        if s_values is not None and not isinstance(s_values, list):
+            raise _HttpError(400, "'s_values' must be a list of integers")
+        params = body.get("params")
+        if params is not None and not isinstance(params, dict):
+            raise _HttpError(400, "'params' must be an object of NAME: int")
+        job = self.service.submit_tightness(
+            kernels,
+            s_values=s_values,
+            params=params,
+            priority=body.get("priority", "low"),
+        )
+        # An audit can run for minutes: poll ``/jobs/<id>`` unless the
+        # caller explicitly asks to block.
+        return await self._respond(job, body, default_wait=False)
+
+    async def _respond(self, job, body: dict, *, default_wait: bool = True):
+        if body.get("wait", default_wait):
             await self.service.wait(job, timeout=_wait_timeout(body))
             return (200 if job.finished_ok else 422), job.record()
         return 202, job.record(include_result=False)

@@ -133,19 +133,49 @@ class TestGreedy:
             ref("C", "i,j"), ref("C", "i,j"), ref("A", "i,k"), ref("B", "k,j"),
         )
         cdag = build_cdag(Program.make("gemm", [gemm]), {"N": 4})
-
-        def point_of(vertex):
-            if vertex[0] != "v":
-                return None
-            i, j = vertex[2]
-            return {"i": i, "j": j, "k": vertex[3]}
-
+        # the generic point mapping recorded at CDAG build replaces the old
+        # per-kernel hand-coded vertex decoding
         order = tiled_order(
-            cdag.graph, point_of, {"i": 2, "j": 2, "k": 2}, ["i", "j", "k"]
+            cdag.graph, cdag.point_of, {"i": 2, "j": 2, "k": 2}, ["i", "j", "k"]
         )
         cost_tiled = greedy_pebbling_cost(cdag.graph, 8, order)
         cost_plain = greedy_pebbling_cost(cdag.graph, 8)
         assert cost_tiled <= cost_plain
+
+    def test_lru_policy_never_beats_belady_on_gemm(self):
+        from repro.cdag.build import build_cdag
+        from repro.kernels import get_kernel
+
+        cdag = build_cdag(get_kernel("gemm").build(), {"N": 4})
+        for s in (6, 8, 12):
+            belady = greedy_pebbling_cost(cdag.graph, s, policy="belady")
+            lru = greedy_pebbling_cost(cdag.graph, s, policy="lru")
+            assert belady <= lru
+
+    def test_lru_moves_are_certified(self):
+        g = nx.DiGraph([(0, 3), (1, 3), (0, 4), (2, 4), (3, 5), (4, 5)])
+        cost, moves = greedy_pebbling_cost(g, 3, policy="lru", return_moves=True)
+        assert replay(g, 3, moves) == cost
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(PebblingError):
+            greedy_pebbling_cost(chain(3), 2, policy="mru")
+
+    def test_eviction_is_deterministic(self):
+        """Tie-breaking by stream id: repeated runs give identical costs
+        (the old set-iteration tie-break was hash-order dependent)."""
+        from repro.cdag.build import build_cdag
+        from repro.kernels import get_kernel
+        from repro.pebbling.greedy import stream_vertex_ids, default_order
+
+        cdag = build_cdag(get_kernel("syrk").build(), {"N": 4, "M": 4})
+        order = default_order(cdag.graph)
+        ids = stream_vertex_ids(cdag.graph, order)
+        assert sorted(ids.values()) == list(range(len(ids)))
+        costs = {
+            greedy_pebbling_cost(cdag.graph, 7, order) for _ in range(3)
+        }
+        assert len(costs) == 1
 
 
 # ---------------------------------------------------------------------------

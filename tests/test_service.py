@@ -72,6 +72,58 @@ class TestEndpoints:
         assert finished.ok
         assert finished.result["kernel"] == "atax"
 
+    def test_tightness_audit_endpoint(self, client):
+        record = client.tightness(
+            ["gemm"], s_values=[18], params={"N": 6}, wait=True, timeout=300
+        )
+        assert record.ok
+        assert record.kind == "tightness"
+        payload = record.result
+        assert payload["report"] == "tightness"
+        assert payload["summary"]["finite_gaps"] is True
+        (row,) = payload["rows"]
+        assert row["kernel"] == "gemm"
+        assert row["params"] == {"N": 6}
+        assert row["gap"] > 0
+
+    def test_tightness_defaults_to_async(self, client):
+        record = client.tightness(["gemm"], s_values=[8])
+        done = client.wait_for(record.id, timeout=300)
+        assert done.ok
+        assert done.result["rows"][0]["s"] == 8
+
+    def test_tightness_duplicates_coalesce(self, client):
+        first = client.tightness(["gemm", "atax"], s_values=[8])
+        duplicate = client.tightness(["gemm", "atax"], s_values=[8])
+        assert duplicate.id == first.id
+        assert client.wait_for(first.id, timeout=300).ok
+
+    def test_tightness_unknown_kernel_is_404(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.tightness(["nope"])
+        assert exc.value.status == 404
+
+    def test_tightness_empty_selection_is_400(self, client):
+        """An explicitly empty list must not trigger the full-corpus default."""
+        with pytest.raises(ServiceError) as exc:
+            client.tightness([])
+        assert exc.value.status == 400
+
+    def test_tightness_bad_body_is_400(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client._request("POST", "/tightness", {"kernels": "gemm"})
+        assert exc.value.status == 400
+
+    def test_tightness_non_integer_values_are_400(self, client):
+        """Element-type errors return a JSON 400, not a connection reset."""
+        for body in (
+            {"kernels": ["gemm"], "s_values": [None]},
+            {"kernels": ["gemm"], "params": {"N": [4]}},
+        ):
+            with pytest.raises(ServiceError) as exc:
+                client._request("POST", "/tightness", body)
+            assert exc.value.status == 400
+
     def test_batch_submits_jobs(self, client):
         records = client.batch(["bicg", "mvt"], wait=True)
         assert [r.request["kernel"] for r in records] == ["bicg", "mvt"]
