@@ -19,9 +19,10 @@ Usage examples::
     soap-analyze status JOB_ID                     # poll one job
 
 ``--jobs N`` parallelizes the analysis (kernels for ``table2``, subgraph
-solves for ``analyze``/``kernel``); ``--cache-dir DIR`` persists the
-fused-problem memoization cache across invocations; ``--json`` emits a
-machine-readable report including per-stage engine diagnostics.
+solves for ``analyze``/``kernel``, and the (kernel, S) replay sweep for
+``tightness``); ``--cache-dir DIR`` persists the fused-problem memoization
+cache across invocations; ``--json`` emits a machine-readable report
+including per-stage engine diagnostics.
 
 Expected failures (unknown kernel names, unparsable sources, unreachable
 daemon) exit with status 2 and a one-line ``error:`` message on stderr.

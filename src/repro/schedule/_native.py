@@ -1,0 +1,278 @@
+"""Optional native replay core: the simulator's hot loop as compiled C.
+
+The pure-Python replay loop (:func:`repro.schedule.simulator._replay`) is
+the reference implementation and permanent fallback; this module compiles
+the *same algorithm* -- same heaps, same snapshot-staleness rule, same
+deferred dead-marking, same tie-breaks -- to a small shared object with the
+system C compiler and drives it through :mod:`ctypes`.  Nothing is
+installed: the source is embedded here, built once into a user cache
+directory (keyed by a hash of the source, so edits rebuild automatically),
+and every failure mode (no compiler, sandboxed filesystem, exotic
+platform) silently degrades to the Python loop.  Equivalence tests pin
+both backends against :func:`repro.pebbling.greedy.greedy_pebbling_cost`.
+
+Set ``REPRO_NO_NATIVE_REPLAY=1`` to force the pure-Python path (used by the
+differential tests and benchmark A/B runs).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+
+_SOURCE = r"""
+#include <stdlib.h>
+#include <string.h>
+
+typedef long long i64;
+
+typedef struct { i64 *a; i64 len, cap; } heap_t;
+
+static int hpush(heap_t *h, i64 v) {
+    if (h->len == h->cap) {
+        i64 ncap = h->cap ? h->cap * 2 : 1024;
+        i64 *na = (i64 *)realloc(h->a, (size_t)ncap * sizeof(i64));
+        if (!na) return -1;
+        h->a = na; h->cap = ncap;
+    }
+    i64 i = h->len++;
+    while (i > 0) {
+        i64 p = (i - 1) >> 1;
+        if (h->a[p] <= v) break;
+        h->a[i] = h->a[p]; i = p;
+    }
+    h->a[i] = v;
+    return 0;
+}
+
+/* Bottom-up O(n) heapify, used after stale-snapshot compaction. */
+static void hheapify(heap_t *h) {
+    for (i64 i = h->len / 2 - 1; i >= 0; i--) {
+        i64 v = h->a[i], j = i;
+        for (;;) {
+            i64 c = 2 * j + 1;
+            if (c >= h->len) break;
+            if (c + 1 < h->len && h->a[c + 1] < h->a[c]) c++;
+            if (h->a[c] >= v) break;
+            h->a[j] = h->a[c]; j = c;
+        }
+        h->a[j] = v;
+    }
+}
+
+/* Keys are unique (id is mixed into every key), so pops return the same
+ * sequence as CPython's heapq regardless of internal layout. */
+static i64 hpop(heap_t *h) {
+    i64 top = h->a[0];
+    i64 last = h->a[--h->len];
+    i64 i = 0;
+    for (;;) {
+        i64 c = 2 * i + 1;
+        if (c >= h->len) break;
+        if (c + 1 < h->len && h->a[c + 1] < h->a[c]) c++;
+        if (h->a[c] >= last) break;
+        h->a[i] = h->a[c]; i = c;
+    }
+    if (h->len) h->a[i] = last;
+    return top;
+}
+
+typedef struct {
+    i64 m, s, dead_floor;
+    int belady;
+    heap_t heap, dead, stash;
+    i64 *current_key;
+    unsigned char *blue;
+    i64 loads, stores, evictions, red;
+} ctx_t;
+
+/* Shared eviction core: mirror of simulator.make_room.  The callers take
+ * the Belady dead fast path first, so this only runs when the dead heap is
+ * empty (and always under LRU). */
+static int make_room(ctx_t *c, const i64 *protect, i64 n_protect) {
+    while (c->red >= c->s) {
+        i64 victim = -1, entry = 0;
+        while (c->heap.len) {
+            entry = hpop(&c->heap);
+            i64 pid = (c->belady ? -entry : entry) % c->m;
+            if (c->current_key[pid] != entry) continue;  /* stale */
+            int prot = 0;
+            for (i64 t = 0; t < n_protect; t++)
+                if (protect[t] == pid) { prot = 1; break; }
+            if (prot) {
+                if (hpush(&c->stash, entry)) return -3;
+                continue;
+            }
+            victim = pid;
+            break;
+        }
+        while (c->stash.len)
+            if (hpush(&c->heap, hpop(&c->stash))) return -3;
+        if (victim < 0) return -1;
+        int live = c->belady ? (entry > c->dead_floor)
+                             : (int)((entry / c->m) & 1);
+        if (live && !c->blue[victim]) { c->stores++; c->blue[victim] = 1; }
+        c->current_key[victim] = 1;  /* NOT_RESIDENT */
+        c->red--; c->evictions++;
+    }
+    return 0;
+}
+
+/* out: loads, stores, evictions, error id.  Returns 0 on success, -1 when
+ * S is too small, -2 when a needed value is neither red nor blue, -3 on
+ * allocation failure. */
+int replay(i64 n_positions, i64 m, i64 s, int belady,
+           const i64 *offsets, const i64 *parents, const i64 *computed,
+           const unsigned char *store_at, const unsigned char *starts_blue,
+           const i64 *access_keys, const i64 *compute_keys,
+           i64 dead_floor, i64 *out)
+{
+    const i64 NOT_RES = 1, DEAD_MARK = 2;
+    int rc = 0;
+    ctx_t c;
+    memset(&c, 0, sizeof(c));
+    c.m = m; c.s = s; c.dead_floor = dead_floor; c.belady = belady;
+    size_t mm = (size_t)(m > 0 ? m : 1);
+    c.current_key = (i64 *)malloc(mm * sizeof(i64));
+    c.blue = (unsigned char *)malloc(mm);
+    i64 *dying = (i64 *)malloc(64 * sizeof(i64));
+    i64 dying_len = 0, dying_cap = 64;
+    if (!c.current_key || !c.blue || !dying) { rc = -3; goto done; }
+    for (i64 i = 0; i < m; i++) c.current_key[i] = NOT_RES;
+    if (m) memcpy(c.blue, starts_blue, (size_t)m);
+    /* Mirror the Python loop's compaction: bound the lazy snapshot heap at
+     * O(S) instead of O(accesses).  Removing stale entries never changes a
+     * pop result (they are skipped at pop time anyway). */
+    i64 heap_cap = 4 * s > 8192 ? 4 * s : 8192;
+
+    for (i64 pos = 0; pos < n_positions; pos++) {
+        i64 lo = offsets[pos], hi = offsets[pos + 1];
+        for (i64 k = lo; k < hi; k++) {
+            i64 pid = parents[k];
+            i64 key = access_keys[k];
+            if (c.current_key[pid] == NOT_RES) {
+                if (!c.blue[pid]) { rc = -2; out[3] = pid; goto done; }
+                c.loads++;
+                if (c.red < s) c.red++;
+                else if (c.dead.len) {
+                    c.current_key[-hpop(&c.dead)] = NOT_RES;
+                    c.evictions++;
+                } else {
+                    rc = make_room(&c, parents + lo, hi - lo);
+                    if (rc) goto done;
+                    c.red++;
+                }
+            }
+            if (key > dead_floor) {
+                c.current_key[pid] = key;
+                if (hpush(&c.heap, key)) { rc = -3; goto done; }
+            } else {  /* last use: deferred dead-heap push */
+                c.current_key[pid] = DEAD_MARK;
+                if (dying_len == dying_cap) {
+                    dying_cap *= 2;
+                    i64 *nd = (i64 *)realloc(dying,
+                                             (size_t)dying_cap * sizeof(i64));
+                    if (!nd) { rc = -3; goto done; }
+                    dying = nd;
+                }
+                dying[dying_len++] = -pid;
+            }
+        }
+        if (c.red < s) c.red++;
+        else if (c.dead.len) {
+            c.current_key[-hpop(&c.dead)] = NOT_RES;
+            c.evictions++;
+        } else {
+            rc = make_room(&c, parents + lo, hi - lo);
+            if (rc) goto done;
+            c.red++;
+        }
+        i64 vid = computed[pos], ckey = compute_keys[pos];
+        if (ckey > dead_floor) {
+            c.current_key[vid] = ckey;
+            if (hpush(&c.heap, ckey)) { rc = -3; goto done; }
+        } else {
+            c.current_key[vid] = DEAD_MARK;
+            if (hpush(&c.dead, -vid)) { rc = -3; goto done; }
+        }
+        if (store_at[pos]) { c.blue[vid] = 1; c.stores++; }
+        while (dying_len)
+            if (hpush(&c.dead, dying[--dying_len])) { rc = -3; goto done; }
+        if (c.heap.len > heap_cap) {
+            i64 w = 0;
+            for (i64 t = 0; t < c.heap.len; t++) {
+                i64 e = c.heap.a[t];
+                i64 pid = (belady ? -e : e) % m;
+                if (c.current_key[pid] == e) c.heap.a[w++] = e;
+            }
+            c.heap.len = w;
+            hheapify(&c.heap);
+        }
+    }
+
+done:
+    out[0] = c.loads; out[1] = c.stores; out[2] = c.evictions;
+    free(c.current_key); free(c.blue); free(dying);
+    free(c.heap.a); free(c.dead.a); free(c.stash.a);
+    return rc;
+}
+"""
+
+_lib: ctypes.CDLL | None | bool = None  # None = not tried, False = unavailable
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-native"
+
+
+def _build() -> ctypes.CDLL | None:
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    so_path = cache / f"replay-{digest}.so"
+    if not so_path.exists():
+        cache.mkdir(parents=True, exist_ok=True)
+        src = cache / f"replay-{digest}.c"
+        src.write_text(_SOURCE)
+        with tempfile.NamedTemporaryFile(
+            suffix=".so", dir=cache, delete=False
+        ) as tmp:
+            tmp_path = Path(tmp.name)
+        result = subprocess.run(
+            ["cc", "-O2", "-shared", "-fPIC", "-o", str(tmp_path), str(src)],
+            capture_output=True,
+            timeout=120,
+        )
+        if result.returncode != 0:
+            tmp_path.unlink(missing_ok=True)
+            return None
+        os.replace(tmp_path, so_path)  # atomic under concurrent builders
+    lib = ctypes.CDLL(str(so_path))
+    i64 = ctypes.c_longlong
+    p64 = ctypes.POINTER(i64)
+    pu8 = ctypes.POINTER(ctypes.c_ubyte)
+    lib.replay.argtypes = [
+        i64, i64, i64, ctypes.c_int,
+        p64, p64, p64, pu8, pu8, p64, p64, i64, p64,
+    ]
+    lib.replay.restype = ctypes.c_int
+    return lib
+
+
+def native_replay_lib() -> ctypes.CDLL | None:
+    """The compiled replay core, or ``None`` when unavailable/disabled."""
+    global _lib
+    if os.environ.get("REPRO_NO_NATIVE_REPLAY"):
+        return None
+    if _lib is None:
+        try:
+            _lib = _build() or False
+        except Exception:
+            _lib = False
+    return _lib or None

@@ -8,24 +8,47 @@ evicting the victim chosen by the policy (Belady: farthest next use; LRU:
 least recently touched; ties to the largest stream id), evicted live values
 (a further use exists and no blue copy) are written back first, and program
 outputs are stored at compute time.  Cross-validation tests assert the two
-implementations produce **bit-identical** costs on the same stream.
+implementations produce **bit-identical** loads, stores, and evictions on
+the same stream.
 
 Why it scales where :class:`~repro.pebbling.game.PebbleGame` cannot: no
-per-vertex hashing of tuple labels, no move list, no legality replay.
-State is integer-indexed arrays; Belady uses *precomputed next-use indices*
-(one ascending use list per id, consumed by pointer) and a lazy max-heap of
-``next_use * n_ids + id`` keys, so the whole replay is
-``O(accesses * log S)`` with tiny constants -- million-vertex CDAG streams
-replay in seconds of CPU time (``benchmarks/bench_tightness.py``).
+per-vertex hashing of tuple labels, no move list, no legality replay.  Both
+policies run through one replay loop and one eviction core (:func:`_replay`)
+whose heap keys are *precomputed as whole numpy arrays* from the stream's
+memoized next-use table
+(:meth:`~repro.schedule.stream.AccessStream.next_use_table`):
+
+* Belady pushes ``-(next_use * n_ids + id)`` -- a min-heap of negatives
+  pops the farthest next use, ties to the largest id, and an entry above
+  ``-(inf * n_ids)`` is live (needs write-back);
+* LRU pushes ``(clock * 2 + live) * n_ids + id`` where the touch clock is
+  known in advance (touches happen in stream order), so even the liveness
+  bit is baked into the key.
+
+The hot loop therefore does no arithmetic beyond list indexing: an entry is
+valid iff it equals ``current_key[id]`` (no division), and each access
+pushes exactly one fresh snapshot.  The whole replay is
+``O(accesses * log S)`` with tiny constants -- million-vertex gemm streams
+replay in a couple of CPU seconds (``benchmarks/bench_tightness.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
+from itertools import islice
+
+import numpy as np
 
 from repro.schedule.stream import AccessStream
 from repro.util.errors import PebblingError
+
+#: ``current_key`` sentinel for "not resident": Belady keys are <= 0 and
+#: LRU keys are >= 2, so 1 collides with neither.
+_NOT_RESIDENT = 1
+#: ``current_key`` sentinel for a resident whose next use is infinity (it
+#: lives in the dead heap, not the lazy snapshot heap)
+_DEAD = 2
 
 
 @dataclass(frozen=True)
@@ -47,202 +70,282 @@ class SimulationResult:
 
 
 def simulate_io(stream: AccessStream, s: int, *, policy: str = "belady") -> SimulationResult:
-    """Replay ``stream`` with ``s`` fast-memory slots under ``policy``."""
+    """Replay ``stream`` with ``s`` fast-memory slots under ``policy``.
+
+    Runs the compiled replay core when one is available (see
+    :mod:`repro.schedule._native`); the pure-Python loop is the reference
+    implementation and the fallback, and differential tests assert the two
+    agree bit for bit.
+    """
     if s < 1:
         raise PebblingError("need at least one fast-memory slot")
-    if policy == "belady":
-        return _simulate_belady(stream, s)
-    if policy == "lru":
-        return _simulate_lru(stream, s)
-    raise PebblingError(f"unknown eviction policy {policy!r}")
+    if policy not in ("belady", "lru"):
+        raise PebblingError(f"unknown eviction policy {policy!r}")
+    belady = policy == "belady"
+    result = _native_replay(stream, s, belady=belady)
+    if result is not None:
+        return result
+    return _replay(stream, s, belady=belady)
 
 
-def _simulate_belady(stream: AccessStream, s: int) -> SimulationResult:
-    n_ids = stream.n_ids
-    n_positions = stream.n_positions
-    inf = n_positions  # strictly greater than any real use position
-    offsets = stream.parent_offsets
-    parents = stream.parent_ids
-    computed = stream.computed_ids
-    store_at_compute = stream.store_at_compute
+def _native_replay(
+    stream: AccessStream, s: int, *, belady: bool
+) -> SimulationResult | None:
+    """Drive the compiled core; ``None`` when no native library exists."""
+    from repro.schedule._native import native_replay_lib
 
-    uses = stream.uses_by_id()
-    ptr = [0] * n_ids
-    nu = [u[0] if u else inf for u in uses]  # current next-use position
+    lib = native_replay_lib()
+    if lib is None:
+        return None
+    import ctypes
 
-    red = bytearray(n_ids)
-    blue = bytearray(stream.starts_blue)
-    red_count = 0
-    loads = stores = evictions = 0
-    heap: list[int] = []  # -(nu * n_ids + id): pop yields max (nu, id)
-    stash: list[int] = []
+    access_keys, compute_keys = _policy_keys(stream, belady=belady)
+    i64p = ctypes.POINTER(ctypes.c_longlong)
+    u8p = ctypes.POINTER(ctypes.c_ubyte)
+    # hold references for the duration of the call: ascontiguousarray may
+    # return fresh buffers
+    i64_arrs = [
+        np.ascontiguousarray(a, dtype=np.int64)
+        for a in (
+            stream.parent_offsets,
+            stream.parent_ids,
+            stream.computed_ids,
+            access_keys,
+            compute_keys,
+        )
+    ]
+    u8_arrs = [
+        np.ascontiguousarray(a, dtype=np.uint8)
+        for a in (stream.store_at_compute, stream.starts_blue)
+    ]
+    offsets, parents, computed, akeys, ckeys = i64_arrs
+    store_at, starts_blue = u8_arrs
 
-    def make_room(protect: frozenset | set, want: int) -> int:
-        """Evict until ``want`` slots are free; returns new red_count."""
-        nonlocal stores, evictions
-        count = red_count
-        while count > s - want:
-            victim = -1
-            while heap:
-                key = -heappop(heap)
-                pid = key % n_ids
-                if not red[pid] or key // n_ids != nu[pid]:
-                    continue  # stale snapshot
-                if pid in protect:
-                    stash.append(-key)
-                    continue
-                victim = pid
-                break
-            for entry in stash:
-                heappush(heap, entry)
-            del stash[:]
-            if victim < 0:
-                raise PebblingError(f"S={s} too small for the working set")
-            if nu[victim] < inf and not blue[victim]:
-                stores += 1
-                blue[victim] = 1
-            red[victim] = 0
-            count -= 1
-            evictions += 1
-        return count
-
-    for pos in range(n_positions):
-        lo, hi = offsets[pos], offsets[pos + 1]
-        pos_parents = parents[lo:hi]
-        protect = frozenset(pos_parents)
-        for pid in pos_parents:
-            if not red[pid]:
-                if not blue[pid]:
-                    raise PebblingError(
-                        f"value id={pid} needed but neither red nor blue "
-                        "(order recomputes a discarded value?)"
-                    )
-                red_count = make_room(protect, 1)
-                red[pid] = 1
-                red_count += 1
-                loads += 1
-                heappush(heap, -(nu[pid] * n_ids + pid))
-        vid = computed[pos]
-        red_count = make_room(protect | {vid}, 1)
-        red[vid] = 1
-        red_count += 1
-        heappush(heap, -(nu[vid] * n_ids + vid))
-        # Consume this position's uses; refresh heap entries of red parents.
-        for pid in pos_parents:
-            u = uses[pid]
-            k = ptr[pid]
-            while k < len(u) and u[k] <= pos:
-                k += 1
-            ptr[pid] = k
-            nu[pid] = u[k] if k < len(u) else inf
-            heappush(heap, -(nu[pid] * n_ids + pid))
-        if store_at_compute[pos]:
-            blue[vid] = 1
-            stores += 1
-
+    out = (ctypes.c_longlong * 4)(0, 0, 0, -1)
+    rc = lib.replay(
+        stream.n_positions,
+        stream.n_ids,
+        s,
+        1 if belady else 0,
+        offsets.ctypes.data_as(i64p),
+        parents.ctypes.data_as(i64p),
+        computed.ctypes.data_as(i64p),
+        store_at.ctypes.data_as(u8p),
+        starts_blue.ctypes.data_as(u8p),
+        akeys.ctypes.data_as(i64p),
+        ckeys.ctypes.data_as(i64p),
+        -(stream.n_positions * stream.n_ids),
+        out,
+    )
+    if rc == -1:
+        raise PebblingError(f"S={s} too small for the working set")
+    if rc == -2:
+        raise PebblingError(
+            f"value id={out[3]} needed but neither red nor blue "
+            "(order recomputes a discarded value?)"
+        )
+    if rc != 0:  # allocation failure: fall back to the Python loop
+        return None
     return SimulationResult(
-        policy="belady",
+        policy="belady" if belady else "lru",
         s=s,
-        loads=loads,
-        stores=stores,
-        n_positions=n_positions,
+        loads=int(out[0]),
+        stores=int(out[1]),
+        n_positions=stream.n_positions,
         n_accesses=stream.n_accesses,
-        evictions=evictions,
+        evictions=int(out[2]),
     )
 
 
-def _simulate_lru(stream: AccessStream, s: int) -> SimulationResult:
-    n_ids = stream.n_ids
-    n_positions = stream.n_positions
-    inf = n_positions
-    offsets = stream.parent_offsets
-    parents = stream.parent_ids
+def _policy_keys(
+    stream: AccessStream, *, belady: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized heap keys: one per access, one per computed vertex.
+
+    The key *is* the priority snapshot the eviction core compares and the
+    value stored in ``current_key``; precomputing every key as a numpy
+    expression keeps all integer arithmetic out of the replay loop (both
+    the Python loop and the native core consume them as-is).
+    """
+    next_after, first_use, positions = stream.next_use_table()
+    pids = stream.parent_ids
     computed = stream.computed_ids
-    store_at_compute = stream.store_at_compute
+    m = stream.n_ids
+    if belady:
+        access_keys = -(next_after * m + pids)
+        compute_keys = -(first_use[computed] * m + computed)
+    else:
+        inf = stream.n_positions
+        # The touch clock is deterministic: one tick per operand read (in
+        # stream order), one per compute -- so the stamp of every touch is
+        # known in advance.  The liveness bit rides along in the key.
+        access_clock = np.arange(1, len(pids) + 1, dtype=np.int64) + positions
+        access_live = (next_after < inf).astype(np.int64)
+        access_keys = (access_clock * 2 + access_live) * m + pids
+        compute_clock = stream.parent_offsets[1:] + np.arange(
+            1, stream.n_positions + 1, dtype=np.int64
+        )
+        compute_live = (first_use[computed] < inf).astype(np.int64)
+        compute_keys = (compute_clock * 2 + compute_live) * m + computed
+    return access_keys, compute_keys
 
-    uses = stream.uses_by_id()
-    ptr = [0] * n_ids
-    nu = [u[0] if u else inf for u in uses]  # for write-back decisions only
 
-    red = bytearray(n_ids)
-    blue = bytearray(stream.starts_blue)
-    red_count = 0
+def _replay(stream: AccessStream, s: int, *, belady: bool) -> SimulationResult:
+    """The shared replay core; ``belady`` selects the eviction priority.
+
+    State is flat and integer-indexed: ``current_key[id]`` holds the only
+    valid heap snapshot of a resident id (``_NOT_RESIDENT`` otherwise), so
+    pop-time validity is a single equality test, and stale or protected
+    entries are skipped (protected ones stashed and re-pushed).
+    """
+    n_positions = stream.n_positions
+    m = stream.n_ids
+    access_keys_arr, compute_keys_arr = _policy_keys(stream, belady=belady)
+    access_keys = access_keys_arr.tolist()
+    compute_keys = compute_keys_arr.tolist()
+    counts_arr = np.diff(stream.parent_offsets)
+    # per-position operand counts iterate as bytes when they fit (cached
+    # small ints, no per-element conversion); pathological fan-in falls
+    # back to a list
+    if len(counts_arr) == 0 or int(counts_arr.max()) < 256:
+        counts = counts_arr.astype(np.uint8).tobytes()
+    else:
+        counts = counts_arr.tolist()
+    parents = stream.parent_ids.tolist()
+    computed = stream.computed_ids.tolist()
+    store_flag = stream.store_at_compute.tobytes()
+    dead_floor = -(n_positions * m)  # Belady: entries <= floor have nu == inf
+
+    current_key = [_NOT_RESIDENT] * m
+    blue = bytearray(stream.starts_blue.tobytes())
     loads = stores = evictions = 0
-    clock = 0
-    stamp = [0] * n_ids
-    heap: list[int] = []  # stamp * n_ids + id: pop yields min stamp
+    red_count = 0
+    heap: list[int] = []
+    #: Belady only: resident ids whose next use is infinity, as a max-id
+    #: heap of ``-id``.  Dead residents outrank every live one (inf beats
+    #: any real next use, ties to the largest id), are never accessed again
+    #: (so entries cannot go stale), and are evicted without write-back --
+    #: the common-case eviction is two O(log S) heap ops on small ints,
+    #: and the lazy snapshot heap is only consulted when no unprotected
+    #: dead resident exists.
+    dead_heap: list[int] = []
     stash: list[int] = []
+    push, pop = heappush, heappop
 
-    def touch(pid: int) -> None:
-        nonlocal clock
-        clock += 1
-        stamp[pid] = clock
-        heappush(heap, clock * n_ids + pid)
+    def make_room(protect: list[int]) -> None:
+        """Shared eviction core: free one slot, writing back live victims.
 
-    def make_room(protect: frozenset | set, want: int) -> int:
-        nonlocal stores, evictions
-        count = red_count
-        while count > s - want:
+        Callers take the Belady dead fast path inline (pop the max-id dead
+        resident -- it outranks every live one, cannot be stale, and ids
+        dying at the current position are not pushed yet, so it is never
+        protected); this core runs when the dead heap is empty, and always
+        under LRU.
+        """
+        nonlocal red_count, stores, evictions
+        while red_count >= s:
             victim = -1
+            entry = 0
             while heap:
-                key = heappop(heap)
-                pid = key % n_ids
-                if not red[pid] or key // n_ids != stamp[pid]:
-                    continue
+                entry = pop(heap)
+                pid = (-entry if belady else entry) % m
+                if current_key[pid] != entry:
+                    continue  # stale snapshot or already evicted
                 if pid in protect:
-                    stash.append(key)
+                    stash.append(entry)
                     continue
                 victim = pid
                 break
-            for entry in stash:
-                heappush(heap, entry)
+            for stashed in stash:
+                push(heap, stashed)
             del stash[:]
             if victim < 0:
                 raise PebblingError(f"S={s} too small for the working set")
-            if nu[victim] < inf and not blue[victim]:
+            live = entry > dead_floor if belady else (entry // m) & 1
+            if live and not blue[victim]:
                 stores += 1
                 blue[victim] = 1
-            red[victim] = 0
-            count -= 1
+            current_key[victim] = _NOT_RESIDENT
+            red_count -= 1
             evictions += 1
-        return count
 
-    for pos in range(n_positions):
-        lo, hi = offsets[pos], offsets[pos + 1]
-        pos_parents = parents[lo:hi]
-        protect = frozenset(pos_parents)
-        for pid in pos_parents:
-            if not red[pid]:
+    not_resident = _NOT_RESIDENT
+    dead_mark = _DEAD
+    dying: list[int] = []  # ids whose last use is the current position
+    # Stale snapshots outnumber valid ones quickly (every re-access strands
+    # one), and under Belady they are the *last* entries a max-pop would
+    # surface -- left alone the heap grows with the stream and drags cache
+    # locality down.  Compacting to the currently-valid entries whenever the
+    # heap passes ~4x the resident capacity keeps it O(S): each compaction
+    # is O(cap) and at least half the entries it scans are garbage.
+    heap_cap = max(4 * s, 8192)
+    accesses = zip(parents, access_keys)  # consumed in step with positions
+    lo = 0
+    for count, vid, compute_key, store in zip(
+        counts, computed, compute_keys, store_flag
+    ):
+        hi = lo + count
+        for pid, key in islice(accesses, count):
+            if current_key[pid] == not_resident:
                 if not blue[pid]:
                     raise PebblingError(
                         f"value id={pid} needed but neither red nor blue "
                         "(order recomputes a discarded value?)"
                     )
-                red_count = make_room(protect, 1)
-                red[pid] = 1
-                red_count += 1
                 loads += 1
-                touch(pid)
+                if red_count < s:
+                    red_count += 1
+                elif dead_heap:
+                    # inlined dead fast path: one out, one in -- red_count
+                    # is unchanged and the victim needs no write-back
+                    current_key[-pop(dead_heap)] = not_resident
+                    evictions += 1
+                else:
+                    # only the snapshot-heap path needs the protected set
+                    make_room(parents[lo:hi])
+                    red_count += 1
+            if key > dead_floor:  # still has a future use
+                current_key[pid] = key
+                push(heap, key)
             else:
-                touch(pid)
-        vid = computed[pos]
-        red_count = make_room(protect | {vid}, 1)
-        red[vid] = 1
-        red_count += 1
-        touch(vid)
-        for pid in pos_parents:
-            u = uses[pid]
-            k = ptr[pid]
-            while k < len(u) and u[k] <= pos:
-                k += 1
-            ptr[pid] = k
-            nu[pid] = u[k] if k < len(u) else inf
-        if store_at_compute[pos]:
+                # Last use: nu == inf from here on.  The dead-heap push is
+                # deferred past this position's evictions -- the id is
+                # protected here anyway (it is being read), exactly as its
+                # not-yet-advanced next use protects it in the pebble game.
+                current_key[pid] = dead_mark
+                dying.append(-pid)
+        # the fresh vertex holds no red pebble yet, so it can never be
+        # popped as a victim -- protecting the parents suffices
+        if red_count < s:
+            red_count += 1
+        elif dead_heap:
+            current_key[-pop(dead_heap)] = not_resident
+            evictions += 1
+        else:
+            make_room(parents[lo:hi])
+            red_count += 1
+        if compute_key > dead_floor:
+            current_key[vid] = compute_key
+            push(heap, compute_key)
+        else:  # computed but never read: dead on arrival
+            current_key[vid] = dead_mark
+            dying.append(-vid)
+        if store:
             blue[vid] = 1
             stores += 1
+        lo = hi
+        if dying:
+            for entry in dying:
+                push(dead_heap, entry)
+            del dying[:]
+        if len(heap) > heap_cap:
+            if belady:
+                heap[:] = [e for e in heap if current_key[-e % m] == e]
+            else:
+                heap[:] = [e for e in heap if current_key[e % m] == e]
+            heapify(heap)
 
     return SimulationResult(
-        policy="lru",
+        policy="belady" if belady else "lru",
         s=s,
         loads=loads,
         stores=stores,

@@ -13,10 +13,23 @@ summarizes it for the whole Table 2 corpus.  Small concrete instances carry
 constant-factor slop (leading-order truncation, cold misses, tile rounding),
 so the thresholds are deliberately generous; the trend with growing ``S``
 and problem size is the signal.
+
+The sweep itself is embarrassingly parallel: every (kernel, params, S)
+point is an independent CDAG build + replay.  ``audit_corpus(jobs=N)`` fans
+the points out over a process pool (``repro tightness --jobs``, the
+``/tightness`` service endpoint, and ``benchmarks/bench_tightness.py`` all
+thread it through).  Points are dispatched kernel-major in chunks so each
+worker's per-process context memo (CDAG, baseline stream, derived-schedule
+streams -- see :func:`_kernel_context`) is hit for every further ``S`` of
+the same kernel, and each stream's memoized next-use table is shared by all
+of its replays.
 """
 
 from __future__ import annotations
 
+import functools
+import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -193,6 +206,195 @@ def _error_row(name: str, category: str, params, s: int, message: str) -> Tightn
     )
 
 
+@dataclass
+class _KernelContext:
+    """Everything one kernel instance shares across its S-sweep points.
+
+    Built once per (kernel, params) -- in-process for serial sweeps, once
+    per worker process for parallel ones -- and memoized so every further S
+    point reuses the CDAG, the program-order baseline stream (whose next-use
+    table is itself memoized on the stream), and any derived-schedule stream
+    already built for the same tile sizes.
+    """
+
+    category: str
+    program: object = None
+    cdag: object = None
+    baseline_stream: object = None
+    min_s: int = 1
+    max_indegree: int = 0
+    #: derived-schedule streams keyed by (tiled, variable order, tile sizes)
+    stream_cache: dict = field(default_factory=dict)
+    error: str | None = None
+    #: clamped sizes already audited in the current sweep (see _SWEEP_TOKENS)
+    sweep_token: int = -1
+    audited_s: set = field(default_factory=set)
+
+
+#: size-1 per-process-per-thread memo: points arrive kernel-major, so one
+#: slot suffices (and bounds worker memory at a single concrete CDAG).
+#: Thread-local because the service daemon runs concurrent audit jobs on a
+#: shared worker pool -- a module-global slot would race across jobs.
+_CTX = threading.local()
+
+#: one token per sweep, threaded through the point tasks so a worker can
+#: tell "duplicate clamped S within this sweep" (skip cheaply) apart from
+#: "same kernel audited again by a later sweep" (recompute)
+_SWEEP_TOKENS = itertools.count()
+
+
+@functools.lru_cache(maxsize=16)
+def _built_program(name: str):
+    """Registered kernels build immutable IR; share one instance per name
+    between the driver's audit-default resolution and the audit contexts."""
+    from repro.kernels import get_kernel
+
+    return get_kernel(name).build()
+
+
+def _kernel_context(
+    name: str, params: Mapping[str, int], max_vertices: int
+) -> _KernelContext:
+    from repro.kernels import get_kernel
+
+    key = (name, tuple(sorted(params.items())), int(max_vertices))
+    if getattr(_CTX, "key", None) == key:
+        return _CTX.val
+    spec = get_kernel(name)
+    ctx = _KernelContext(category=spec.category)
+    try:
+        program = _built_program(name)
+        cdag = build_cdag(program, params)
+    except SoapError as err:
+        ctx.error = f"CDAG build failed: {err}"
+    else:
+        if cdag.n_vertices > max_vertices:
+            ctx.error = (
+                f"instance too large: {cdag.n_vertices} > "
+                f"{max_vertices} vertices"
+            )
+        else:
+            ctx.program = program
+            ctx.cdag = cdag
+            # Feasibility floor: a vertex's operands plus itself must fit.
+            ctx.max_indegree = max(
+                (cdag.graph.in_degree(v) for v in cdag.graph.nodes), default=0
+            )
+            ctx.min_s = ctx.max_indegree + 2
+            ctx.baseline_stream = stream_from_graph(cdag.graph)
+    _CTX.key, _CTX.val = key, ctx
+    return ctx
+
+
+def _audit_point(task: tuple) -> tuple[bool, TightnessRow | None]:
+    """One (kernel, params, S) audit point -- the process-pool unit of work.
+
+    Returns ``(dedupable, row)``: rows that went through feasibility
+    clamping carry ``dedupable=True`` so the driver can collapse requested
+    sizes that clamp to the same S, exactly like the serial sweep did.
+    A ``None`` row is a duplicate clamped size already audited by this
+    worker in this sweep, skipped before any replay work.
+    """
+    name, params, s_requested, max_vertices, bound, program_bound, token = task
+    ctx = _kernel_context(name, params, max_vertices)
+    if ctx.error is not None:
+        return False, _error_row(
+            name, ctx.category, params, int(s_requested), ctx.error
+        )
+    s = max(int(s_requested), ctx.min_s)
+    if ctx.sweep_token != token:
+        ctx.sweep_token = token
+        ctx.audited_s = set()
+    if s in ctx.audited_s:
+        return True, None  # clamping collapsed two requested sizes
+    ctx.audited_s.add(s)
+    notes: list[str] = []
+    if s != s_requested:
+        notes.append(f"S clamped to {s} (max in-degree {ctx.max_indegree})")
+    try:
+        bound_value = evaluate_bound(bound, params, s)
+        schedule = derive_schedule(ctx.program, program_bound, params, s)
+        stream_key = (
+            schedule.tiled,
+            tuple(schedule.variable_order),
+            tuple(sorted(schedule.tile_sizes.items())),
+        )
+        stream = ctx.stream_cache.get(stream_key)
+        if stream is None:
+            order = blocked_order(ctx.cdag, schedule)
+            stream = stream_from_graph(ctx.cdag.graph, order)
+            ctx.stream_cache[stream_key] = stream
+        schedule_cost = simulate_io(stream, s).cost
+        program_order_cost = simulate_io(ctx.baseline_stream, s).cost
+    except SoapError as err:
+        return True, _error_row(name, ctx.category, params, s, str(err))
+    if not bound_value > 0:
+        return True, _error_row(
+            name, ctx.category, params, s,
+            f"bound evaluates to {bound_value}; gap undefined",
+        )
+    gap = schedule_cost / bound_value
+    if gap < 1.0:
+        # Legal: the leading-order bound need not bind on tiny instances
+        # (e.g. the whole working set fits in S, or the truncated
+        # lower-order terms dominate).  Flag it rather than hiding it.
+        notes.append(
+            "gap < 1: instance too small for the leading-order bound to bind"
+        )
+    return True, TightnessRow(
+        kernel=name,
+        category=ctx.category,
+        params=dict(params),
+        s=s,
+        s_requested=int(s_requested),
+        n_vertices=ctx.cdag.n_vertices,
+        bound_value=bound_value,
+        schedule_cost=schedule_cost,
+        program_order_cost=program_order_cost,
+        gap=gap,
+        gap_program_order=program_order_cost / bound_value,
+        classification=classify_gap(gap),
+        tiled=schedule.tiled,
+        tile_sizes=dict(schedule.tile_sizes),
+        notes=tuple(notes) + schedule.notes,
+    )
+
+
+def _collapse_clamped(
+    outcomes: Sequence[tuple[bool, TightnessRow | None]]
+) -> list[TightnessRow]:
+    """Drop repeated clamped sizes of one kernel sweep (first row wins).
+
+    Workers skip duplicates they can see themselves (``None`` rows); this
+    driver-side pass also covers duplicates split across workers.
+    """
+    rows: list[TightnessRow] = []
+    audited_s: set[int] = set()
+    for dedupable, row in outcomes:
+        if row is None:
+            continue
+        if dedupable:
+            if row.s in audited_s:
+                continue
+            audited_s.add(row.s)
+        rows.append(row)
+    return rows
+
+
+def _merged_params(
+    name: str, program, params: Mapping[str, int] | None
+) -> dict[str, int]:
+    """Audit defaults merged with caller overrides (unknown names dropped)."""
+    defaults = audit_params(name, program)
+    if params:
+        # Overrides merge over the audit defaults; names the program does not
+        # use are dropped (one global --params can serve a whole selection).
+        defaults.update(
+            {k: int(v) for k, v in params.items() if k in defaults}
+        )
+    return defaults
+
+
 def audit_kernel(
     name: str,
     *,
@@ -208,103 +410,32 @@ def audit_kernel(
     on the spot.
     """
     from repro.analysis import analyze_kernel
-    from repro.kernels import get_kernel
 
-    spec = get_kernel(name)
-    program = spec.build()
-    defaults = audit_params(name, program)
-    if params:
-        # Overrides merge over the audit defaults; names the program does not
-        # use are dropped (one global --params can serve a whole selection).
-        defaults.update(
-            {k: int(v) for k, v in params.items() if k in defaults}
-        )
-    params = defaults
-
+    merged = _merged_params(name, _built_program(name), params)
     if result is None:
         result = analyze_kernel(name)
-
+    token = next(_SWEEP_TOKENS)
     try:
-        cdag = build_cdag(program, params)
-    except SoapError as err:
-        return [
-            _error_row(name, spec.category, params, s, f"CDAG build failed: {err}")
-            for s in s_values
-        ]
-    if cdag.n_vertices > max_vertices:
-        return [
-            _error_row(
-                name, spec.category, params, s,
-                f"instance too large: {cdag.n_vertices} > {max_vertices} vertices",
+        outcomes = [
+            _audit_point(
+                (name, merged, int(s), int(max_vertices),
+                 result.bound, result.program_bound, token)
             )
             for s in s_values
         ]
+    finally:
+        _reset_context()
+    return _collapse_clamped(outcomes)
 
-    # Feasibility floor: every vertex's operands plus itself must fit.
-    max_indegree = max(
-        (cdag.graph.in_degree(v) for v in cdag.graph.nodes), default=0
-    )
-    min_s = max_indegree + 2
 
-    baseline_stream = stream_from_graph(cdag.graph)
-    rows: list[TightnessRow] = []
-    audited_s: set[int] = set()
-    for s_requested in s_values:
-        s = max(int(s_requested), min_s)
-        if s in audited_s:
-            continue  # clamping collapsed two requested sizes
-        audited_s.add(s)
-        notes: list[str] = []
-        if s != s_requested:
-            notes.append(f"S clamped to {s} (max in-degree {max_indegree})")
-        try:
-            bound_value = evaluate_bound(result.bound, params, s)
-            schedule = derive_schedule(program, result.program_bound, params, s)
-            order = blocked_order(cdag, schedule)
-            stream = stream_from_graph(cdag.graph, order)
-            schedule_cost = simulate_io(stream, s).cost
-            program_order_cost = simulate_io(baseline_stream, s).cost
-        except SoapError as err:
-            rows.append(
-                _error_row(name, spec.category, params, s, str(err))
-            )
-            continue
-        if not bound_value > 0:
-            rows.append(
-                _error_row(
-                    name, spec.category, params, s,
-                    f"bound evaluates to {bound_value}; gap undefined",
-                )
-            )
-            continue
-        gap = schedule_cost / bound_value
-        if gap < 1.0:
-            # Legal: the leading-order bound need not bind on tiny instances
-            # (e.g. the whole working set fits in S, or the truncated
-            # lower-order terms dominate).  Flag it rather than hiding it.
-            notes.append(
-                "gap < 1: instance too small for the leading-order bound to bind"
-            )
-        rows.append(
-            TightnessRow(
-                kernel=name,
-                category=spec.category,
-                params=params,
-                s=s,
-                s_requested=int(s_requested),
-                n_vertices=cdag.n_vertices,
-                bound_value=bound_value,
-                schedule_cost=schedule_cost,
-                program_order_cost=program_order_cost,
-                gap=gap,
-                gap_program_order=program_order_cost / bound_value,
-                classification=classify_gap(gap),
-                tiled=schedule.tiled,
-                tile_sizes=dict(schedule.tile_sizes),
-                notes=tuple(notes) + schedule.notes,
-            )
-        )
-    return rows
+def _reset_context() -> None:
+    """Drop the thread's kernel-context memo at sweep end.
+
+    Long-lived daemon worker threads would otherwise retain the last
+    kernel's CDAG and stream cache (tens of MB) indefinitely.  Pool workers
+    do not need this: their processes exit with the sweep.
+    """
+    _CTX.key = _CTX.val = None
 
 
 def audit_corpus(
@@ -324,7 +455,10 @@ def audit_corpus(
     ``params`` overrides apply to every kernel (unused names are ignored);
     ``params_overrides`` adds per-kernel overrides on top.  ``engine``
     shares a live engine (and its solve cache) with the caller -- the
-    service daemon's audit endpoint uses this.
+    service daemon's audit endpoint uses this.  ``jobs > 1`` parallelizes
+    both the analysis batch *and* the replay sweep: every (kernel, params,
+    S) point becomes a process-pool task, dispatched kernel-major so each
+    worker's kernel-context memo stays hot.
     """
     import time
 
@@ -332,26 +466,70 @@ def audit_corpus(
     from repro.kernels import kernel_names
 
     started = time.perf_counter()
+    s_values = tuple(int(s) for s in s_values)
     selected = list(names) if names is not None else kernel_names()
     results = analyze_many(
         selected, jobs=jobs, cache_dir=cache_dir, engine=engine, solver=solver
     )
-    rows: list[TightnessRow] = []
+    token = next(_SWEEP_TOKENS)
+    tasks: list[tuple] = []
     for name, result in zip(selected, results):
-        merged: dict[str, int] = dict(params or {})
+        overrides: dict[str, int] = dict(params or {})
         if params_overrides and name in params_overrides:
-            merged.update(params_overrides[name])
-        rows.extend(
-            audit_kernel(
-                name,
-                result=result,
-                params=merged or None,
-                s_values=s_values,
-                max_vertices=max_vertices,
-            )
+            overrides.update(params_overrides[name])
+        merged = _merged_params(name, _built_program(name), overrides)
+        tasks.extend(
+            (name, merged, s, int(max_vertices),
+             result.bound, result.program_bound, token)
+            for s in s_values
         )
+
+    per_kernel = max(1, len(s_values))
+    if jobs > 1 and len(tasks) > 1:
+        outcomes = _map_points(tasks, jobs=jobs, chunksize=per_kernel)
+    else:
+        try:
+            outcomes = [_audit_point(task) for task in tasks]
+        finally:
+            _reset_context()
+
+    rows: list[TightnessRow] = []
+    for start in range(0, len(outcomes), per_kernel):
+        rows.extend(_collapse_clamped(outcomes[start:start + per_kernel]))
     return TightnessReport(
         rows=rows,
-        s_values=tuple(int(s) for s in s_values),
+        s_values=s_values,
         elapsed_seconds=time.perf_counter() - started,
     )
+
+
+def _map_points(
+    tasks: list[tuple], *, jobs: int, chunksize: int
+) -> list[tuple[bool, TightnessRow | None]]:
+    """Fan the audit points out over a process pool, order-preserving.
+
+    ``chunksize`` is one kernel's S-sweep so consecutive points of the same
+    kernel land on one worker and hit its context memo.  From the main
+    thread, forked workers inherit the warm interpreter state (kernel
+    registry, sympy caches); off the main thread -- the service daemon runs
+    audits on a thread pool -- forking a multithreaded process can inherit
+    held locks into the child and deadlock, so workers are spawned fresh
+    instead (the point tasks are plain picklable data either way).
+    """
+    import multiprocessing
+    import os
+    from concurrent.futures import ProcessPoolExecutor
+
+    on_main = threading.current_thread() is threading.main_thread()
+    try:
+        mp_context = multiprocessing.get_context("fork" if on_main else "spawn")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        mp_context = multiprocessing.get_context()
+    # cap at the core count: the points are CPU-bound, and the service
+    # endpoint forwards caller-supplied jobs values -- one request must not
+    # be able to spawn a worker per sweep point on a large corpus
+    workers = max(1, min(int(jobs), len(tasks), os.cpu_count() or 1))
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=mp_context
+    ) as pool:
+        return list(pool.map(_audit_point, tasks, chunksize=chunksize))

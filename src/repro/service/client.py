@@ -177,9 +177,14 @@ class ServiceClient:
         priority: str = "low",
         wait: bool = False,
         timeout: float | None = None,
+        jobs: int = 1,
     ) -> JobRecord:
-        """``POST /tightness``: queue (or block on) a tightness audit."""
-        body: dict = {"priority": priority, "wait": wait}
+        """``POST /tightness``: queue (or block on) a tightness audit.
+
+        ``jobs`` parallelizes the daemon-side replay sweep over a process
+        pool; the payload is identical whatever its value.
+        """
+        body: dict = {"priority": priority, "wait": wait, "jobs": jobs}
         if kernels is not None:
             body["kernels"] = kernels
         if s_values is not None:

@@ -212,13 +212,16 @@ class AnalysisService:
         s_values: list[int] | None = None,
         params: dict[str, int] | None = None,
         priority: str = "low",
+        jobs: int = 1,
     ) -> Job:
         """Queue a schedule-replay tightness audit over ``kernels``.
 
         The audit runs through the daemon's shared engine, so the analysis
-        half reuses every cached problem (8) solve.  Coalescing key: the
+        half reuses every cached problem (8) solve.  ``jobs > 1`` fans the
+        replay sweep out over a process pool (the result is identical, so
+        ``jobs`` is deliberately *not* part of the coalescing key: the
         kernel selection plus the S sweep plus the parameter overrides --
-        identical in-flight audits share one computation.
+        identical in-flight audits share one computation).
         """
         import json as _json
 
@@ -239,10 +242,11 @@ class AnalysisService:
         try:
             sweep = tuple(int(s) for s in (s_values or DEFAULT_S_VALUES))
             overrides = {str(k): int(v) for k, v in (params or {}).items()}
+            pool_jobs = max(1, int(jobs))
         except (TypeError, ValueError):
             # surfaces as a 400, like every other malformed request body
             raise ValueError(
-                "s_values entries and params values must be integers"
+                "s_values entries, params values, and jobs must be integers"
             ) from None
         key = "tightness:" + _json.dumps(
             [sorted(names), list(sweep), sorted(overrides.items())]
@@ -250,7 +254,11 @@ class AnalysisService:
 
         def work() -> dict:
             report = audit_corpus(
-                names, s_values=sweep, params=overrides or None, engine=self.engine
+                names,
+                s_values=sweep,
+                params=overrides or None,
+                engine=self.engine,
+                jobs=pool_jobs,
             )
             return tightness_report(report)
 
@@ -262,6 +270,7 @@ class AnalysisService:
                 "kernels": names,
                 "s_values": list(sweep),
                 "params": overrides,
+                "jobs": pool_jobs,
             },
             work=work,
         )

@@ -12,9 +12,10 @@ POST      ``/analyze``        ``{"source": ..., "language"?, "name"?, "policy"?,
                               "priority"?, "wait"?}``
 POST      ``/kernel``         ``{"name": ..., "priority"?, "wait"?}``
 POST      ``/batch``          ``{"kernels": [...], "priority"?, "wait"?}``
-POST      ``/tightness``      ``{"kernels"?, "s_values"?, "params"?,
+POST      ``/tightness``      ``{"kernels"?, "s_values"?, "params"?, "jobs"?,
                               "priority"?, "wait"?}`` -- schedule-replay
-                              tightness audit (default: full corpus)
+                              tightness audit (default: full corpus;
+                              ``jobs`` parallelizes the replay sweep)
 GET       ``/jobs/<id>``      poll one job record
 GET       ``/metrics``        queue depth, coalesce rate, stage timings, cache
 GET       ``/healthz``        liveness + version
@@ -246,11 +247,15 @@ class ServiceServer:
         params = body.get("params")
         if params is not None and not isinstance(params, dict):
             raise _HttpError(400, "'params' must be an object of NAME: int")
+        jobs = body.get("jobs", 1)
+        if not isinstance(jobs, int) or jobs < 1:
+            raise _HttpError(400, "'jobs' must be a positive integer")
         job = self.service.submit_tightness(
             kernels,
             s_values=s_values,
             params=params,
             priority=body.get("priority", "low"),
+            jobs=jobs,
         )
         # An audit can run for minutes: poll ``/jobs/<id>`` unless the
         # caller explicitly asks to block.

@@ -3,7 +3,9 @@
 The central contract: ``simulate_io`` over ``stream_from_graph(graph, order)``
 is **bit-identical** to ``greedy_pebbling_cost(graph, s, order)`` under the
 same eviction policy -- the simulator is a reimplementation of the same
-deterministic schedule executor, not an approximation.
+deterministic schedule executor, not an approximation.  Identity is checked
+move-for-move (loads, stores, evictions), across both replay backends (the
+pure-Python loop and the optional compiled core).
 """
 
 import networkx as nx
@@ -17,9 +19,23 @@ from repro.pebbling.greedy import (
     greedy_pebbling_cost,
     stream_vertex_ids,
 )
-from repro.schedule.simulator import simulate_io
+from repro.schedule.simulator import _replay, simulate_io
 from repro.schedule.stream import single_statement_stream, stream_from_graph
 from repro.util.errors import PebblingError
+
+
+def game_counts(graph, s, order=None, *, policy="belady"):
+    """(cost, loads, stores, evictions) straight from the pebble game."""
+    cost, moves = greedy_pebbling_cost(
+        graph, s, order, policy=policy, return_moves=True
+    )
+    kinds = [m.kind for m in moves]
+    return (
+        cost,
+        kinds.count("load"),
+        kinds.count("store"),
+        kinds.count("discard_red"),
+    )
 
 
 def chain(n: int) -> nx.DiGraph:
@@ -47,12 +63,15 @@ class TestEquivalenceWithPebbleGame:
     @pytest.mark.parametrize("name,params,s_values", KERNEL_CASES)
     @pytest.mark.parametrize("policy", ["belady", "lru"])
     def test_kernel_cdags_bit_identical(self, name, params, s_values, policy):
+        """Not just total cost: loads, stores, and evictions all match."""
         cdag = build_cdag(get_kernel(name).build(), params)
         stream = stream_from_graph(cdag.graph)
         for s in s_values:
-            game = greedy_pebbling_cost(cdag.graph, s, policy=policy)
+            game = game_counts(cdag.graph, s, policy=policy)
             replay = simulate_io(stream, s, policy=policy)
-            assert replay.cost == game, (name, s, policy)
+            assert (
+                replay.cost, replay.loads, replay.stores, replay.evictions
+            ) == game, (name, s, policy)
 
     def test_explicit_order_bit_identical(self):
         from repro.analysis import analyze_kernel
@@ -292,11 +311,97 @@ def _random_dags(draw):
 @given(dag=_random_dags(), s=st.integers(3, 6), policy=st.sampled_from(["belady", "lru"]))
 @settings(max_examples=80, deadline=None)
 def test_simulator_matches_game_on_random_dags(dag, s, policy):
+    """Full-count equivalence (loads, stores, evictions) on random legal
+    streams, exercising both replay backends against the pebble game."""
+    belady = policy == "belady"
     try:
-        game = greedy_pebbling_cost(dag, s, policy=policy)
+        game = game_counts(dag, s, policy=policy)
     except PebblingError:
+        stream = stream_from_graph(dag)
         with pytest.raises(PebblingError):
-            simulate_io(stream_from_graph(dag), s, policy=policy)
+            simulate_io(stream, s, policy=policy)
+        with pytest.raises(PebblingError):
+            _replay(stream, s, belady=belady)
         return
-    replay = simulate_io(stream_from_graph(dag), s, policy=policy)
-    assert replay.cost == game
+    stream = stream_from_graph(dag)
+    replay = simulate_io(stream, s, policy=policy)
+    assert (replay.cost, replay.loads, replay.stores, replay.evictions) == game
+    pure = _replay(stream, s, belady=belady)
+    assert (pure.cost, pure.loads, pure.stores, pure.evictions) == game
+
+
+# ---------------------------------------------------------------------------
+# next-use table: pinning against the per-id use lists, memoization
+# ---------------------------------------------------------------------------
+
+
+class TestNextUseTable:
+    def pinned_table(self, stream):
+        """Reference next-use data derived from the per-id use lists."""
+        uses = stream.uses_by_id()
+        inf = stream.n_positions
+        positions, next_after = [], []
+        consumed = [0] * stream.n_ids
+        for pos in range(stream.n_positions):
+            lo, hi = stream.parent_offsets[pos], stream.parent_offsets[pos + 1]
+            for pid in stream.parent_ids[lo:hi]:
+                positions.append(pos)
+                k = consumed[pid] + 1
+                consumed[pid] = k
+                u = uses[pid]
+                next_after.append(u[k] if k < len(u) else inf)
+        first = [u[0] if u else inf for u in uses]
+        return next_after, first, positions
+
+    @pytest.mark.parametrize("name,params", [
+        ("gemm", {"N": 5}), ("atax", {"M": 4, "N": 5}),
+        ("jacobi1d", {"N": 8, "T": 3}), ("cholesky", {"N": 5}),
+    ])
+    def test_vectorized_table_matches_use_lists(self, name, params):
+        cdag = build_cdag(get_kernel(name).build(), params)
+        stream = stream_from_graph(cdag.graph)
+        next_after, first_use, positions = stream.next_use_table()
+        ref_next, ref_first, ref_pos = self.pinned_table(stream)
+        assert next_after.tolist() == ref_next
+        assert first_use.tolist() == ref_first
+        assert positions.tolist() == ref_pos
+
+    def test_table_is_memoized(self):
+        stream = stream_from_graph(chain(5))
+        assert stream.next_use_table() is stream.next_use_table()
+
+    def test_uses_by_id_ascending(self):
+        cdag = build_cdag(get_kernel("gemm").build(), {"N": 4})
+        stream = stream_from_graph(cdag.graph)
+        for uses in stream.uses_by_id():
+            assert uses == sorted(uses)
+
+
+# ---------------------------------------------------------------------------
+# native backend: differential against the pure-Python loop
+# ---------------------------------------------------------------------------
+
+
+class TestNativeBackend:
+    @pytest.mark.parametrize("name,params,s_values", KERNEL_CASES)
+    @pytest.mark.parametrize("policy", ["belady", "lru"])
+    def test_native_matches_python(self, name, params, s_values, policy):
+        from repro.schedule.simulator import _native_replay
+
+        cdag = build_cdag(get_kernel(name).build(), params)
+        stream = stream_from_graph(cdag.graph)
+        belady = policy == "belady"
+        for s in s_values:
+            native = _native_replay(stream, s, belady=belady)
+            if native is None:
+                pytest.skip("no C compiler available for the native core")
+            pure = _replay(stream, s, belady=belady)
+            assert (
+                native.loads, native.stores, native.evictions
+            ) == (pure.loads, pure.stores, pure.evictions), (name, s, policy)
+
+    def test_kill_switch_forces_python(self, monkeypatch):
+        from repro.schedule import _native
+
+        monkeypatch.setenv("REPRO_NO_NATIVE_REPLAY", "1")
+        assert _native.native_replay_lib() is None

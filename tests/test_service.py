@@ -98,6 +98,24 @@ class TestEndpoints:
         assert duplicate.id == first.id
         assert client.wait_for(first.id, timeout=300).ok
 
+    def test_tightness_jobs_parallelizes_sweep(self, client):
+        """jobs rides through to the audit's process pool; the payload is
+        identical to a serial audit (and still coalesces with one)."""
+        record = client.tightness(
+            ["gemm"], s_values=[18], jobs=2, wait=True, timeout=300
+        )
+        assert record.ok
+        assert record.raw["request"]["jobs"] == 2
+        (row,) = record.result["rows"]
+        assert row["kernel"] == "gemm" and row["s"] == 18
+
+    def test_tightness_bad_jobs_is_400(self, client):
+        from repro.service.client import ServiceError
+
+        with pytest.raises(ServiceError) as exc:
+            client.tightness(["gemm"], s_values=[8], jobs=0)
+        assert exc.value.status == 400
+
     def test_tightness_unknown_kernel_is_404(self, client):
         with pytest.raises(ServiceError) as exc:
             client.tightness(["nope"])

@@ -80,6 +80,72 @@ class TestClassification:
         assert classify_gap(50.0) == "loose"
 
 
+class TestParallelSweep:
+    def test_parallel_rows_identical_to_serial(self, small_report):
+        """jobs=N fans the replay sweep over a process pool; the rows (and
+        their order) must be exactly the serial ones."""
+        parallel = audit_corpus(
+            ["gemm", "atax", "jacobi1d"], s_values=(8, 18), jobs=3
+        )
+        assert [r.as_dict() for r in parallel.rows] == [
+            r.as_dict() for r in small_report.rows
+        ]
+
+    def test_parallel_clamp_collapse(self):
+        """Requested sizes clamping to one feasible S collapse in the pool
+        path exactly like the serial path."""
+        serial = audit_corpus(["gemm"], s_values=(1, 2), jobs=1)
+        parallel = audit_corpus(["gemm"], s_values=(1, 2), jobs=2)
+        assert len(parallel.rows) == len(serial.rows) == 1
+
+    def test_parallel_error_rows_preserved(self):
+        report = audit_corpus(["gemm"], s_values=(8, 18), jobs=2, max_vertices=1)
+        assert len(report.rows) == 2
+        assert all(not r.ok and "too large" in r.error for r in report.rows)
+
+    def test_cli_jobs_flag(self, capsys):
+        assert main(["tightness", "gemm", "--s", "18", "--jobs", "2"]) == 0
+        assert "gemm" in capsys.readouterr().out
+
+    def test_threaded_audits_do_not_cross_contexts(self):
+        """The kernel-context memo is thread-local: concurrent audits on a
+        shared thread pool (the service daemon's shape) must not hand one
+        kernel the other's CDAG."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.analysis import analyze_kernel
+
+        results = {name: analyze_kernel(name) for name in ("gemm", "atax")}
+
+        def audit(name):
+            return audit_kernel(name, result=results[name], s_values=(8,))
+
+        with ThreadPoolExecutor(2) as pool:
+            for _ in range(3):
+                (a,), (b,) = pool.map(audit, ["gemm", "atax"])
+                assert a.kernel == "gemm" and b.kernel == "atax"
+                assert a.ok and b.ok
+                assert a.n_vertices != b.n_vertices
+
+    def test_duplicate_clamp_skips_replay_work(self, monkeypatch):
+        """Requested sizes clamping to one feasible S are skipped before
+        any replay, not simulated and discarded."""
+        import repro.schedule.tightness as tightness_mod
+
+        calls = []
+        real = tightness_mod.simulate_io
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(tightness_mod, "simulate_io", counting)
+        rows = audit_kernel("gemm", s_values=(1, 2, 3))
+        assert len(rows) == 1
+        # one schedule replay + one program-order replay, exactly once
+        assert len(calls) == 2
+
+
 class TestAuditCorpus:
     def test_rows_and_summary(self, small_report):
         summary = small_report.summary()
