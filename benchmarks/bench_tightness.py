@@ -11,18 +11,26 @@ Measurement protocol (shared boxes swing CPU time by 25%+ between runs):
   the reported numbers, so a throttled round cannot fake a regression (or
   an improvement).
 
-Three measurements:
+Four measurements:
 
-1. **Replay scale** -- build the blocked gemm access stream straight from
+1. **Out-of-core replay** -- build the blocked gemm access stream at
+   >= 10^8 accesses through the chunked generator and replay it under
+   Belady and LRU over chunk-sized slabs, recording **peak RSS** next to
+   throughput.  Runs *first* in the process (``ru_maxrss`` is a lifetime
+   peak) and once (no best-of rounds; it is a memory measurement, and CPU
+   variance at this scale is small relative to the budget).  Acceptance:
+   within the CPU budget and peak RSS under ``OUTOFCORE_RSS_BUDGET``; CI
+   additionally gates fresh runs at 2x the committed baseline RSS.
+2. **Replay scale** -- build the blocked gemm access stream straight from
    the IR (no graph materialized) at >= 10^6 computed vertices and replay
    it under Belady and LRU.  Acceptance: within the CPU budget, and
    (build + table + Belady) at least ``MIN_REPLAY_SPEEDUP`` times faster
    than the recorded pure-Python baseline of the pre-array-native pipeline
    (PR 4's BENCH_tightness.json, reproduced in ``PYTHON_BASELINE`` below).
-2. **Simulator vs pebble game** -- same mid-size CDAG, same schedule, a
+3. **Simulator vs pebble game** -- same mid-size CDAG, same schedule, a
    sweep of S values through both executors.  Acceptance: bit-identical
    costs and a real speedup.
-3. **Audit smoke** -- a small-kernel tightness audit through the process
+4. **Audit smoke** -- a small-kernel tightness audit through the process
    pool; acceptance: every audited row reports a finite gap.
 
 Run:  PYTHONPATH=src python benchmarks/bench_tightness.py [--subset] [--jobs N]
@@ -47,6 +55,17 @@ MIN_REPLAY_SPEEDUP = 5.0
 #: timing rounds per instance (best-of)
 ROUNDS = 3
 
+#: CPU budget for the 10^8-access out-of-core point (build + both replays;
+#: generous: CI shared runners are slow and the point is single-shot)
+OUTOFCORE_CPU_BUDGET_SECONDS = 900.0
+#: the out-of-core point must fit in this much resident memory -- the
+#: whole point of chunked build + slab replay
+OUTOFCORE_RSS_BUDGET_BYTES = 2 * 1024**3
+#: gemm size for the out-of-core point: 3*N^3 - N^2 accesses >= 10^8
+OUTOFCORE_N = 322
+#: build/replay chunk for the out-of-core point (positions per slab)
+OUTOFCORE_CHUNK = 1 << 20
+
 #: recorded pre-array-native numbers (PR 4's BENCH_tightness.json): the
 #: scalar AccessStream builder took 6.80s CPU and the per-id use-list
 #: Belady replay 5.62s on the 10^6-position gemm instance -- the "before"
@@ -57,6 +76,84 @@ PYTHON_BASELINE = {
     "belady_accesses_per_cpu_second": 532420.03,
     "lru_accesses_per_cpu_second": 448085.16,
 }
+
+
+def _peak_rss_bytes() -> int:
+    import resource
+    import sys as _sys
+
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # linux reports KiB, macOS bytes
+    return rss if _sys.platform == "darwin" else rss * 1024
+
+
+def bench_outofcore(
+    n: int = OUTOFCORE_N, s: int = 1024, chunk: int = OUTOFCORE_CHUNK
+) -> dict:
+    """The 10^8-access gemm point: chunked build, slab replay, peak RSS."""
+    from repro.kernels import get_kernel
+    from repro.schedule._native import native_replay_lib
+    from repro.schedule.simulator import simulate_io
+    from repro.schedule.stream import single_statement_stream
+
+    program = get_kernel("gemm").build()
+    tile = max(2, int(s ** 0.5))
+    tiles = {"i": tile, "j": tile, "k": tile}
+    order = ["i", "j", "k"]
+
+    # warm-up on a tiny instance: chunked build path + native compile
+    warm = single_statement_stream(
+        program, {"N": 10}, tile_sizes={"i": 2, "j": 2, "k": 2},
+        variable_order=order, chunk_positions=64,
+    )
+    simulate_io(warm, 16, slab_positions=64)
+    simulate_io(warm, 16, policy="lru", slab_positions=64)
+
+    build = timed(
+        single_statement_stream, program, {"N": n},
+        tile_sizes=tiles, variable_order=order, chunk_positions=chunk,
+    )
+    stream = build.value
+    table = timed(stream.next_use_arrays)  # chunked two-pass next-use
+    belady = timed(simulate_io, stream, s, slab_positions=chunk)
+    lru = timed(simulate_io, stream, s, policy="lru", slab_positions=chunk)
+    peak_rss = _peak_rss_bytes()
+
+    def policy_payload(run) -> dict:
+        return {
+            "cost": run.value.cost,
+            "loads": run.value.loads,
+            "stores": run.value.stores,
+            "cpu_seconds": run.cpu_seconds,
+            "accesses_per_cpu_second": (
+                stream.n_accesses / run.cpu_seconds
+                if run.cpu_seconds else None
+            ),
+        }
+
+    return {
+        "kernel": "gemm",
+        "n": n,
+        "s": s,
+        "tile": tile,
+        "chunk_positions": chunk,
+        "positions": stream.n_positions,
+        "accesses": stream.n_accesses,
+        "ids": stream.n_ids,
+        "replay_backend": "native" if native_replay_lib() else "python",
+        "stream_build_cpu_seconds": build.cpu_seconds,
+        "next_use_cpu_seconds": table.cpu_seconds,
+        "policies": {
+            "belady": policy_payload(belady),
+            "lru": policy_payload(lru),
+        },
+        "peak_rss_bytes": peak_rss,
+        "peak_rss_gib": peak_rss / 1024**3,
+        "total_cpu_seconds": (
+            build.cpu_seconds + table.cpu_seconds
+            + belady.cpu_seconds + lru.cpu_seconds
+        ),
+    }
 
 
 def bench_replay_scale(n: int, s: int, rounds: int = ROUNDS) -> dict:
@@ -222,8 +319,15 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", type=int, default=2, metavar="N",
         help="process-pool width for the audit sweep (default: 2)",
     )
+    parser.add_argument(
+        "--skip-outofcore", action="store_true",
+        help="skip the 10^8-access out-of-core point (local iteration)",
+    )
     args = parser.parse_args(argv)
 
+    # the out-of-core point runs FIRST: ru_maxrss is a process-lifetime
+    # peak, so anything larger running earlier would pollute the reading
+    outofcore = None if args.skip_outofcore else bench_outofcore()
     if args.subset:
         scale = bench_replay_scale(n=50, s=256, rounds=2)
         versus = bench_simulator_vs_game(n=12, s_values=[8, 18])
@@ -237,6 +341,14 @@ def main(argv: list[str] | None = None) -> int:
     acceptance = {
         "replay_within_cpu_budget": belady_cpu <= REPLAY_CPU_BUDGET_SECONDS,
         "replay_cpu_budget_seconds": REPLAY_CPU_BUDGET_SECONDS,
+        "outofcore_hundred_million_accesses": outofcore is None
+        or outofcore["accesses"] >= 100_000_000,
+        "outofcore_within_cpu_budget": outofcore is None
+        or outofcore["total_cpu_seconds"] <= OUTOFCORE_CPU_BUDGET_SECONDS,
+        "outofcore_cpu_budget_seconds": OUTOFCORE_CPU_BUDGET_SECONDS,
+        "outofcore_within_rss_budget": outofcore is None
+        or outofcore["peak_rss_bytes"] <= OUTOFCORE_RSS_BUDGET_BYTES,
+        "outofcore_rss_budget_bytes": OUTOFCORE_RSS_BUDGET_BYTES,
         "million_vertices": args.subset or scale["positions"] >= 1_000_000,
         "bit_identical_to_game": versus["identical"],
         "speedup_over_game": versus["speedup"],
@@ -251,6 +363,9 @@ def main(argv: list[str] | None = None) -> int:
     }
     failed = not (
         acceptance["replay_within_cpu_budget"]
+        and acceptance["outofcore_hundred_million_accesses"]
+        and acceptance["outofcore_within_cpu_budget"]
+        and acceptance["outofcore_within_rss_budget"]
         and acceptance["million_vertices"]
         and acceptance["bit_identical_to_game"]
         and acceptance["speedup_ok"]
@@ -260,12 +375,23 @@ def main(argv: list[str] | None = None) -> int:
     payload = {
         "benchmark": "tightness",
         "subset": bool(args.subset),
+        "outofcore": outofcore,
         "replay_scale": scale,
         "simulator_vs_game": versus,
         "audit": audit,
         "acceptance": acceptance,
     }
+    ooc_txt = (
+        "out-of-core: skipped; "
+        if outofcore is None
+        else (
+            f"out-of-core: {outofcore['accesses']} accesses in "
+            f"{outofcore['total_cpu_seconds']:.0f}s CPU, peak RSS "
+            f"{outofcore['peak_rss_gib']:.2f} GiB; "
+        )
+    )
     summary = (
+        f"{ooc_txt}"
         f"replay {scale['positions']} vertices in {belady_cpu:.2f}s CPU "
         f"({scale['policies']['belady']['accesses_per_cpu_second']:.0f} acc/s, "
         f"{scale['replay_backend']} backend, "

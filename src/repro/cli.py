@@ -56,7 +56,7 @@ def main(argv: list[str] | None = None) -> int:
 
     def add_engine_flags(p) -> None:
         p.add_argument(
-            "--jobs", type=int, default=1, metavar="N",
+            "--jobs", type=_positive_int, default=1, metavar="N",
             help="parallel worker processes (default: 1, serial)",
         )
         p.add_argument(
@@ -130,6 +130,11 @@ def main(argv: list[str] | None = None) -> int:
         "--markdown", type=Path, default=None, metavar="FILE",
         help="also write the TIGHTNESS.md rendering to FILE",
     )
+    p_tight.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="replay/stream-build chunk: bound peak memory to O(N) positions "
+        "per worker (default: automatic, whole-stream below ~8M accesses)",
+    )
     add_engine_flags(p_tight)
 
     p_list = sub.add_parser("list", help="list registered kernels")
@@ -202,6 +207,17 @@ def main(argv: list[str] | None = None) -> int:
     except _expected_errors() as err:
         print(f"error: {_one_line(err)}", file=sys.stderr)
         return 2
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for worker counts: rejects 0 and negatives at parse
+    time (usage error, exit 2) instead of deep inside the sweep."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (got {value})"
+        )
+    return value
 
 
 def _expected_errors() -> tuple:
@@ -374,6 +390,7 @@ def _cmd_tightness(args) -> int:
             if args.max_vertices is not None
             else DEFAULT_MAX_VERTICES
         ),
+        chunk_size=args.chunk_size,
     )
     if args.markdown is not None:
         args.markdown.write_text(tightness_markdown(report))

@@ -11,6 +11,15 @@ and every failure mode (no compiler, sandboxed filesystem, exotic
 platform) silently degrades to the Python loop.  Equivalence tests pin
 both backends against :func:`repro.pebbling.greedy.greedy_pebbling_cost`.
 
+The core is **slab-driven**: ``replay_new`` allocates a replay context
+(heaps, residency table, blue set, counters), ``replay_slab`` advances it
+over one chunk of positions with slab-local arrays (offsets rebased to 0),
+``replay_counts`` reads the running totals, and ``replay_free`` releases
+everything.  The simulator feeds chunk-sized slabs so the C core never
+needs the full stream resident -- one ctypes call per slab, state carried
+in the context.  The one-shot ``replay`` export is a thin wrapper over the
+same context machinery, kept for direct single-call use.
+
 Set ``REPRO_NO_NATIVE_REPLAY=1`` to force the pure-Python path (used by the
 differential tests and benchmark A/B runs).
 """
@@ -81,12 +90,15 @@ static i64 hpop(heap_t *h) {
     return top;
 }
 
+/* Replay context: everything carried across slabs. */
 typedef struct {
-    i64 m, s, dead_floor;
+    i64 m, s, dead_floor, heap_cap;
     int belady;
     heap_t heap, dead, stash;
     i64 *current_key;
     unsigned char *blue;
+    i64 *dying;
+    i64 dying_len, dying_cap;
     i64 loads, stores, evictions, red;
 } ctx_t;
 
@@ -122,7 +134,130 @@ static int make_room(ctx_t *c, const i64 *protect, i64 n_protect) {
     return 0;
 }
 
-/* out: loads, stores, evictions, error id.  Returns 0 on success, -1 when
+void replay_free(void *ptr) {
+    ctx_t *c = (ctx_t *)ptr;
+    if (!c) return;
+    free(c->current_key); free(c->blue); free(c->dying);
+    free(c->heap.a); free(c->dead.a); free(c->stash.a);
+    free(c);
+}
+
+/* A fresh context, or NULL on allocation failure. */
+void *replay_new(i64 m, i64 s, int belady,
+                 const unsigned char *starts_blue, i64 dead_floor)
+{
+    ctx_t *c = (ctx_t *)calloc(1, sizeof(ctx_t));
+    if (!c) return 0;
+    c->m = m; c->s = s; c->dead_floor = dead_floor; c->belady = belady;
+    c->heap_cap = 4 * s > 8192 ? 4 * s : 8192;
+    size_t mm = (size_t)(m > 0 ? m : 1);
+    c->current_key = (i64 *)malloc(mm * sizeof(i64));
+    c->blue = (unsigned char *)malloc(mm);
+    c->dying = (i64 *)malloc(64 * sizeof(i64));
+    c->dying_cap = 64;
+    if (!c->current_key || !c->blue || !c->dying) {
+        replay_free(c);
+        return 0;
+    }
+    for (i64 i = 0; i < m; i++) c->current_key[i] = 1;  /* NOT_RESIDENT */
+    if (m) memcpy(c->blue, starts_blue, (size_t)m);
+    return c;
+}
+
+/* Advance the context over one slab of positions.  ``offsets`` has
+ * slab_positions + 1 entries rebased to 0; parents/access_keys run over
+ * the slab's accesses only; computed/store_at/compute_keys over its
+ * positions.  Returns 0 on success, -1 when S is too small, -2 when a
+ * needed value is neither red nor blue (id in *err_id), -3 on allocation
+ * failure. */
+int replay_slab(void *ptr, i64 slab_positions,
+                const i64 *offsets, const i64 *parents, const i64 *computed,
+                const unsigned char *store_at,
+                const i64 *access_keys, const i64 *compute_keys,
+                i64 *err_id)
+{
+    ctx_t *c = (ctx_t *)ptr;
+    const i64 NOT_RES = 1, DEAD_MARK = 2;
+    i64 s = c->s, dead_floor = c->dead_floor;
+    int belady = c->belady;
+
+    for (i64 pos = 0; pos < slab_positions; pos++) {
+        i64 lo = offsets[pos], hi = offsets[pos + 1];
+        for (i64 k = lo; k < hi; k++) {
+            i64 pid = parents[k];
+            i64 key = access_keys[k];
+            if (c->current_key[pid] == NOT_RES) {
+                if (!c->blue[pid]) { *err_id = pid; return -2; }
+                c->loads++;
+                if (c->red < s) c->red++;
+                else if (c->dead.len) {
+                    c->current_key[-hpop(&c->dead)] = NOT_RES;
+                    c->evictions++;
+                } else {
+                    int rc = make_room(c, parents + lo, hi - lo);
+                    if (rc) return rc;
+                    c->red++;
+                }
+            }
+            if (key > dead_floor) {
+                c->current_key[pid] = key;
+                if (hpush(&c->heap, key)) return -3;
+            } else {  /* last use: deferred dead-heap push */
+                c->current_key[pid] = DEAD_MARK;
+                if (c->dying_len == c->dying_cap) {
+                    i64 ncap = c->dying_cap * 2;
+                    i64 *nd = (i64 *)realloc(c->dying,
+                                             (size_t)ncap * sizeof(i64));
+                    if (!nd) return -3;
+                    c->dying = nd; c->dying_cap = ncap;
+                }
+                c->dying[c->dying_len++] = -pid;
+            }
+        }
+        if (c->red < s) c->red++;
+        else if (c->dead.len) {
+            c->current_key[-hpop(&c->dead)] = NOT_RES;
+            c->evictions++;
+        } else {
+            int rc = make_room(c, parents + lo, hi - lo);
+            if (rc) return rc;
+            c->red++;
+        }
+        i64 vid = computed[pos], ckey = compute_keys[pos];
+        if (ckey > dead_floor) {
+            c->current_key[vid] = ckey;
+            if (hpush(&c->heap, ckey)) return -3;
+        } else {
+            c->current_key[vid] = DEAD_MARK;
+            if (hpush(&c->dead, -vid)) return -3;
+        }
+        if (store_at[pos]) { c->blue[vid] = 1; c->stores++; }
+        while (c->dying_len)
+            if (hpush(&c->dead, c->dying[--c->dying_len])) return -3;
+        /* Mirror the Python loop's compaction: bound the lazy snapshot
+         * heap at O(S) instead of O(accesses).  Removing stale entries
+         * never changes a pop result (they are skipped at pop time). */
+        if (c->heap.len > c->heap_cap) {
+            i64 w = 0;
+            for (i64 t = 0; t < c->heap.len; t++) {
+                i64 e = c->heap.a[t];
+                i64 pid = (belady ? -e : e) % c->m;
+                if (c->current_key[pid] == e) c->heap.a[w++] = e;
+            }
+            c->heap.len = w;
+            hheapify(&c->heap);
+        }
+    }
+    return 0;
+}
+
+void replay_counts(void *ptr, i64 *out) {
+    ctx_t *c = (ctx_t *)ptr;
+    out[0] = c->loads; out[1] = c->stores; out[2] = c->evictions;
+}
+
+/* One-shot wrapper over the slab machinery (kept for direct callers).
+ * out: loads, stores, evictions, error id.  Returns 0 on success, -1 when
  * S is too small, -2 when a needed value is neither red nor blue, -3 on
  * allocation failure. */
 int replay(i64 n_positions, i64 m, i64 s, int belady,
@@ -131,93 +266,14 @@ int replay(i64 n_positions, i64 m, i64 s, int belady,
            const i64 *access_keys, const i64 *compute_keys,
            i64 dead_floor, i64 *out)
 {
-    const i64 NOT_RES = 1, DEAD_MARK = 2;
-    int rc = 0;
-    ctx_t c;
-    memset(&c, 0, sizeof(c));
-    c.m = m; c.s = s; c.dead_floor = dead_floor; c.belady = belady;
-    size_t mm = (size_t)(m > 0 ? m : 1);
-    c.current_key = (i64 *)malloc(mm * sizeof(i64));
-    c.blue = (unsigned char *)malloc(mm);
-    i64 *dying = (i64 *)malloc(64 * sizeof(i64));
-    i64 dying_len = 0, dying_cap = 64;
-    if (!c.current_key || !c.blue || !dying) { rc = -3; goto done; }
-    for (i64 i = 0; i < m; i++) c.current_key[i] = NOT_RES;
-    if (m) memcpy(c.blue, starts_blue, (size_t)m);
-    /* Mirror the Python loop's compaction: bound the lazy snapshot heap at
-     * O(S) instead of O(accesses).  Removing stale entries never changes a
-     * pop result (they are skipped at pop time anyway). */
-    i64 heap_cap = 4 * s > 8192 ? 4 * s : 8192;
-
-    for (i64 pos = 0; pos < n_positions; pos++) {
-        i64 lo = offsets[pos], hi = offsets[pos + 1];
-        for (i64 k = lo; k < hi; k++) {
-            i64 pid = parents[k];
-            i64 key = access_keys[k];
-            if (c.current_key[pid] == NOT_RES) {
-                if (!c.blue[pid]) { rc = -2; out[3] = pid; goto done; }
-                c.loads++;
-                if (c.red < s) c.red++;
-                else if (c.dead.len) {
-                    c.current_key[-hpop(&c.dead)] = NOT_RES;
-                    c.evictions++;
-                } else {
-                    rc = make_room(&c, parents + lo, hi - lo);
-                    if (rc) goto done;
-                    c.red++;
-                }
-            }
-            if (key > dead_floor) {
-                c.current_key[pid] = key;
-                if (hpush(&c.heap, key)) { rc = -3; goto done; }
-            } else {  /* last use: deferred dead-heap push */
-                c.current_key[pid] = DEAD_MARK;
-                if (dying_len == dying_cap) {
-                    dying_cap *= 2;
-                    i64 *nd = (i64 *)realloc(dying,
-                                             (size_t)dying_cap * sizeof(i64));
-                    if (!nd) { rc = -3; goto done; }
-                    dying = nd;
-                }
-                dying[dying_len++] = -pid;
-            }
-        }
-        if (c.red < s) c.red++;
-        else if (c.dead.len) {
-            c.current_key[-hpop(&c.dead)] = NOT_RES;
-            c.evictions++;
-        } else {
-            rc = make_room(&c, parents + lo, hi - lo);
-            if (rc) goto done;
-            c.red++;
-        }
-        i64 vid = computed[pos], ckey = compute_keys[pos];
-        if (ckey > dead_floor) {
-            c.current_key[vid] = ckey;
-            if (hpush(&c.heap, ckey)) { rc = -3; goto done; }
-        } else {
-            c.current_key[vid] = DEAD_MARK;
-            if (hpush(&c.dead, -vid)) { rc = -3; goto done; }
-        }
-        if (store_at[pos]) { c.blue[vid] = 1; c.stores++; }
-        while (dying_len)
-            if (hpush(&c.dead, dying[--dying_len])) { rc = -3; goto done; }
-        if (c.heap.len > heap_cap) {
-            i64 w = 0;
-            for (i64 t = 0; t < c.heap.len; t++) {
-                i64 e = c.heap.a[t];
-                i64 pid = (belady ? -e : e) % m;
-                if (c.current_key[pid] == e) c.heap.a[w++] = e;
-            }
-            c.heap.len = w;
-            hheapify(&c.heap);
-        }
-    }
-
-done:
-    out[0] = c.loads; out[1] = c.stores; out[2] = c.evictions;
-    free(c.current_key); free(c.blue); free(dying);
-    free(c.heap.a); free(c.dead.a); free(c.stash.a);
+    ctx_t *c = (ctx_t *)replay_new(m, s, belady, starts_blue, dead_floor);
+    if (!c) return -3;
+    i64 err_id = -1;
+    int rc = replay_slab(c, n_positions, offsets, parents, computed,
+                         store_at, access_keys, compute_keys, &err_id);
+    out[0] = c->loads; out[1] = c->stores; out[2] = c->evictions;
+    out[3] = err_id;
+    replay_free(c);
     return rc;
 }
 """
@@ -226,24 +282,47 @@ _lib: ctypes.CDLL | None | bool = None  # None = not tried, False = unavailable
 
 
 def _cache_dir() -> Path:
+    """The preferred build cache: override, then XDG, then ``~/.cache``."""
     override = os.environ.get("REPRO_NATIVE_CACHE")
     if override:
         return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    if xdg:
+        return Path(xdg) / "repro-native"
     return Path.home() / ".cache" / "repro-native"
+
+
+def _cache_candidates() -> list[Path]:
+    """Cache dirs in preference order: :func:`_cache_dir`, then a per-user
+    tempdir -- sandboxed CI often mounts the home cache read-only, and
+    silently losing the native core there costs 30x replay throughput."""
+    user = getattr(os, "getuid", lambda: "u")()
+    return [
+        _cache_dir(),
+        Path(tempfile.gettempdir()) / f"repro-native-{user}",
+    ]
 
 
 def _build() -> ctypes.CDLL | None:
     digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
-    cache = _cache_dir()
-    so_path = cache / f"replay-{digest}.so"
-    if not so_path.exists():
-        cache.mkdir(parents=True, exist_ok=True)
-        src = cache / f"replay-{digest}.c"
-        src.write_text(_SOURCE)
-        with tempfile.NamedTemporaryFile(
-            suffix=".so", dir=cache, delete=False
-        ) as tmp:
-            tmp_path = Path(tmp.name)
+    so_name = f"replay-{digest}.so"
+    candidates = _cache_candidates()
+    for cache in candidates:
+        so_path = cache / so_name
+        if so_path.exists():
+            return _load(so_path)
+    for cache in candidates:
+        try:
+            cache.mkdir(parents=True, exist_ok=True)
+            so_path = cache / so_name
+            src = cache / f"replay-{digest}.c"
+            src.write_text(_SOURCE)
+            with tempfile.NamedTemporaryFile(
+                suffix=".so", dir=cache, delete=False
+            ) as tmp:
+                tmp_path = Path(tmp.name)
+        except OSError:
+            continue  # unwritable cache: fall through to the next candidate
         result = subprocess.run(
             ["cc", "-O2", "-shared", "-fPIC", "-o", str(tmp_path), str(src)],
             capture_output=True,
@@ -251,8 +330,13 @@ def _build() -> ctypes.CDLL | None:
         )
         if result.returncode != 0:
             tmp_path.unlink(missing_ok=True)
-            return None
+            return None  # a broken compiler will not improve elsewhere
         os.replace(tmp_path, so_path)  # atomic under concurrent builders
+        return _load(so_path)
+    return None
+
+
+def _load(so_path: Path) -> ctypes.CDLL:
     lib = ctypes.CDLL(str(so_path))
     i64 = ctypes.c_longlong
     p64 = ctypes.POINTER(i64)
@@ -262,6 +346,16 @@ def _build() -> ctypes.CDLL | None:
         p64, p64, p64, pu8, pu8, p64, p64, i64, p64,
     ]
     lib.replay.restype = ctypes.c_int
+    lib.replay_new.argtypes = [i64, i64, ctypes.c_int, pu8, i64]
+    lib.replay_new.restype = ctypes.c_void_p
+    lib.replay_slab.argtypes = [
+        ctypes.c_void_p, i64, p64, p64, p64, pu8, p64, p64, p64,
+    ]
+    lib.replay_slab.restype = ctypes.c_int
+    lib.replay_counts.argtypes = [ctypes.c_void_p, p64]
+    lib.replay_counts.restype = None
+    lib.replay_free.argtypes = [ctypes.c_void_p]
+    lib.replay_free.restype = None
     return lib
 
 

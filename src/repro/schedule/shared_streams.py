@@ -1,0 +1,188 @@
+"""Zero-copy stream sharing for parallel sweeps.
+
+A built :class:`~repro.schedule.stream.AccessStream` (plus its memoized
+next-use arrays) is published once to a ``multiprocessing.shared_memory``
+segment, keyed by a *stream signature* -- a stable digest of what the
+stream is (kernel, params, schedule key).  Sweep workers then **attach**
+read-only numpy views over the segment instead of rebuilding the stream
+per process: the tiny picklable :class:`SharedStreamRef` travels through
+the process pool, the arrays never do.
+
+Lifecycle: the publisher (a phase-A sweep worker or the driver) copies the
+arrays in and closes its mapping; the segment itself persists until the
+sweep driver calls :func:`unlink` -- POSIX shared memory outlives the
+creating process, which is exactly what lets phase-A pool workers hand
+streams to phase-B workers without routing bytes through the driver.
+Python >= 3.9's resource tracker would fight this ownership model (3.11
+registers segments on *attach* as well as create, so any exiting worker
+could tear a live segment down); :func:`_untrack` opts every handle out,
+and the driver's explicit :func:`unlink` is the single point of cleanup.
+
+Attached views are cached per process (:func:`attach_cached`), so a worker
+replaying many (kernel, S) points of one sweep maps each segment once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.schedule.stream import AccessStream
+
+#: stream columns published to the segment, in layout order
+_FIELDS = (
+    "parent_offsets",
+    "parent_ids",
+    "computed_ids",
+    "starts_blue",
+    "store_at_compute",
+)
+#: derived next-use arrays, published so workers never recompute them
+_DERIVED = ("next_after", "first_use")
+
+
+@dataclass(frozen=True)
+class SharedStreamRef:
+    """Picklable descriptor of one published stream.
+
+    ``fields`` maps every array to its slice of the segment:
+    ``(name, dtype_str, length, byte_offset)`` -- enough to rebuild
+    zero-copy views in any process that can open ``name``.
+    """
+
+    name: str  #: shared-memory segment name (OS-level)
+    signature: str  #: stable content key -- see :func:`stream_signature`
+    n_positions: int
+    n_ids: int
+    chunk_positions: int | None
+    fields: tuple
+
+
+def stream_signature(*parts) -> str:
+    """A stable hex digest identifying a stream by what it was built from."""
+    raw = "\x1f".join(repr(p) for p in parts)
+    return hashlib.sha1(raw.encode()).hexdigest()[:16]
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Opt a handle out of the resource tracker (the driver owns cleanup)."""
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def publish(stream: AccessStream, signature: str) -> SharedStreamRef:
+    """Copy ``stream`` (and its next-use arrays) into a fresh segment.
+
+    Computes the next-use arrays if the stream has not yet (so attaching
+    workers inherit the memo), closes the local mapping, and returns the
+    descriptor.  The segment persists until :func:`unlink`.
+    """
+    next_after, first_use = stream.next_use_arrays()
+    arrays = [
+        (fname, np.ascontiguousarray(getattr(stream, fname)))
+        for fname in _FIELDS
+    ]
+    arrays.append(("next_after", np.ascontiguousarray(next_after)))
+    arrays.append(("first_use", np.ascontiguousarray(first_use)))
+
+    fields = []
+    offset = 0
+    for fname, arr in arrays:
+        offset = -(-offset // 8) * 8  # 8-byte alignment per array
+        fields.append((fname, arr.dtype.str, len(arr), offset))
+        offset += arr.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    _untrack(shm)
+    try:
+        for (fname, arr), (_, dtype, length, off) in zip(arrays, fields):
+            view = np.ndarray(
+                (length,), dtype=np.dtype(dtype), buffer=shm.buf, offset=off
+            )
+            view[:] = arr
+            del view  # release the buffer before closing the mapping
+        ref = SharedStreamRef(
+            name=shm.name,
+            signature=signature,
+            n_positions=stream.n_positions,
+            n_ids=stream.n_ids,
+            chunk_positions=stream.chunk_positions,
+            fields=tuple(fields),
+        )
+    finally:
+        shm.close()
+    return ref
+
+
+def attach(ref: SharedStreamRef) -> AccessStream:
+    """Open a published stream as read-only zero-copy views.
+
+    The returned stream's arrays alias the shared segment directly (no
+    copies, marked non-writeable) and its next-use memo is pre-populated
+    from the published arrays.  The segment handle is kept alive on the
+    stream itself.
+    """
+    shm = shared_memory.SharedMemory(name=ref.name)
+    _untrack(shm)
+    views: dict[str, np.ndarray] = {}
+    for fname, dtype, length, off in ref.fields:
+        arr = np.ndarray(
+            (length,), dtype=np.dtype(dtype), buffer=shm.buf, offset=off
+        )
+        arr.flags.writeable = False
+        views[fname] = arr
+    return AccessStream(
+        n_positions=ref.n_positions,
+        n_ids=ref.n_ids,
+        parent_offsets=views["parent_offsets"],
+        parent_ids=views["parent_ids"],
+        computed_ids=views["computed_ids"],
+        starts_blue=views["starts_blue"],
+        store_at_compute=views["store_at_compute"],
+        labels=None,
+        chunk_positions=ref.chunk_positions,
+        _next_use_pair=(views["next_after"], views["first_use"]),
+        _arena=shm,
+    )
+
+
+#: per-process attach cache: one mapping per segment per worker
+_ATTACHED: dict[str, AccessStream] = {}
+#: how many :func:`attach_cached` calls actually mapped a segment (tests
+#: assert sweep workers attach once per stream and never rebuild)
+_ATTACH_COUNT = 0
+
+
+def attach_cached(ref: SharedStreamRef) -> AccessStream:
+    """:func:`attach` with a per-process cache keyed by segment name."""
+    global _ATTACH_COUNT
+    stream = _ATTACHED.get(ref.name)
+    if stream is None:
+        stream = attach(ref)
+        _ATTACHED[ref.name] = stream
+        _ATTACH_COUNT += 1
+    return stream
+
+
+def detach_all() -> None:
+    """Drop the per-process attach cache (tests / long-lived daemons)."""
+    _ATTACHED.clear()
+
+
+def unlink(ref: SharedStreamRef) -> None:
+    """Destroy a published segment (driver-side cleanup; idempotent)."""
+    try:
+        shm = shared_memory.SharedMemory(name=ref.name)
+    except FileNotFoundError:
+        return
+    try:
+        shm.close()
+        shm.unlink()
+    except FileNotFoundError:
+        pass

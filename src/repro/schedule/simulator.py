@@ -40,7 +40,11 @@ from itertools import islice
 
 import numpy as np
 
-from repro.schedule.stream import AccessStream
+from repro.schedule.stream import (
+    AUTO_CHUNK_ACCESSES,
+    DEFAULT_CHUNK_POSITIONS,
+    AccessStream,
+)
 from repro.util.errors import PebblingError
 
 #: ``current_key`` sentinel for "not resident": Belady keys are <= 0 and
@@ -69,29 +73,52 @@ class SimulationResult:
         return self.loads + self.stores
 
 
-def simulate_io(stream: AccessStream, s: int, *, policy: str = "belady") -> SimulationResult:
+def simulate_io(
+    stream: AccessStream,
+    s: int,
+    *,
+    policy: str = "belady",
+    slab_positions: int | None = None,
+) -> SimulationResult:
     """Replay ``stream`` with ``s`` fast-memory slots under ``policy``.
 
     Runs the compiled replay core when one is available (see
     :mod:`repro.schedule._native`); the pure-Python loop is the reference
     implementation and the fallback, and differential tests assert the two
-    agree bit for bit.
+    agree bit for bit.  ``slab_positions`` bounds how many positions are
+    converted and handed to the C core per call (default: the stream's own
+    chunk size, or :data:`~repro.schedule.stream.DEFAULT_CHUNK_POSITIONS`
+    for huge streams) -- the result is bit-identical whatever the slab
+    size, only peak memory changes.
     """
     if s < 1:
         raise PebblingError("need at least one fast-memory slot")
     if policy not in ("belady", "lru"):
         raise PebblingError(f"unknown eviction policy {policy!r}")
     belady = policy == "belady"
-    result = _native_replay(stream, s, belady=belady)
+    result = _native_replay(
+        stream, s, belady=belady, slab_positions=slab_positions
+    )
     if result is not None:
         return result
     return _replay(stream, s, belady=belady)
 
 
 def _native_replay(
-    stream: AccessStream, s: int, *, belady: bool
+    stream: AccessStream,
+    s: int,
+    *,
+    belady: bool,
+    slab_positions: int | None = None,
 ) -> SimulationResult | None:
-    """Drive the compiled core; ``None`` when no native library exists."""
+    """Drive the compiled core; ``None`` when no native library exists.
+
+    The core runs over position slabs with carried state (one
+    ``replay_slab`` call each): per slab, the int32/memmap stream columns
+    are converted to contiguous int64 and the policy heap keys computed
+    from the O(chunk + id-space) next-use arrays -- so replay never
+    materializes an O(stream) int64 temporary.
+    """
     from repro.schedule._native import native_replay_lib
 
     lib = native_replay_lib()
@@ -99,62 +126,122 @@ def _native_replay(
         return None
     import ctypes
 
-    access_keys, compute_keys = _policy_keys(stream, belady=belady)
+    n = stream.n_positions
+    m = stream.n_ids
+    if slab_positions is None:
+        slab_positions = stream.chunk_positions
+        if slab_positions is None and stream.n_accesses > AUTO_CHUNK_ACCESSES:
+            slab_positions = DEFAULT_CHUNK_POSITIONS
+    slab = n if slab_positions is None else max(1, int(slab_positions))
+    next_after, first_use = stream.next_use_arrays()
+
     i64p = ctypes.POINTER(ctypes.c_longlong)
     u8p = ctypes.POINTER(ctypes.c_ubyte)
-    # hold references for the duration of the call: ascontiguousarray may
-    # return fresh buffers
-    i64_arrs = [
-        np.ascontiguousarray(a, dtype=np.int64)
-        for a in (
-            stream.parent_offsets,
-            stream.parent_ids,
-            stream.computed_ids,
-            access_keys,
-            compute_keys,
-        )
-    ]
-    u8_arrs = [
-        np.ascontiguousarray(a, dtype=np.uint8)
-        for a in (stream.store_at_compute, stream.starts_blue)
-    ]
-    offsets, parents, computed, akeys, ckeys = i64_arrs
-    store_at, starts_blue = u8_arrs
-
-    out = (ctypes.c_longlong * 4)(0, 0, 0, -1)
-    rc = lib.replay(
-        stream.n_positions,
-        stream.n_ids,
-        s,
-        1 if belady else 0,
-        offsets.ctypes.data_as(i64p),
-        parents.ctypes.data_as(i64p),
-        computed.ctypes.data_as(i64p),
-        store_at.ctypes.data_as(u8p),
-        starts_blue.ctypes.data_as(u8p),
-        akeys.ctypes.data_as(i64p),
-        ckeys.ctypes.data_as(i64p),
-        -(stream.n_positions * stream.n_ids),
-        out,
+    starts_blue = np.ascontiguousarray(stream.starts_blue, dtype=np.uint8)
+    ctx = lib.replay_new(
+        m, s, 1 if belady else 0, starts_blue.ctypes.data_as(u8p), -(n * m)
     )
-    if rc == -1:
-        raise PebblingError(f"S={s} too small for the working set")
-    if rc == -2:
-        raise PebblingError(
-            f"value id={out[3]} needed but neither red nor blue "
-            "(order recomputes a discarded value?)"
-        )
-    if rc != 0:  # allocation failure: fall back to the Python loop
-        return None
+    if not ctx:
+        return None  # allocation failure: fall back to the Python loop
+    try:
+        err_id = (ctypes.c_longlong * 1)(-1)
+        offsets = stream.parent_offsets
+        for lo in range(0, n, slab) if n else ():
+            hi = min(lo + slab, n)
+            a_lo = int(offsets[lo])
+            a_hi = int(offsets[hi])
+            slab_off = np.asarray(offsets[lo:hi + 1], dtype=np.int64) - a_lo
+            parents = np.ascontiguousarray(
+                stream.parent_ids[a_lo:a_hi], dtype=np.int64
+            )
+            computed = np.ascontiguousarray(
+                stream.computed_ids[lo:hi], dtype=np.int64
+            )
+            store_at = np.ascontiguousarray(
+                stream.store_at_compute[lo:hi], dtype=np.uint8
+            )
+            akeys, ckeys = _policy_keys_slab(
+                stream, next_after, first_use, lo, hi, a_lo, a_hi,
+                parents, computed, belady=belady,
+            )
+            slab_off = np.ascontiguousarray(slab_off)
+            rc = lib.replay_slab(
+                ctx,
+                hi - lo,
+                slab_off.ctypes.data_as(i64p),
+                parents.ctypes.data_as(i64p),
+                computed.ctypes.data_as(i64p),
+                store_at.ctypes.data_as(u8p),
+                akeys.ctypes.data_as(i64p),
+                ckeys.ctypes.data_as(i64p),
+                err_id,
+            )
+            if rc == -1:
+                raise PebblingError(f"S={s} too small for the working set")
+            if rc == -2:
+                raise PebblingError(
+                    f"value id={int(err_id[0])} needed but neither red nor "
+                    "blue (order recomputes a discarded value?)"
+                )
+            if rc != 0:  # allocation failure: fall back to the Python loop
+                return None
+        out = (ctypes.c_longlong * 3)(0, 0, 0)
+        lib.replay_counts(ctx, out)
+        loads, stores, evictions = int(out[0]), int(out[1]), int(out[2])
+    finally:
+        lib.replay_free(ctx)
     return SimulationResult(
         policy="belady" if belady else "lru",
         s=s,
-        loads=int(out[0]),
-        stores=int(out[1]),
-        n_positions=stream.n_positions,
+        loads=loads,
+        stores=stores,
+        n_positions=n,
         n_accesses=stream.n_accesses,
-        evictions=int(out[2]),
+        evictions=evictions,
     )
+
+
+def _policy_keys_slab(
+    stream: AccessStream,
+    next_after: np.ndarray,
+    first_use: np.ndarray,
+    lo: int,
+    hi: int,
+    a_lo: int,
+    a_hi: int,
+    parents: np.ndarray,
+    computed: np.ndarray,
+    *,
+    belady: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Heap keys for one slab: :func:`_policy_keys` restricted to
+    positions ``[lo, hi)`` / accesses ``[a_lo, a_hi)``, identical values.
+
+    ``parents`` / ``computed`` are the already-converted int64 slab
+    columns; clocks use global indices so the keys match the monolithic
+    computation bit for bit.
+    """
+    m = stream.n_ids
+    na = np.asarray(next_after[a_lo:a_hi], dtype=np.int64)
+    # index first, widen after: widening first would materialize the whole
+    # O(id-space) table in int64 on every slab
+    fu = np.asarray(first_use[computed], dtype=np.int64)
+    if belady:
+        akeys = -(na * m + parents)
+        ckeys = -(fu * m + computed)
+    else:
+        inf = stream.n_positions
+        counts = np.diff(np.asarray(stream.parent_offsets[lo:hi + 1]))
+        positions = np.repeat(np.arange(lo, hi, dtype=np.int64), counts)
+        access_clock = np.arange(a_lo + 1, a_hi + 1, dtype=np.int64) + positions
+        access_live = (na < inf).astype(np.int64)
+        akeys = (access_clock * 2 + access_live) * m + parents
+        compute_clock = np.asarray(
+            stream.parent_offsets[lo + 1:hi + 1], dtype=np.int64
+        ) + np.arange(lo + 1, hi + 1, dtype=np.int64)
+        compute_live = (fu < inf).astype(np.int64)
+        ckeys = (compute_clock * 2 + compute_live) * m + computed
+    return np.ascontiguousarray(akeys), np.ascontiguousarray(ckeys)
 
 
 def _policy_keys(
@@ -168,12 +255,14 @@ def _policy_keys(
     the Python loop and the native core consume them as-is).
     """
     next_after, first_use, positions = stream.next_use_table()
-    pids = stream.parent_ids
-    computed = stream.computed_ids
+    # chunked streams narrow to int32: widen before the key arithmetic
+    next_after = np.asarray(next_after, dtype=np.int64)
+    pids = np.asarray(stream.parent_ids, dtype=np.int64)
+    computed = np.asarray(stream.computed_ids, dtype=np.int64)
     m = stream.n_ids
     if belady:
         access_keys = -(next_after * m + pids)
-        compute_keys = -(first_use[computed] * m + computed)
+        compute_keys = -(np.asarray(first_use, dtype=np.int64)[computed] * m + computed)
     else:
         inf = stream.n_positions
         # The touch clock is deterministic: one tick per operand read (in

@@ -26,10 +26,26 @@ Two builders:
   the blocked order (each self-update chain must execute in program order)
   is one grouped monotonicity check.  Million-vertex instances build in
   well under a second of CPU time (``benchmarks/bench_tightness.py``).
+
+Out-of-core scale: beyond :data:`AUTO_CHUNK_POSITIONS` iteration points (or
+on request via ``chunk_positions=``) the IR-direct builder switches to a
+**chunked** mode that generates the blocked order tile-batch by tile-batch
+into preallocated struct-of-arrays (optionally ``numpy.memmap``-backed via
+``memmap_dir=``), carrying first-appearance id tables and per-element
+version-chain state across chunks so peak transient memory is O(chunk +
+key space), not O(stream).  The chunked and monolithic builders are pinned
+bit-identical -- every output array, not just replay counts -- by the
+differential tests.  The next-use table has the same two modes: one global
+reverse scan, or a chunked reverse scan over fixed-size position slabs
+(:meth:`AccessStream.next_use_arrays`) whose peak extra memory is
+O(chunk + id space).  Ids, positions, and offsets are stored in ``int32``
+whenever they fit, halving resident size at the 10^8-access scale.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass, field
 from typing import Hashable, Mapping, Sequence
 
@@ -40,9 +56,47 @@ from repro.ir.program import Program
 from repro.pebbling.greedy import default_order, stream_vertex_ids
 from repro.util.errors import PebblingError, SoapError
 
+#: default positions per chunk for the chunked builder / next-use scan
+DEFAULT_CHUNK_POSITIONS = 1 << 20
+#: grids larger than this auto-switch the IR-direct builder to chunked mode
+AUTO_CHUNK_POSITIONS = 1 << 22
+#: streams with more operand reads than this compute next-use chunked
+AUTO_CHUNK_ACCESSES = 1 << 23
+
 
 class ScheduleError(SoapError):
     """Raised when a schedule cannot be derived or streamed."""
+
+
+class _Arena:
+    """Allocator for a stream's output arrays: RAM, or ``numpy.memmap``.
+
+    With ``memmap_dir`` the big columns live in files under a private
+    tempdir (``memmap_dir=True`` uses the system temp location); the arena
+    is held by the stream so the backing files live exactly as long as the
+    arrays do.
+    """
+
+    def __init__(self, memmap_dir=None):
+        self._tmp = None
+        self._dir = None
+        self._count = 0
+        if memmap_dir:
+            self._tmp = tempfile.TemporaryDirectory(
+                prefix="repro-stream-",
+                dir=None if memmap_dir is True else str(memmap_dir),
+            )
+            self._dir = self._tmp.name
+
+    def alloc(self, length: int, dtype) -> np.ndarray:
+        length = int(length)
+        if self._dir is None:
+            return np.empty(length, dtype=dtype)
+        self._count += 1
+        path = os.path.join(self._dir, f"col{self._count}.bin")
+        return np.memmap(path, dtype=dtype, mode="w+", shape=(max(length, 1),))[
+            :length
+        ]
 
 
 @dataclass(eq=False)
@@ -64,53 +118,146 @@ class AccessStream:
     starts_blue: np.ndarray  #: uint8 per id
     store_at_compute: np.ndarray  #: uint8 per position
     labels: list | None = None  #: id -> vertex label (None for IR-direct streams)
+    #: positions per chunk the chunked builder used (None for monolithic
+    #: streams); doubles as the default replay slab size
+    chunk_positions: int | None = None
     #: memoized next-use table -- see :meth:`next_use_table`
     _next_use_cache: tuple | None = field(default=None, repr=False)
+    #: memoized ``(next_after, first_use)`` -- see :meth:`next_use_arrays`
+    _next_use_pair: tuple | None = field(default=None, repr=False)
+    #: keep-alive for memmap-backed arrays (the builder's :class:`_Arena`)
+    _arena: object | None = field(default=None, repr=False)
 
     @property
     def n_accesses(self) -> int:
         """Total operand reads -- the stream's length in the I/O sense."""
         return len(self.parent_ids)
 
-    def next_use_table(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """``(next_after, first_use, access_positions)`` -- memoized.
+    def next_use_arrays(
+        self, chunk_positions: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(next_after, first_use)`` -- memoized.
 
-        * ``access_positions[k]`` -- the position whose vertex reads access
-          ``k`` (``parent_ids[k]``).
         * ``next_after[k]`` -- the position of the *next* read of the same
-          id after access ``k``, or ``n_positions`` when it is never read
-          again ("infinity": strictly greater than any real position).
+          id after access ``k`` (``parent_ids[k]``), or ``n_positions`` when
+          it is never read again ("infinity": strictly greater than any real
+          position).
         * ``first_use[i]`` -- the first position reading id ``i``, or
           ``n_positions`` when the id is never read.
 
-        One vectorized pass replaces the per-id Python use lists the
-        simulator used to pointer-chase: a stable argsort groups accesses by
-        id (positions ascending within each group, since ids are read at
-        most once per position), and each access's successor inside its
-        group is its next use.  Computed once and shared by every replay of
-        this stream -- Belady then LRU, or a whole sweep of ``S`` values.
+        Two modes, identical output.  The monolithic mode is one stable
+        argsort grouping all accesses by id (positions ascending within a
+        group, since ids are read at most once per position): each access's
+        successor in its group is its next use.  The chunked mode -- picked
+        automatically above :data:`AUTO_CHUNK_ACCESSES` reads, for streams
+        the chunked builder produced, or on request -- is a reverse scan
+        over fixed-size position slabs with a carried ``last_seen[id]``
+        table: within a slab the same grouped argsort runs on slab-local
+        accesses, each id's last slab occurrence chains to ``last_seen``,
+        and after the full reverse sweep ``last_seen`` *is* the first-use
+        table.  Peak extra memory is O(chunk + id space), not O(stream).
+        Computed once and shared by every replay of this stream -- Belady
+        then LRU, or a whole sweep of ``S`` values.
         """
-        if self._next_use_cache is None:
-            inf = self.n_positions
-            pids = self.parent_ids
+        if self._next_use_pair is None:
+            if chunk_positions is None:
+                chunk_positions = self.chunk_positions
+                if (
+                    chunk_positions is None
+                    and self.n_accesses > AUTO_CHUNK_ACCESSES
+                ):
+                    chunk_positions = DEFAULT_CHUNK_POSITIONS
+            if chunk_positions is None:
+                self._next_use_pair = self._next_use_monolithic()
+            else:
+                self._next_use_pair = self._next_use_chunked(
+                    max(1, int(chunk_positions))
+                )
+        return self._next_use_pair
+
+    def _next_use_monolithic(self) -> tuple[np.ndarray, np.ndarray]:
+        inf = self.n_positions
+        pids = self.parent_ids
+        positions = np.repeat(
+            np.arange(self.n_positions, dtype=np.int64),
+            np.diff(self.parent_offsets),
+        )
+        order = np.argsort(pids, kind="stable")
+        sorted_ids = pids[order]
+        sorted_pos = positions[order]
+        same = sorted_ids[:-1] == sorted_ids[1:]
+        next_sorted = np.full(len(pids), inf, dtype=np.int64)
+        if len(pids):
+            next_sorted[:-1][same] = sorted_pos[1:][same]
+        next_after = np.empty_like(next_sorted)
+        next_after[order] = next_sorted
+        first_use = np.full(self.n_ids, inf, dtype=np.int64)
+        if len(pids):
+            head = np.ones(len(pids), dtype=bool)
+            head[1:] = ~same
+            first_use[sorted_ids[head]] = sorted_pos[head]
+        return next_after, first_use
+
+    def _next_use_chunked(
+        self, chunk_positions: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        n = self.n_positions
+        inf = n
+        pos_dtype = (
+            np.int32 if n < np.iinfo(np.int32).max else np.int64
+        )
+        # carried across slabs: earliest position seen so far per id
+        last_seen = np.full(self.n_ids, inf, dtype=pos_dtype)
+        arena = self._arena
+        next_after = (
+            arena.alloc(len(self.parent_ids), pos_dtype)
+            if arena is not None
+            else np.empty(len(self.parent_ids), dtype=pos_dtype)
+        )
+        offsets = self.parent_offsets
+        for hi_pos in range(n, 0, -chunk_positions):
+            lo_pos = max(0, hi_pos - chunk_positions)
+            a_lo = int(offsets[lo_pos])
+            a_hi = int(offsets[hi_pos])
+            if a_lo == a_hi:
+                continue
+            pids = np.asarray(self.parent_ids[a_lo:a_hi])
+            counts = np.diff(offsets[lo_pos:hi_pos + 1])
             positions = np.repeat(
-                np.arange(self.n_positions, dtype=np.int64),
-                np.diff(self.parent_offsets),
+                np.arange(lo_pos, hi_pos, dtype=pos_dtype), counts
             )
             order = np.argsort(pids, kind="stable")
             sorted_ids = pids[order]
             sorted_pos = positions[order]
-            same = sorted_ids[:-1] == sorted_ids[1:]
-            next_sorted = np.full(len(pids), inf, dtype=np.int64)
-            if len(pids):
-                next_sorted[:-1][same] = sorted_pos[1:][same]
-            next_after = np.empty_like(next_sorted)
-            next_after[order] = next_sorted
-            first_use = np.full(self.n_ids, inf, dtype=np.int64)
-            if len(pids):
-                head = np.ones(len(pids), dtype=bool)
-                head[1:] = ~same
-                first_use[sorted_ids[head]] = sorted_pos[head]
+            k = len(pids)
+            same = sorted_ids[1:] == sorted_ids[:-1]
+            nxt = np.full(k, inf, dtype=pos_dtype)
+            nxt[:-1][same] = sorted_pos[1:][same]
+            tail = np.ones(k, dtype=bool)
+            tail[:-1] = ~same  # last slab occurrence chains to later slabs
+            nxt[tail] = last_seen[sorted_ids[tail]]
+            head = np.ones(k, dtype=bool)
+            head[1:] = ~same
+            last_seen[sorted_ids[head]] = sorted_pos[head]
+            out = np.empty(k, dtype=pos_dtype)
+            out[order] = nxt
+            next_after[a_lo:a_hi] = out
+        return next_after, last_seen
+
+    def next_use_table(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(next_after, first_use, access_positions)`` -- memoized.
+
+        :meth:`next_use_arrays` plus ``access_positions[k]``, the position
+        whose vertex reads access ``k`` -- O(stream) extra memory, so the
+        out-of-core replay path consumes :meth:`next_use_arrays` directly
+        and derives slab-local positions on the fly.
+        """
+        if self._next_use_cache is None:
+            next_after, first_use = self.next_use_arrays()
+            positions = np.repeat(
+                np.arange(self.n_positions, dtype=np.int64),
+                np.diff(self.parent_offsets),
+            )
             self._next_use_cache = (next_after, first_use, positions)
         return self._next_use_cache
 
@@ -355,6 +502,8 @@ def single_statement_stream(
     *,
     tile_sizes: Mapping[str, int] | None = None,
     variable_order: Sequence[str] | None = None,
+    chunk_positions: int | None = None,
+    memmap_dir=None,
 ) -> AccessStream:
     """Stream a single-statement self-update kernel without building a graph.
 
@@ -366,6 +515,16 @@ def single_statement_stream(
     each element's self-update chain is one grouped monotonicity check.
     Raises :class:`ScheduleError` if the blocked order would execute a
     self-update chain out of program order (illegal tiling).
+
+    Above :data:`AUTO_CHUNK_POSITIONS` iteration points -- or whenever
+    ``chunk_positions`` / ``memmap_dir`` is passed -- the build runs
+    chunked: the blocked order is generated tile-batch by tile-batch
+    straight into preallocated output arrays (``numpy.memmap``-backed under
+    ``memmap_dir`` when given; ``True`` means the system temp dir), with
+    first-appearance id tables and version-chain state carried across
+    chunks.  The chunked build is bit-identical to the monolithic one;
+    kernels whose access keys are too sparse for the carried dense tables
+    fall back to the monolithic path automatically.
     """
     st = _self_update_statement(program)
     variables = list(variable_order or st.iteration_vars)
@@ -383,7 +542,39 @@ def single_statement_stream(
         else extents[var]
         for var in variables
     }
+    if chunk_positions is not None and int(chunk_positions) < 1:
+        raise ScheduleError("chunk_positions must be >= 1")
+    n_grid = 1
+    for v in variables:
+        n_grid *= int(extents[v])
+    wants_chunked = (
+        chunk_positions is not None
+        or bool(memmap_dir)
+        or n_grid > AUTO_CHUNK_POSITIONS
+    )
+    if wants_chunked and n_grid > 0:
+        chunk = (
+            int(chunk_positions)
+            if chunk_positions is not None
+            else DEFAULT_CHUNK_POSITIONS
+        )
+        stream = _chunked_stream(
+            program, st, params, variables, extents, tiles, chunk, memmap_dir
+        )
+        if stream is not None:
+            return stream
+    return _monolithic_stream(program, st, params, variables, extents, tiles)
 
+
+def _monolithic_stream(
+    program: Program,
+    st,
+    params: Mapping[str, int],
+    variables: list[str],
+    extents: Mapping[str, int],
+    tiles: Mapping[str, int],
+) -> AccessStream:
+    """One-shot build: whole grid as columns, one lexsort, one factorization."""
     out_array = st.output.array
     out_component = st.output.components[0]
     # (array, component, is_self) per read, skipping the self-read (resolved
@@ -527,4 +718,389 @@ def single_statement_stream(
         starts_blue=starts_blue,
         store_at_compute=store_at_compute,
         labels=None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Chunked IR-direct streaming (the 10^8-access path)
+# ---------------------------------------------------------------------------
+
+
+def _affine_box_range(idx, extents: Mapping[str, int]) -> tuple[int, int]:
+    """``(min, max)`` of an affine index over the full iteration box."""
+    lo = hi = int(idx.offset)
+    for var, coeff in idx.coeffs:
+        top = int(extents[var]) - 1
+        if coeff >= 0:
+            hi += coeff * top
+        else:
+            lo += coeff * top
+    return lo, hi
+
+
+def _box_spec(
+    components: Sequence, extents: Mapping[str, int]
+) -> tuple[list[tuple[int, int]], int]:
+    """Per-dimension ``(lo, radix)`` shared by all slots of one array.
+
+    The monolithic :func:`_linearize` derives radices from the data it has
+    in hand; here they come from the affine range over the full iteration
+    box instead, so every chunk linearizes into the *same* dense key space.
+    Both maps are injective on the box, and first-appearance ids depend only
+    on the key equality pattern and emission order -- never on key values --
+    so the two builders assign identical ids.
+    """
+    ndim = len(components[0])
+    spec: list[tuple[int, int]] = []
+    size = 1
+    for d in range(ndim):
+        lo = hi = None
+        for comp in components:
+            a, b = _affine_box_range(comp[d], extents)
+            lo = a if lo is None else min(lo, a)
+            hi = b if hi is None else max(hi, b)
+        radix = hi - lo + 1
+        spec.append((lo, radix))
+        size *= radix
+    return spec, size
+
+
+def _box_keys(
+    comp, spec: Sequence[tuple[int, int]], cols: Mapping[str, np.ndarray],
+    n: int,
+) -> np.ndarray:
+    """Linearize one read slot's point columns against a :func:`_box_spec`."""
+    key = np.zeros(n, dtype=np.int64)
+    for (lo, radix), idx in zip(spec, comp):
+        key = key * radix + (_eval_affine(idx, cols, n) - lo)
+    return key
+
+
+def _blocked_column_chunks(
+    variables: Sequence[str],
+    extents: Mapping[str, int],
+    tiles: Mapping[str, int],
+    chunk_positions: int,
+):
+    """Yield ``(columns, n)`` segments of the blocked iteration order.
+
+    Covers exactly the point sequence :func:`_blocked_columns` materializes
+    at once -- tiles lexicographic over ``variables``, intra-tile points
+    lexicographic -- in segments of at most ``chunk_positions`` points with
+    O(chunk) peak memory.  Tile batches are decomposed fully vectorized:
+    tile linear indices -> per-variable tile coordinates (mixed radix), then
+    per-point intra-tile coordinates with *per-tile* radices, so ragged edge
+    tiles need no special casing.
+    """
+    if not variables:
+        yield {}, 1
+        return
+    ext = [int(extents[v]) for v in variables]
+    tile = [max(1, min(int(tiles[v]), e)) for v, e in zip(variables, ext)]
+    n_tiles = [-(-e // t) for e, t in zip(ext, tile)]
+    total_tiles = 1
+    for x in n_tiles:
+        total_tiles *= x
+    full_tile = 1
+    for x in tile:
+        full_tile *= x
+    per_batch = max(1, chunk_positions // full_tile)
+    for start in range(0, total_tiles, per_batch):
+        linear = np.arange(
+            start, min(start + per_batch, total_tiles), dtype=np.int64
+        )
+        tile_coords: list[np.ndarray] = []
+        rem = linear
+        for count in reversed(n_tiles):
+            tile_coords.append(rem % count)
+            rem = rem // count
+        tile_coords.reverse()
+        sizes = [
+            np.where(tc == cnt - 1, e - t * (cnt - 1), t)
+            for tc, cnt, e, t in zip(tile_coords, n_tiles, ext, tile)
+        ]
+        counts = sizes[0].astype(np.int64)
+        for sz in sizes[1:]:
+            counts = counts * sz
+        offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
+        )
+        total = int(offsets[-1])
+        tile_of = np.repeat(np.arange(len(linear), dtype=np.int64), counts)
+        local = np.arange(total, dtype=np.int64) - offsets[tile_of]
+        cols: dict[str, np.ndarray] = {}
+        rem = local
+        for v, tc, sz, t in zip(
+            reversed(variables), reversed(tile_coords), reversed(sizes),
+            reversed(tile),
+        ):
+            per_point = sz[tile_of]
+            cols[v] = tc[tile_of] * t + rem % per_point
+            rem = rem // per_point
+        for a in range(0, total, chunk_positions):
+            b = min(a + chunk_positions, total)
+            yield {v: cols[v][a:b] for v in variables}, b - a
+
+
+def _chunked_stream(
+    program: Program,
+    st,
+    params: Mapping[str, int],
+    variables: list[str],
+    extents: Mapping[str, int],
+    tiles: Mapping[str, int],
+    chunk_positions: int,
+    memmap_dir,
+) -> AccessStream | None:
+    """Chunk-at-a-time build into preallocated (optionally memmap) arrays.
+
+    Carried across chunks: a dense ``id_table`` over the input key space
+    (first-appearance ids already assigned), per-element ``last_writer`` /
+    ``last_rank`` tables resolving self-update chains and their legality,
+    and the running position / access / id counters.  Earlier-chunk version
+    keys resolve through ``computed_ids`` already written; everything else
+    factorizes per chunk with ``np.unique`` ordered by first occurrence.
+    Returns ``None`` when the access keys are too sparse for the dense
+    carried tables -- the caller then falls back to the monolithic build.
+    """
+    out_array = st.output.array
+    out_component = st.output.components[0]
+    reads = []
+    for acc in st.inputs:
+        for comp in acc.components:
+            reads.append((acc.array, comp, acc.array == out_array))
+    has_self = any(is_self for _, _, is_self in reads)
+    out_vars = set()
+    for idx in out_component:
+        out_vars.update(idx.variables())
+    reduction_vars = [v for v in st.iteration_vars if v not in out_vars]
+
+    n_grid = 1
+    for v in variables:
+        n_grid *= int(extents[v])
+
+    # Per-array box-derived key specs with disjoint global base ranges,
+    # mirroring the monolithic _linearize layout.
+    input_arrays: list[str] = []
+    for arr, _, is_self in reads:
+        if not is_self and arr not in input_arrays:
+            input_arrays.append(arr)
+    array_spec: dict[str, list[tuple[int, int]]] = {}
+    array_base: dict[str, int] = {}
+    input_total = 0
+    for arr in input_arrays:
+        comps = [
+            comp for a, comp, is_self in reads if a == arr and not is_self
+        ]
+        spec, size = _box_spec(comps, extents)
+        array_spec[arr] = spec
+        array_base[arr] = input_total
+        input_total += size
+    if input_total + n_grid >= 1 << 62:
+        raise ScheduleError(
+            f"{program.name!r}: access key space too large to linearize"
+        )
+    dense_cap = max(16 * n_grid, 1 << 22)
+    if input_total > dense_cap:
+        return None  # sparse input keys: dense id_table would dwarf stream
+    elem_spec = None
+    elem_space = 0
+    if has_self:
+        elem_spec, elem_space = _box_spec([out_component], extents)
+        if elem_space > dense_cap:
+            return None
+
+    # Output arrays at upper-bound sizes (guards can only shrink), trimmed
+    # at the end; int32 everywhere the value ranges allow.
+    n_read_cols = (
+        sum(1 for _, _, is_self in reads if not is_self) + int(has_self)
+    )
+    id_ub = input_total + n_grid
+    acc_ub = n_grid * n_read_cols
+    itype = np.int32 if id_ub < np.iinfo(np.int32).max else np.int64
+    off_dtype = np.int32 if acc_ub < np.iinfo(np.int32).max else np.int64
+    arena = _Arena(memmap_dir)
+    parent_offsets = arena.alloc(n_grid + 1, off_dtype)
+    parent_ids = arena.alloc(acc_ub, itype)
+    computed_ids = arena.alloc(n_grid, itype)
+    store_at = arena.alloc(n_grid, np.uint8)
+    starts_blue = np.zeros(min(id_ub, n_grid * (n_read_cols + 1)), np.uint8)
+
+    id_table = np.full(input_total, -1, dtype=np.int64)
+    if has_self:
+        last_writer = np.full(elem_space, -1, dtype=np.int64)
+        last_rank = np.full(elem_space, -1, dtype=np.int64)
+
+    ncols = len(reads) + 1
+    pos_filled = 0
+    acc_filled = 0
+    next_id = 0
+    parent_offsets[0] = 0
+    guard = st.guard
+    for cols, c in _blocked_column_chunks(
+        variables, extents, tiles, chunk_positions
+    ):
+        if c and guard:
+            mask = _guard_mask(guard, params, cols, c)
+            if not mask.all():
+                cols = {v: col[mask] for v, col in cols.items()}
+                c = int(mask.sum())
+        if c == 0:
+            continue
+
+        # -- self-update chains: previous version per position (global),
+        #    legality, and store flags (later chunks may retroactively
+        #    clear a store bit already written) ------------------------
+        prev_write = np.full(c, -1, dtype=np.int64)
+        store = np.ones(c, dtype=np.uint8)
+        if has_self:
+            elem_keys = _box_keys(out_component, elem_spec, cols, c)
+            grouped = np.argsort(elem_keys, kind="stable")
+            skeys = elem_keys[grouped]
+            same = skeys[1:] == skeys[:-1]
+            rank = np.zeros(c, dtype=np.int64)
+            for var in reduction_vars:
+                rank = rank * int(extents[var]) + cols[var]
+            srank = rank[grouped]
+            head = np.ones(c, dtype=bool)
+            head[1:] = ~same
+            tail = np.ones(c, dtype=bool)
+            tail[:-1] = ~same
+            chain_prev = last_writer[skeys[head]]
+            chain_rank = last_rank[skeys[head]]
+            bad_in = same & (srank[1:] <= srank[:-1])
+            bad_across = (chain_prev >= 0) & (chain_rank >= srank[head])
+            if bad_in.any() or bad_across.any():
+                _raise_chunk_order_error(
+                    out_array, out_component, reduction_vars, extents, cols,
+                    c, grouped, same, srank, head, chain_prev, chain_rank,
+                    bad_in, bad_across,
+                )
+            prev_write[grouped[1:][same]] = grouped[:-1][same] + pos_filled
+            prev_write[grouped[head]] = chain_prev
+            store[grouped[:-1][same]] = 0
+            superseded = chain_prev[chain_prev >= 0]
+            if len(superseded):
+                store_at[superseded] = 0
+            last_writer[skeys[tail]] = grouped[tail] + pos_filled
+            last_rank[skeys[tail]] = srank[tail]
+
+        # -- key matrix, exactly the monolithic layout -----------------
+        keymat = np.full((c, ncols), -1, dtype=np.int64)
+        read_keys: list[np.ndarray | None] = [None] * len(reads)
+        self_emitted = False
+        for j, (arr, comp, is_self) in enumerate(reads):
+            if is_self:
+                if self_emitted:
+                    continue
+                self_emitted = True
+                live = prev_write >= 0
+                keymat[live, j] = input_total + prev_write[live]
+                continue
+            key = _box_keys(comp, array_spec[arr], cols, c) + array_base[arr]
+            read_keys[j] = key
+            keep = np.ones(c, dtype=bool)
+            for i in range(j):
+                arr_i, _, self_i = reads[i]
+                if arr_i == arr and not self_i:
+                    keep &= key != read_keys[i]
+            keymat[keep, j] = key[keep]
+        keymat[:, -1] = (
+            input_total + pos_filled + np.arange(c, dtype=np.int64)
+        )
+
+        # -- id resolution: table hits, earlier-chunk versions, then one
+        #    first-appearance factorization of what is left -------------
+        flat = keymat.reshape(-1)
+        emitted = flat >= 0
+        seq = flat[emitted]
+        ids = np.empty(len(seq), dtype=np.int64)
+        unknown = np.zeros(len(seq), dtype=bool)
+        is_version = seq >= input_total
+        v_idx = np.nonzero(is_version)[0]
+        v_pos = seq[v_idx] - input_total
+        earlier = v_pos < pos_filled
+        ids[v_idx[earlier]] = computed_ids[v_pos[earlier]]
+        unknown[v_idx[~earlier]] = True
+        i_idx = np.nonzero(~is_version)[0]
+        looked = id_table[seq[i_idx]]
+        ids[i_idx] = looked
+        unknown[i_idx] = looked < 0
+        if unknown.any():
+            sub = seq[unknown]
+            keys_u, first_idx, inverse = np.unique(
+                sub, return_index=True, return_inverse=True
+            )
+            order = np.argsort(first_idx, kind="stable")
+            rank_of = np.empty(len(keys_u), dtype=np.int64)
+            rank_of[order] = np.arange(len(keys_u), dtype=np.int64)
+            ids[unknown] = next_id + rank_of[inverse]
+            new_keys = keys_u[order]
+            new_ids = next_id + np.arange(len(keys_u), dtype=np.int64)
+            fresh_inputs = new_keys < input_total
+            starts_blue[new_ids[fresh_inputs]] = 1
+            if fresh_inputs.any():
+                id_table[new_keys[fresh_inputs]] = new_ids[fresh_inputs]
+            next_id += len(keys_u)
+
+        # -- scatter into the preallocated columns ---------------------
+        slot_index = np.nonzero(emitted)[0]
+        is_compute = (slot_index % ncols) == ncols - 1
+        computed_ids[pos_filled:pos_filled + c] = ids[is_compute]
+        n_parents = len(ids) - c
+        parent_ids[acc_filled:acc_filled + n_parents] = ids[~is_compute]
+        counts = (keymat[:, :-1] >= 0).sum(axis=1, dtype=np.int64)
+        parent_offsets[pos_filled + 1:pos_filled + c + 1] = (
+            acc_filled + np.cumsum(counts)
+        )
+        store_at[pos_filled:pos_filled + c] = store
+        pos_filled += c
+        acc_filled += n_parents
+
+    return AccessStream(
+        n_positions=pos_filled,
+        n_ids=next_id,
+        parent_offsets=parent_offsets[:pos_filled + 1],
+        parent_ids=parent_ids[:acc_filled],
+        computed_ids=computed_ids[:pos_filled],
+        starts_blue=starts_blue[:next_id],
+        store_at_compute=store_at[:pos_filled],
+        labels=None,
+        chunk_positions=chunk_positions,
+        _arena=arena,
+    )
+
+
+def _raise_chunk_order_error(
+    out_array, out_component, reduction_vars, extents, cols, c, grouped,
+    same, srank, head, chain_prev, chain_rank, bad_in, bad_across,
+):
+    """Reconstruct the offending element/coords for the chunked legality check."""
+    out_vals = [_eval_affine(idx, cols, c) for idx in out_component]
+    if bad_in.any():
+        offenders = grouped[1:][bad_in]
+        j = int(np.argmin(offenders))
+        p = int(offenders[j])
+        q = int(grouped[:-1][bad_in][j])
+        element = tuple(int(vals[p]) for vals in out_vals)
+        previous = tuple(int(cols[v][q]) for v in reduction_vars)
+        current = tuple(int(cols[v][p]) for v in reduction_vars)
+    else:
+        heads = grouped[head]
+        offenders = heads[bad_across]
+        j = int(np.argmin(offenders))
+        p = int(offenders[j])
+        element = tuple(int(vals[p]) for vals in out_vals)
+        current = tuple(int(cols[v][p]) for v in reduction_vars)
+        # decode the carried mixed-radix rank back into loop coordinates
+        rank = int(chain_rank[bad_across][j])
+        decoded = []
+        for var in reversed(reduction_vars):
+            rank, coord = divmod(rank, int(extents[var]))
+            decoded.append(coord)
+        previous = tuple(reversed(decoded))
+    raise ScheduleError(
+        f"blocked order executes element {element} of "
+        f"{out_array!r} out of program order "
+        f"({previous} before {current})"
     )

@@ -15,14 +15,19 @@ so the thresholds are deliberately generous; the trend with growing ``S``
 and problem size is the signal.
 
 The sweep itself is embarrassingly parallel: every (kernel, params, S)
-point is an independent CDAG build + replay.  ``audit_corpus(jobs=N)`` fans
-the points out over a process pool (``repro tightness --jobs``, the
+point is an independent replay.  ``audit_corpus(jobs=N)`` runs it in two
+phases over one process pool (``repro tightness --jobs``, the
 ``/tightness`` service endpoint, and ``benchmarks/bench_tightness.py`` all
-thread it through).  Points are dispatched kernel-major in chunks so each
-worker's per-process context memo (CDAG, baseline stream, derived-schedule
-streams -- see :func:`_kernel_context`) is hit for every further ``S`` of
-the same kernel, and each stream's memoized next-use table is shared by all
-of its replays.
+thread it through).  Phase A fans *kernels* out: each worker builds the
+CDAG, the baseline and derived-schedule streams, and their next-use arrays
+exactly once, then **publishes** the streams to shared memory
+(:mod:`repro.schedule.shared_streams`) keyed by stream signature.  Phase B
+fans the (kernel, S) *points* out: workers attach zero-copy read-only
+views of the published streams (cached per process) and replay -- no
+worker ever rebuilds a stream another worker already built.  The driver
+assembles rows from the replay costs, so parallel output is exactly the
+serial sweep's, row for row.  ``chunk_size`` bounds the replay slab (and
+next-use chunk) so even huge streams replay in O(chunk) extra memory.
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from typing import Mapping, Sequence
 
 from repro.cdag.build import build_cdag
 from repro.pebbling.validate import evaluate_bound
+from repro.schedule import shared_streams
 from repro.schedule.derive import blocked_order, derive_schedule
 from repro.schedule.simulator import simulate_io
 from repro.schedule.stream import stream_from_graph
@@ -295,7 +301,8 @@ def _audit_point(task: tuple) -> tuple[bool, TightnessRow | None]:
     A ``None`` row is a duplicate clamped size already audited by this
     worker in this sweep, skipped before any replay work.
     """
-    name, params, s_requested, max_vertices, bound, program_bound, token = task
+    (name, params, s_requested, max_vertices, bound, program_bound, token,
+     chunk_size) = task
     ctx = _kernel_context(name, params, max_vertices)
     if ctx.error is not None:
         return False, _error_row(
@@ -324,8 +331,10 @@ def _audit_point(task: tuple) -> tuple[bool, TightnessRow | None]:
             order = blocked_order(ctx.cdag, schedule)
             stream = stream_from_graph(ctx.cdag.graph, order)
             ctx.stream_cache[stream_key] = stream
-        schedule_cost = simulate_io(stream, s).cost
-        program_order_cost = simulate_io(ctx.baseline_stream, s).cost
+        schedule_cost = simulate_io(stream, s, slab_positions=chunk_size).cost
+        program_order_cost = simulate_io(
+            ctx.baseline_stream, s, slab_positions=chunk_size
+        ).cost
     except SoapError as err:
         return True, _error_row(name, ctx.category, params, s, str(err))
     if not bound_value > 0:
@@ -402,15 +411,17 @@ def audit_kernel(
     params: Mapping[str, int] | None = None,
     s_values: Sequence[int] = DEFAULT_S_VALUES,
     max_vertices: int = DEFAULT_MAX_VERTICES,
+    chunk_size: int | None = None,
 ) -> list[TightnessRow]:
     """Audit one kernel: one row per fast-memory size.
 
     ``result`` takes a precomputed :class:`~repro.analysis.KernelResult`
     (the batch driver shares one engine); otherwise the kernel is analyzed
-    on the spot.
+    on the spot.  ``chunk_size`` bounds the replay slab.
     """
     from repro.analysis import analyze_kernel
 
+    chunk_size = _checked_chunk_size(chunk_size)
     merged = _merged_params(name, _built_program(name), params)
     if result is None:
         result = analyze_kernel(name)
@@ -419,13 +430,24 @@ def audit_kernel(
         outcomes = [
             _audit_point(
                 (name, merged, int(s), int(max_vertices),
-                 result.bound, result.program_bound, token)
+                 result.bound, result.program_bound, token, chunk_size)
             )
             for s in s_values
         ]
     finally:
         _reset_context()
     return _collapse_clamped(outcomes)
+
+
+def _checked_chunk_size(chunk_size) -> int | None:
+    if chunk_size is None:
+        return None
+    chunk_size = int(chunk_size)
+    if chunk_size < 1:
+        raise ValueError(
+            f"chunk size must be a positive integer (got {chunk_size})"
+        )
+    return chunk_size
 
 
 def _reset_context() -> None:
@@ -449,6 +471,7 @@ def audit_corpus(
     engine=None,
     solver: str | None = None,
     max_vertices: int = DEFAULT_MAX_VERTICES,
+    chunk_size: int | None = None,
 ) -> TightnessReport:
     """Audit a kernel selection (default: the full Table 2 corpus).
 
@@ -456,9 +479,11 @@ def audit_corpus(
     ``params_overrides`` adds per-kernel overrides on top.  ``engine``
     shares a live engine (and its solve cache) with the caller -- the
     service daemon's audit endpoint uses this.  ``jobs > 1`` parallelizes
-    both the analysis batch *and* the replay sweep: every (kernel, params,
-    S) point becomes a process-pool task, dispatched kernel-major so each
-    worker's kernel-context memo stays hot.
+    the analysis batch *and* the replay sweep, the latter in two phases
+    over one pool: kernels prepare-and-publish, then points attach-and-
+    replay (see the module docstring).  ``chunk_size`` bounds the replay
+    slab and next-use chunk, trading time for peak memory -- results are
+    bit-identical whatever its value.
     """
     import time
 
@@ -466,27 +491,39 @@ def audit_corpus(
     from repro.kernels import kernel_names
 
     started = time.perf_counter()
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"jobs must be a positive integer (got {jobs})")
+    chunk_size = _checked_chunk_size(chunk_size)
     s_values = tuple(int(s) for s in s_values)
     selected = list(names) if names is not None else kernel_names()
     results = analyze_many(
         selected, jobs=jobs, cache_dir=cache_dir, engine=engine, solver=solver
     )
     token = next(_SWEEP_TOKENS)
+    kernel_specs: list[tuple] = []
     tasks: list[tuple] = []
     for name, result in zip(selected, results):
         overrides: dict[str, int] = dict(params or {})
         if params_overrides and name in params_overrides:
             overrides.update(params_overrides[name])
         merged = _merged_params(name, _built_program(name), overrides)
+        kernel_specs.append((name, merged, result.bound, result.program_bound))
         tasks.extend(
             (name, merged, s, int(max_vertices),
-             result.bound, result.program_bound, token)
+             result.bound, result.program_bound, token, chunk_size)
             for s in s_values
         )
 
     per_kernel = max(1, len(s_values))
     if jobs > 1 and len(tasks) > 1:
-        outcomes = _map_points(tasks, jobs=jobs, chunksize=per_kernel)
+        outcomes = _shared_sweep(
+            kernel_specs,
+            s_values=s_values,
+            jobs=jobs,
+            max_vertices=int(max_vertices),
+            chunk_size=chunk_size,
+        )
     else:
         try:
             outcomes = [_audit_point(task) for task in tasks]
@@ -503,18 +540,168 @@ def audit_corpus(
     )
 
 
-def _map_points(
-    tasks: list[tuple], *, jobs: int, chunksize: int
-) -> list[tuple[bool, TightnessRow | None]]:
-    """Fan the audit points out over a process pool, order-preserving.
+# ---------------------------------------------------------------------------
+# Two-phase zero-copy parallel sweep
+# ---------------------------------------------------------------------------
 
-    ``chunksize`` is one kernel's S-sweep so consecutive points of the same
-    kernel land on one worker and hit its context memo.  From the main
+
+@dataclass(frozen=True)
+class _PreparedPoint:
+    """One (kernel, S) point after phase A, before replay."""
+
+    kind: str  #: "skip" (duplicate clamped S) | "error" | "replay"
+    s: int = 0
+    s_requested: int = 0
+    message: str = ""
+    notes: tuple = ()
+    bound_value: float = 0.0
+    tiled: bool = False
+    tile_sizes: tuple = ()
+    schedule_notes: tuple = ()
+    schedule_ref: object = None
+    baseline_ref: object = None
+
+
+@dataclass
+class _PreparedKernel:
+    """Phase-A output for one kernel: published streams + point plans."""
+
+    name: str
+    category: str
+    params: dict
+    n_vertices: int = 0
+    error: str | None = None  #: kernel-level error (CDAG build / too large)
+    points: list = field(default_factory=list)
+    refs: list = field(default_factory=list)  #: segments the driver unlinks
+
+
+def _prepare_kernel(task: tuple) -> _PreparedKernel:
+    """Phase A, one kernel: build once, publish, plan every sweep point.
+
+    Mirrors :func:`_audit_point`'s decisions exactly (clamping, duplicate
+    skipping, error capture, note text) so the driver can assemble rows
+    identical to the serial sweep's.  Streams and their next-use arrays are
+    built here -- once, total -- and published; phase B only ever attaches.
+    """
+    name, params, s_values, max_vertices, bound, program_bound = task
+    ctx = _kernel_context(name, params, max_vertices)
+    prep = _PreparedKernel(
+        name=name, category=ctx.category, params=dict(params)
+    )
+    if ctx.error is not None:
+        prep.error = ctx.error
+        return prep
+    prep.n_vertices = ctx.cdag.n_vertices
+    param_key = tuple(sorted(params.items()))
+    published: dict = {}
+    baseline_ref = None
+    audited: set[int] = set()
+    for s_requested in s_values:
+        s = max(int(s_requested), ctx.min_s)
+        if s in audited:
+            prep.points.append(_PreparedPoint(kind="skip"))
+            continue
+        audited.add(s)
+        notes: list[str] = []
+        if s != s_requested:
+            notes.append(
+                f"S clamped to {s} (max in-degree {ctx.max_indegree})"
+            )
+        try:
+            bound_value = evaluate_bound(bound, params, s)
+            schedule = derive_schedule(ctx.program, program_bound, params, s)
+            stream_key = (
+                schedule.tiled,
+                tuple(schedule.variable_order),
+                tuple(sorted(schedule.tile_sizes.items())),
+            )
+            schedule_ref = published.get(stream_key)
+            if schedule_ref is None:
+                stream = ctx.stream_cache.get(stream_key)
+                if stream is None:
+                    order = blocked_order(ctx.cdag, schedule)
+                    stream = stream_from_graph(ctx.cdag.graph, order)
+                    ctx.stream_cache[stream_key] = stream
+                schedule_ref = shared_streams.publish(
+                    stream,
+                    shared_streams.stream_signature(
+                        name, param_key, "schedule", stream_key
+                    ),
+                )
+                published[stream_key] = schedule_ref
+                prep.refs.append(schedule_ref)
+            if baseline_ref is None:
+                baseline_ref = shared_streams.publish(
+                    ctx.baseline_stream,
+                    shared_streams.stream_signature(
+                        name, param_key, "baseline"
+                    ),
+                )
+                prep.refs.append(baseline_ref)
+        except SoapError as err:
+            prep.points.append(
+                _PreparedPoint(
+                    kind="error", s=s, s_requested=int(s_requested),
+                    message=str(err),
+                )
+            )
+            continue
+        prep.points.append(
+            _PreparedPoint(
+                kind="replay",
+                s=s,
+                s_requested=int(s_requested),
+                notes=tuple(notes),
+                bound_value=bound_value,
+                tiled=schedule.tiled,
+                tile_sizes=tuple(sorted(schedule.tile_sizes.items())),
+                schedule_notes=tuple(schedule.notes),
+                schedule_ref=schedule_ref,
+                baseline_ref=baseline_ref,
+            )
+        )
+    return prep
+
+
+def _replay_shared(task: tuple) -> tuple:
+    """Phase B, one point: attach published streams (cached) and replay.
+
+    No stream construction happens here, by design -- the function only
+    knows segment refs, so a worker cannot rebuild even by accident.
+    """
+    schedule_ref, baseline_ref, s, chunk_size = task
+    try:
+        stream = shared_streams.attach_cached(schedule_ref)
+        baseline = shared_streams.attach_cached(baseline_ref)
+        schedule_cost = simulate_io(
+            stream, s, slab_positions=chunk_size
+        ).cost
+        program_order_cost = simulate_io(
+            baseline, s, slab_positions=chunk_size
+        ).cost
+    except SoapError as err:
+        return ("error", str(err))
+    return ("ok", schedule_cost, program_order_cost)
+
+
+def _shared_sweep(
+    kernel_specs: list[tuple],
+    *,
+    s_values: tuple[int, ...],
+    jobs: int,
+    max_vertices: int,
+    chunk_size: int | None,
+) -> list[tuple[bool, TightnessRow | None]]:
+    """The parallel sweep: prepare-and-publish, then attach-and-replay.
+
+    Both phases run on one process pool, order-preserving.  From the main
     thread, forked workers inherit the warm interpreter state (kernel
     registry, sympy caches); off the main thread -- the service daemon runs
     audits on a thread pool -- forking a multithreaded process can inherit
     held locks into the child and deadlock, so workers are spawned fresh
-    instead (the point tasks are plain picklable data either way).
+    instead (tasks and refs are plain picklable data either way).  Shared
+    segments outlive the phase-A workers that created them; the driver
+    unlinks every segment on the way out, success or not.
     """
     import multiprocessing
     import os
@@ -528,8 +715,111 @@ def _map_points(
     # cap at the core count: the points are CPU-bound, and the service
     # endpoint forwards caller-supplied jobs values -- one request must not
     # be able to spawn a worker per sweep point on a large corpus
-    workers = max(1, min(int(jobs), len(tasks), os.cpu_count() or 1))
-    with ProcessPoolExecutor(
-        max_workers=workers, mp_context=mp_context
-    ) as pool:
-        return list(pool.map(_audit_point, tasks, chunksize=chunksize))
+    n_points = len(kernel_specs) * max(1, len(s_values))
+    workers = max(1, min(int(jobs), n_points, os.cpu_count() or 1))
+    prep_tasks = [
+        (name, params, s_values, max_vertices, bound, program_bound)
+        for name, params, bound, program_bound in kernel_specs
+    ]
+    refs: list = []
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=mp_context
+        ) as pool:
+            preps = list(pool.map(_prepare_kernel, prep_tasks, chunksize=1))
+            replay_tasks = []
+            slots = []
+            for ki, prep in enumerate(preps):
+                refs.extend(prep.refs)
+                for pi, point in enumerate(prep.points):
+                    if point.kind == "replay":
+                        replay_tasks.append(
+                            (point.schedule_ref, point.baseline_ref,
+                             point.s, chunk_size)
+                        )
+                        slots.append((ki, pi))
+            replays = (
+                list(
+                    pool.map(
+                        _replay_shared,
+                        replay_tasks,
+                        chunksize=max(1, len(s_values)),
+                    )
+                )
+                if replay_tasks
+                else []
+            )
+        return _assemble_outcomes(preps, replays, slots, s_values)
+    finally:
+        for ref in refs:
+            shared_streams.unlink(ref)
+
+
+def _assemble_outcomes(
+    preps: list[_PreparedKernel],
+    replays: list[tuple],
+    slots: list[tuple[int, int]],
+    s_values: tuple[int, ...],
+) -> list[tuple[bool, TightnessRow | None]]:
+    """Rows from phase-A plans + phase-B costs, serial-identical."""
+    outcomes: list[tuple[bool, TightnessRow | None]] = []
+    replay_by_slot = dict(zip(slots, replays))
+    for ki, prep in enumerate(preps):
+        if prep.error is not None:
+            outcomes.extend(
+                (False, _error_row(
+                    prep.name, prep.category, prep.params,
+                    int(s_requested), prep.error,
+                ))
+                for s_requested in s_values
+            )
+            continue
+        for pi, point in enumerate(prep.points):
+            if point.kind == "skip":
+                outcomes.append((True, None))
+                continue
+            if point.kind == "error":
+                outcomes.append((True, _error_row(
+                    prep.name, prep.category, prep.params, point.s,
+                    point.message,
+                )))
+                continue
+            replay = replay_by_slot[(ki, pi)]
+            if replay[0] == "error":
+                outcomes.append((True, _error_row(
+                    prep.name, prep.category, prep.params, point.s,
+                    replay[1],
+                )))
+                continue
+            _, schedule_cost, program_order_cost = replay
+            if not point.bound_value > 0:
+                outcomes.append((True, _error_row(
+                    prep.name, prep.category, prep.params, point.s,
+                    f"bound evaluates to {point.bound_value}; gap undefined",
+                )))
+                continue
+            gap = schedule_cost / point.bound_value
+            notes = list(point.notes)
+            if gap < 1.0:
+                notes.append(
+                    "gap < 1: instance too small for the leading-order "
+                    "bound to bind"
+                )
+            outcomes.append((True, TightnessRow(
+                kernel=prep.name,
+                category=prep.category,
+                params=dict(prep.params),
+                s=point.s,
+                s_requested=point.s_requested,
+                n_vertices=prep.n_vertices,
+                bound_value=point.bound_value,
+                schedule_cost=schedule_cost,
+                program_order_cost=program_order_cost,
+                gap=gap,
+                gap_program_order=program_order_cost / point.bound_value,
+                classification=classify_gap(gap),
+                tiled=point.tiled,
+                tile_sizes=dict(point.tile_sizes),
+                notes=tuple(notes) + point.schedule_notes,
+            )))
+    return outcomes

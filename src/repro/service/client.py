@@ -178,13 +178,17 @@ class ServiceClient:
         wait: bool = False,
         timeout: float | None = None,
         jobs: int = 1,
+        chunk_size: int | None = None,
     ) -> JobRecord:
         """``POST /tightness``: queue (or block on) a tightness audit.
 
         ``jobs`` parallelizes the daemon-side replay sweep over a process
-        pool; the payload is identical whatever its value.
+        pool; ``chunk_size`` bounds daemon-side replay memory.  The payload
+        is identical whatever either value.
         """
         body: dict = {"priority": priority, "wait": wait, "jobs": jobs}
+        if chunk_size is not None:
+            body["chunk_size"] = chunk_size
         if kernels is not None:
             body["kernels"] = kernels
         if s_values is not None:

@@ -213,15 +213,17 @@ class AnalysisService:
         params: dict[str, int] | None = None,
         priority: str = "low",
         jobs: int = 1,
+        chunk_size: int | None = None,
     ) -> Job:
         """Queue a schedule-replay tightness audit over ``kernels``.
 
         The audit runs through the daemon's shared engine, so the analysis
         half reuses every cached problem (8) solve.  ``jobs > 1`` fans the
-        replay sweep out over a process pool (the result is identical, so
-        ``jobs`` is deliberately *not* part of the coalescing key: the
-        kernel selection plus the S sweep plus the parameter overrides --
-        identical in-flight audits share one computation).
+        replay sweep out over a process pool; ``chunk_size`` bounds replay
+        memory.  Both leave the result bit-identical, so neither is part of
+        the coalescing key: the kernel selection plus the S sweep plus the
+        parameter overrides -- identical in-flight audits share one
+        computation.
         """
         import json as _json
 
@@ -242,12 +244,20 @@ class AnalysisService:
         try:
             sweep = tuple(int(s) for s in (s_values or DEFAULT_S_VALUES))
             overrides = {str(k): int(v) for k, v in (params or {}).items()}
-            pool_jobs = max(1, int(jobs))
+            pool_jobs = int(jobs)
+            slab = None if chunk_size is None else int(chunk_size)
         except (TypeError, ValueError):
             # surfaces as a 400, like every other malformed request body
             raise ValueError(
-                "s_values entries, params values, and jobs must be integers"
+                "s_values entries, params values, jobs, and chunk_size "
+                "must be integers"
             ) from None
+        if pool_jobs < 1:
+            raise ValueError(f"jobs must be a positive integer (got {pool_jobs})")
+        if slab is not None and slab < 1:
+            raise ValueError(
+                f"chunk size must be a positive integer (got {slab})"
+            )
         key = "tightness:" + _json.dumps(
             [sorted(names), list(sweep), sorted(overrides.items())]
         )
@@ -259,6 +269,7 @@ class AnalysisService:
                 params=overrides or None,
                 engine=self.engine,
                 jobs=pool_jobs,
+                chunk_size=slab,
             )
             return tightness_report(report)
 
@@ -271,6 +282,7 @@ class AnalysisService:
                 "s_values": list(sweep),
                 "params": overrides,
                 "jobs": pool_jobs,
+                "chunk_size": slab,
             },
             work=work,
         )

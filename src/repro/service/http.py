@@ -13,9 +13,10 @@ POST      ``/analyze``        ``{"source": ..., "language"?, "name"?, "policy"?,
 POST      ``/kernel``         ``{"name": ..., "priority"?, "wait"?}``
 POST      ``/batch``          ``{"kernels": [...], "priority"?, "wait"?}``
 POST      ``/tightness``      ``{"kernels"?, "s_values"?, "params"?, "jobs"?,
-                              "priority"?, "wait"?}`` -- schedule-replay
-                              tightness audit (default: full corpus;
-                              ``jobs`` parallelizes the replay sweep)
+                              "chunk_size"?, "priority"?, "wait"?}`` --
+                              schedule-replay tightness audit (default: full
+                              corpus; ``jobs`` parallelizes the replay sweep,
+                              ``chunk_size`` bounds replay memory)
 GET       ``/jobs/<id>``      poll one job record
 GET       ``/metrics``        queue depth, coalesce rate, stage timings, cache
 GET       ``/healthz``        liveness + version
@@ -248,14 +249,23 @@ class ServiceServer:
         if params is not None and not isinstance(params, dict):
             raise _HttpError(400, "'params' must be an object of NAME: int")
         jobs = body.get("jobs", 1)
-        if not isinstance(jobs, int) or jobs < 1:
+        # bool is an int subclass: "jobs": true must not mean jobs=1
+        if isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1:
             raise _HttpError(400, "'jobs' must be a positive integer")
+        chunk_size = body.get("chunk_size")
+        if chunk_size is not None and (
+            isinstance(chunk_size, bool)
+            or not isinstance(chunk_size, int)
+            or chunk_size < 1
+        ):
+            raise _HttpError(400, "'chunk_size' must be a positive integer")
         job = self.service.submit_tightness(
             kernels,
             s_values=s_values,
             params=params,
             priority=body.get("priority", "low"),
             jobs=jobs,
+            chunk_size=chunk_size,
         )
         # An audit can run for minutes: poll ``/jobs/<id>`` unless the
         # caller explicitly asks to block.

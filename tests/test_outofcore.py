@@ -1,0 +1,390 @@
+"""Out-of-core replay pipeline: chunked == monolithic, bit for bit.
+
+Three contracts cover the whole chunked path:
+
+1. **Chunked stream build** (``single_statement_stream(chunk_positions=...)``,
+   optionally memmap-backed) produces arrays *identical* to the monolithic
+   lexsort build -- same ids, same offsets, same store markers -- for every
+   chunk size, including degenerate ones (1, a prime, larger than the
+   stream).
+2. **Chunked two-pass next-use** equals the monolithic argsort table.
+3. **Slab-driven native replay** equals the whole-stream replay and the
+   pure-Python reference, for Belady and LRU, at every slab size.
+
+Plus the zero-copy shared-stream layer (publish/attach round-trips, cached
+attaches, the parallel sweep building each stream exactly once) and the
+satellite knobs: native-core cache-dir resolution and jobs / chunk-size
+validation at every entry point.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import get_kernel
+from repro.schedule import shared_streams
+from repro.schedule.simulator import _replay, simulate_io
+from repro.schedule.stream import ScheduleError, single_statement_stream
+
+#: (kernel, params, tile_sizes, variable_order) -- single-statement kernels
+#: with known-legal blocked orders, covering tiled/untiled, multi-array
+#: reads, strided accesses, and reduction dimensions
+STREAM_CASES = [
+    ("gemm", {"N": 6}, {"i": 2, "j": 3, "k": 2}, ["i", "j", "k"]),
+    ("gemm", {"N": 5}, None, None),
+    ("syrk", {"M": 4, "N": 4}, {"i": 2, "j": 2}, None),
+    (
+        "conv",
+        {"B": 1, "Cin": 2, "Cout": 2, "Wout": 3, "Hout": 3,
+         "Wker": 2, "Hker": 2},
+        {"k": 2, "w": 2, "h": 2},
+        None,
+    ),
+]
+
+CHUNK_SIZES = [1, 7, 4096, 10**9]
+
+
+def _build(case, **kwargs):
+    name, params, tiles, order = case
+    return single_statement_stream(
+        get_kernel(name).build(), params,
+        tile_sizes=tiles, variable_order=order, **kwargs
+    )
+
+
+def assert_streams_identical(a, b):
+    assert a.n_positions == b.n_positions
+    assert a.n_ids == b.n_ids
+    for fname in ("parent_offsets", "parent_ids", "computed_ids",
+                  "starts_blue", "store_at_compute"):
+        np.testing.assert_array_equal(
+            np.asarray(getattr(a, fname)), np.asarray(getattr(b, fname)),
+            err_msg=fname,
+        )
+
+
+class TestChunkedBuildBitIdentical:
+    @pytest.mark.parametrize("case", STREAM_CASES, ids=lambda c: c[0])
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    def test_matches_monolithic(self, case, chunk):
+        mono = _build(case)
+        chunked = _build(case, chunk_positions=chunk)
+        assert_streams_identical(mono, chunked)
+
+    def test_memmap_backed_build_identical(self, tmp_path):
+        case = STREAM_CASES[0]
+        mono = _build(case)
+        mapped = _build(case, chunk_positions=64, memmap_dir=str(tmp_path))
+        assert_streams_identical(mono, mapped)
+
+    def test_memmap_dir_true_uses_system_tmp(self):
+        case = STREAM_CASES[0]
+        mono = _build(case)
+        mapped = _build(case, memmap_dir=True)
+        assert_streams_identical(mono, mapped)
+
+    def test_guarded_stream_identical(self):
+        import dataclasses
+
+        from repro.ir.program import Program
+
+        base = get_kernel("gemm").build()
+        st_ = base.statements[0]
+        guarded = Program(
+            name="tri",
+            statements=[dataclasses.replace(st_, guard="i <= j")],
+        )
+        mono = single_statement_stream(guarded, {"N": 6})
+        for chunk in CHUNK_SIZES:
+            chunked = single_statement_stream(
+                guarded, {"N": 6}, chunk_positions=chunk
+            )
+            assert_streams_identical(mono, chunked)
+
+    def test_illegal_tiling_raises_in_both_paths(self):
+        # tiling the reduction variable r of conv reorders version chains
+        program = get_kernel("conv").build()
+        params = {"B": 1, "Cin": 2, "Cout": 2, "Wout": 3, "Hout": 3,
+                  "Wker": 2, "Hker": 2}
+        with pytest.raises(ScheduleError):
+            single_statement_stream(
+                program, params, tile_sizes={"r": 2, "s": 1}
+            )
+        with pytest.raises(ScheduleError):
+            single_statement_stream(
+                program, params, tile_sizes={"r": 2, "s": 1},
+                chunk_positions=7,
+            )
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ScheduleError):
+            _build(STREAM_CASES[0], chunk_positions=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=6),
+        tile=st.integers(min_value=1, max_value=4),
+        chunk=st.integers(min_value=1, max_value=300),
+    )
+    def test_random_instances_identical(self, n, tile, chunk):
+        program = get_kernel("gemm").build()
+        tiles = {"i": tile, "j": tile, "k": tile}
+        mono = single_statement_stream(program, {"N": n}, tile_sizes=tiles)
+        chunked = single_statement_stream(
+            program, {"N": n}, tile_sizes=tiles, chunk_positions=chunk
+        )
+        assert_streams_identical(mono, chunked)
+
+
+class TestChunkedNextUse:
+    @pytest.mark.parametrize("case", STREAM_CASES, ids=lambda c: c[0])
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    def test_matches_monolithic(self, case, chunk):
+        mono_na, mono_fu = _build(case).next_use_arrays()
+        chunk_na, chunk_fu = _build(case).next_use_arrays(
+            chunk_positions=chunk
+        )
+        np.testing.assert_array_equal(mono_na, np.asarray(chunk_na))
+        np.testing.assert_array_equal(mono_fu, np.asarray(chunk_fu))
+
+    def test_chunked_stream_defaults_to_chunked_next_use(self):
+        stream = _build(STREAM_CASES[0], chunk_positions=16)
+        mono = _build(STREAM_CASES[0])
+        na, fu = stream.next_use_arrays()
+        mono_na, mono_fu = mono.next_use_arrays()
+        np.testing.assert_array_equal(mono_na, np.asarray(na))
+        np.testing.assert_array_equal(mono_fu, np.asarray(fu))
+
+
+class TestSlabReplay:
+    @pytest.mark.parametrize("case", STREAM_CASES[:2], ids=lambda c: c[0])
+    @pytest.mark.parametrize("policy", ["belady", "lru"])
+    @pytest.mark.parametrize("slab", [1, 7, 64, 10**9])
+    def test_matches_whole_stream_and_python(self, case, policy, slab):
+        stream = _build(case)
+        for s in (10, 14):
+            whole = simulate_io(stream, s, policy=policy)
+            slabbed = simulate_io(
+                stream, s, policy=policy, slab_positions=slab
+            )
+            python = _replay(stream, s, belady=policy == "belady")
+            assert (slabbed.cost, slabbed.loads, slabbed.stores,
+                    slabbed.evictions) == (
+                whole.cost, whole.loads, whole.stores, whole.evictions
+            )
+            assert slabbed.cost == python.cost
+
+    def test_chunk_built_stream_replays_identically(self):
+        mono = _build(STREAM_CASES[0])
+        chunked = _build(STREAM_CASES[0], chunk_positions=7)
+        for policy in ("belady", "lru"):
+            assert (
+                simulate_io(chunked, 12, policy=policy,
+                            slab_positions=7).cost
+                == simulate_io(mono, 12, policy=policy).cost
+            )
+
+    def test_too_small_s_raises_through_slab_path(self):
+        from repro.util.errors import PebblingError
+
+        stream = _build(STREAM_CASES[0])
+        with pytest.raises(PebblingError):
+            simulate_io(stream, 2, slab_positions=8)
+
+
+class TestSharedStreams:
+    def test_publish_attach_round_trip(self):
+        stream = _build(STREAM_CASES[0])
+        ref = shared_streams.publish(
+            stream, shared_streams.stream_signature("gemm", "t")
+        )
+        try:
+            attached = shared_streams.attach(ref)
+            assert_streams_identical(stream, attached)
+            assert not attached.parent_ids.flags.writeable
+            # the next-use memo travels with the segment: no recompute
+            na, fu = attached.next_use_arrays()
+            mono_na, mono_fu = stream.next_use_arrays()
+            np.testing.assert_array_equal(mono_na, np.asarray(na))
+            np.testing.assert_array_equal(mono_fu, np.asarray(fu))
+            # replay over the attached views works read-only
+            assert (
+                simulate_io(attached, 12).cost == simulate_io(stream, 12).cost
+            )
+        finally:
+            shared_streams.detach_all()
+            shared_streams.unlink(ref)
+
+    def test_attach_cached_maps_each_segment_once(self):
+        stream = _build(STREAM_CASES[0])
+        ref = shared_streams.publish(
+            stream, shared_streams.stream_signature("gemm", "cache")
+        )
+        try:
+            shared_streams.detach_all()
+            before = shared_streams._ATTACH_COUNT
+            first = shared_streams.attach_cached(ref)
+            second = shared_streams.attach_cached(ref)
+            assert first is second
+            assert shared_streams._ATTACH_COUNT == before + 1
+        finally:
+            shared_streams.detach_all()
+            shared_streams.unlink(ref)
+
+    def test_unlink_is_idempotent(self):
+        stream = _build(STREAM_CASES[0])
+        ref = shared_streams.publish(
+            stream, shared_streams.stream_signature("gemm", "u")
+        )
+        shared_streams.unlink(ref)
+        shared_streams.unlink(ref)  # second call is a no-op
+        with pytest.raises(FileNotFoundError):
+            shared_streams.attach(ref)
+
+    def test_signature_is_stable_and_distinct(self):
+        a = shared_streams.stream_signature("gemm", (1, 2), "schedule")
+        b = shared_streams.stream_signature("gemm", (1, 2), "schedule")
+        c = shared_streams.stream_signature("gemm", (1, 2), "baseline")
+        assert a == b and a != c
+
+
+class TestParallelSweepSharing:
+    def test_workers_never_rebuild_streams(self, monkeypatch):
+        """Every distinct stream is built once, total, across the pool.
+
+        ``stream_from_graph`` calls are counted in a fork-shared value;
+        phase A builds (once per distinct stream), phase B only attaches,
+        so the parallel count must match the serial sweep's -- where the
+        per-kernel context memo already guarantees build-once.
+        """
+        import multiprocessing
+
+        from repro.schedule import tightness as tightness_mod
+
+        counter = multiprocessing.Value("i", 0)
+        real = tightness_mod.stream_from_graph
+
+        def counting(*args, **kwargs):
+            with counter.get_lock():
+                counter.value += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(tightness_mod, "stream_from_graph", counting)
+        kwargs = dict(s_values=(6, 10, 14), params={"N": 4})
+        serial = tightness_mod.audit_corpus(["gemm"], jobs=1, **kwargs)
+        serial_builds = counter.value
+        counter.value = 0
+        parallel = tightness_mod.audit_corpus(["gemm"], jobs=2, **kwargs)
+        assert [r.as_dict() for r in parallel.rows] == [
+            r.as_dict() for r in serial.rows
+        ]
+        assert counter.value == serial_builds
+        # sanity: a 3-point sweep without sharing would have rebuilt the
+        # baseline + schedule streams in more than one worker
+        assert counter.value <= serial_builds
+
+    def test_parallel_chunked_rows_match_serial(self):
+        from repro.schedule.tightness import audit_corpus
+
+        kwargs = dict(s_values=(8, 18), params={"N": 4})
+        plain = audit_corpus(["gemm"], jobs=1, **kwargs)
+        chunked = audit_corpus(["gemm"], jobs=2, chunk_size=16, **kwargs)
+        assert [r.as_dict() for r in chunked.rows] == [
+            r.as_dict() for r in plain.rows
+        ]
+
+
+class TestValidation:
+    def test_audit_corpus_rejects_bad_jobs(self):
+        from repro.schedule.tightness import audit_corpus
+
+        with pytest.raises(ValueError, match="jobs must be a positive"):
+            audit_corpus(["gemm"], jobs=0)
+
+    @pytest.mark.parametrize("chunk", [0, -3])
+    def test_audit_corpus_rejects_bad_chunk_size(self, chunk):
+        from repro.schedule.tightness import audit_corpus
+
+        with pytest.raises(ValueError, match="chunk size must be a positive"):
+            audit_corpus(["gemm"], chunk_size=chunk)
+
+    def test_cli_rejects_nonpositive_jobs(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["tightness", "gemm", "--jobs", "0"])
+        assert exc.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_cli_rejects_nonpositive_chunk_size(self, capsys):
+        from repro.cli import main
+
+        assert main(["tightness", "gemm", "--chunk-size", "0"]) == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_cli_chunk_size_flows_through(self):
+        from repro.cli import main
+
+        assert main([
+            "tightness", "gemm", "--s", "18", "--params", "N=4",
+            "--chunk-size", "32",
+        ]) == 0
+
+
+class TestNativeCacheDir:
+    def test_respects_xdg_cache_home(self, tmp_path, monkeypatch):
+        from repro.schedule import _native
+
+        monkeypatch.delenv("REPRO_NATIVE_CACHE", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert _native._cache_dir() == tmp_path / "xdg" / "repro-native"
+
+    def test_explicit_override_wins(self, tmp_path, monkeypatch):
+        from repro.schedule import _native
+
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path / "override"))
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert _native._cache_dir() == tmp_path / "override"
+
+    def test_defaults_to_home_cache(self, monkeypatch):
+        from repro.schedule import _native
+
+        monkeypatch.delenv("REPRO_NATIVE_CACHE", raising=False)
+        monkeypatch.delenv("XDG_CACHE_HOME", raising=False)
+        assert _native._cache_dir() == (
+            __import__("pathlib").Path.home() / ".cache" / "repro-native"
+        )
+
+    def test_tempdir_fallback_candidate(self, monkeypatch):
+        import tempfile
+
+        from repro.schedule import _native
+
+        candidates = _native._cache_candidates()
+        assert candidates[0] == _native._cache_dir()
+        assert str(candidates[-1]).startswith(tempfile.gettempdir())
+
+    def test_build_falls_back_when_cache_unwritable(
+        self, tmp_path, monkeypatch
+    ):
+        """An unwritable primary cache dir must not disable the native core."""
+        from repro.schedule import _native
+
+        blocked = tmp_path / "blocked"
+        blocked.write_text("")  # a *file*: mkdir under it raises OSError
+        monkeypatch.setenv(
+            "REPRO_NATIVE_CACHE", str(blocked / "cache")
+        )
+        fallback = tmp_path / "fallback"
+        monkeypatch.setattr(
+            _native, "_cache_candidates",
+            lambda: [blocked / "cache", fallback],
+        )
+        lib = _native._build()
+        if lib is None:  # no compiler in this environment
+            pytest.skip("no C compiler available")
+        assert lib._name.startswith(str(fallback))
+        assert os.path.exists(lib._name)

@@ -116,6 +116,32 @@ class TestEndpoints:
             client.tightness(["gemm"], s_values=[8], jobs=0)
         assert exc.value.status == 400
 
+    def test_tightness_bool_jobs_is_400(self, client):
+        """bool is an int subclass: "jobs": true must be rejected, not 1."""
+        from repro.service.client import ServiceError
+
+        with pytest.raises(ServiceError) as exc:
+            client.tightness(["gemm"], s_values=[8], jobs=True)
+        assert exc.value.status == 400
+
+    @pytest.mark.parametrize("chunk", [0, -1, True, "big"])
+    def test_tightness_bad_chunk_size_is_400(self, client, chunk):
+        from repro.service.client import ServiceError
+
+        with pytest.raises(ServiceError) as exc:
+            client.tightness(["gemm"], s_values=[8], chunk_size=chunk)
+        assert exc.value.status == 400
+
+    def test_tightness_chunk_size_rides_through(self, client):
+        """chunk_size reaches the audit; the payload is identical."""
+        record = client.tightness(
+            ["gemm"], s_values=[8], chunk_size=32, wait=True, timeout=300
+        )
+        assert record.ok
+        assert record.raw["request"]["chunk_size"] == 32
+        (row,) = record.result["rows"]
+        assert row["kernel"] == "gemm" and row["s"] == 8
+
     def test_tightness_unknown_kernel_is_404(self, client):
         with pytest.raises(ServiceError) as exc:
             client.tightness(["nope"])
