@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
@@ -48,14 +50,32 @@ def timed(fn: Callable, *args, **kwargs) -> Timed:
 
 
 def make_parser(description: str, default_output: str) -> argparse.ArgumentParser:
-    """Standard bench-script CLI: ``--subset`` and ``-o/--output``."""
+    """Standard bench-script CLI: ``--subset``, ``-o/--output``, ``--trace``."""
     parser = argparse.ArgumentParser(description=description)
     parser.add_argument("--subset", action="store_true", help="fast subset only")
     parser.add_argument(
         "-o", "--output", type=Path, default=Path(default_output),
         help=f"report destination (default: {default_output})",
     )
+    parser.add_argument(
+        "--trace", type=Path, default=None, metavar="FILE",
+        help="record a JSONL span trace of the benchmark run to FILE",
+    )
     return parser
+
+
+@contextmanager
+def maybe_traced(args, name: str):
+    """Activate a span tracer over the benchmark body when ``--trace`` is set."""
+    path = getattr(args, "trace", None)
+    if path is None:
+        yield
+        return
+    from repro.obs import Tracer, span
+
+    with Tracer(str(path)), span(name):
+        yield
+    print(f"trace written to {path}", file=sys.stderr)
 
 
 def finish(payload: dict, output: Path, summary: str, *, failed: bool) -> int:

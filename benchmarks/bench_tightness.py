@@ -27,6 +27,9 @@ Four measurements:
    (build + table + Belady) at least ``MIN_REPLAY_SPEEDUP`` times faster
    than the recorded pure-Python baseline of the pre-array-native pipeline
    (PR 4's BENCH_tightness.json, reproduced in ``PYTHON_BASELINE`` below).
+   Each round also replays under an active span tracer (JSONL sink and
+   all); acceptance: traced Belady within ``TRACE_OVERHEAD_MAX`` of
+   untraced (slab-granular instrumentation must stay near-free).
 3. **Simulator vs pebble game** -- same mid-size CDAG, same schedule, a
    sweep of S values through both executors.  Acceptance: bit-identical
    costs and a real speedup.
@@ -43,7 +46,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _harness import finish, make_parser, timed  # noqa: E402
+from _harness import finish, make_parser, maybe_traced, timed  # noqa: E402
 
 #: CPU budget for the scale replay (native core replays in well under a
 #: second; the budget still admits the pure-Python fallback path)
@@ -54,6 +57,14 @@ MIN_SPEEDUP = 2.0
 MIN_REPLAY_SPEEDUP = 5.0
 #: timing rounds per instance (best-of)
 ROUNDS = 3
+
+#: traced replay may cost at most this much CPU relative to untraced (the
+#: native core reads per-slab counter deltas only when a span is open, so
+#: the slab-granular instrumentation must stay near-free) ...
+TRACE_OVERHEAD_MAX = 1.10
+#: ... with an absolute slack floor so sub-10ms subset instances, where a
+#: single scheduler hiccup exceeds 10%, cannot flake the gate
+TRACE_OVERHEAD_SLACK_SECONDS = 0.05
 
 #: CPU budget for the 10^8-access out-of-core point (build + both replays;
 #: generous: CI shared runners are slow and the point is single-shot)
@@ -79,12 +90,9 @@ PYTHON_BASELINE = {
 
 
 def _peak_rss_bytes() -> int:
-    import resource
-    import sys as _sys
+    from repro.obs.rss import peak_rss_bytes
 
-    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    # linux reports KiB, macOS bytes
-    return rss if _sys.platform == "darwin" else rss * 1024
+    return peak_rss_bytes()
 
 
 def bench_outofcore(
@@ -176,27 +184,47 @@ def bench_replay_scale(n: int, s: int, rounds: int = ROUNDS) -> dict:
     simulate_io(warm, 16, policy="lru")
     _replay(warm, 16, belady=True)
 
+    import os
+    import tempfile
+
+    from repro.obs import Tracer
+
+    def belady_traced(path: str):
+        # a full tracer with a live JSONL sink: the honest traced cost
+        with Tracer(path):
+            return simulate_io(stream, s)
+
     best: dict[str, float] = {}
     results: dict[str, object] = {}
     stream = None
-    for _ in range(rounds):
-        build = timed(
-            single_statement_stream, program, {"N": n},
-            tile_sizes=tiles, variable_order=order,
-        )
-        stream = build.value
-        table = timed(stream.next_use_table)
-        belady = timed(simulate_io, stream, s)
-        python = timed(_replay, stream, s, belady=True)
-        lru = timed(simulate_io, stream, s, policy="lru")
-        for key, run in (
-            ("build", build), ("table", table), ("belady", belady),
-            ("belady_python", python), ("lru", lru),
-        ):
-            if run.cpu_seconds < best.get(key, float("inf")):
-                best[key] = run.cpu_seconds
-            results[key] = run.value
-        assert python.value.cost == belady.value.cost  # backends agree
+    trace_fd, trace_path = tempfile.mkstemp(
+        prefix="bench-trace-", suffix=".jsonl"
+    )
+    os.close(trace_fd)
+    try:
+        for _ in range(rounds):
+            build = timed(
+                single_statement_stream, program, {"N": n},
+                tile_sizes=tiles, variable_order=order,
+            )
+            stream = build.value
+            table = timed(stream.next_use_table)
+            belady = timed(simulate_io, stream, s)
+            traced = timed(belady_traced, trace_path)
+            python = timed(_replay, stream, s, belady=True)
+            lru = timed(simulate_io, stream, s, policy="lru")
+            for key, run in (
+                ("build", build), ("table", table), ("belady", belady),
+                ("belady_traced", traced), ("belady_python", python),
+                ("lru", lru),
+            ):
+                if run.cpu_seconds < best.get(key, float("inf")):
+                    best[key] = run.cpu_seconds
+                results[key] = run.value
+            assert python.value.cost == belady.value.cost  # backends agree
+            assert traced.value.cost == belady.value.cost  # tracing is inert
+    finally:
+        os.unlink(trace_path)
 
     def policy_payload(key: str) -> dict:
         run = results[key]
@@ -215,6 +243,11 @@ def bench_replay_scale(n: int, s: int, rounds: int = ROUNDS) -> dict:
     baseline_total = (
         PYTHON_BASELINE["stream_build_cpu_seconds"]
         + PYTHON_BASELINE["belady_cpu_seconds"]
+    )
+    trace_overhead = (
+        best["belady_traced"] / best["belady"]
+        if best["belady"]
+        else 1.0
     )
     bound = 2 * n**3 / s**0.5
     return {
@@ -236,6 +269,8 @@ def bench_replay_scale(n: int, s: int, rounds: int = ROUNDS) -> dict:
             "belady_python_loop": policy_payload("belady_python"),
             "lru": policy_payload("lru"),
         },
+        "traced_belady_cpu_seconds": best["belady_traced"],
+        "trace_overhead_ratio": trace_overhead,
         "python_baseline": dict(PYTHON_BASELINE),
         "speedup_vs_python_baseline": baseline_total / replay_total,
     }
@@ -327,15 +362,19 @@ def main(argv: list[str] | None = None) -> int:
 
     # the out-of-core point runs FIRST: ru_maxrss is a process-lifetime
     # peak, so anything larger running earlier would pollute the reading
-    outofcore = None if args.skip_outofcore else bench_outofcore()
-    if args.subset:
-        scale = bench_replay_scale(n=50, s=256, rounds=2)
-        versus = bench_simulator_vs_game(n=12, s_values=[8, 18])
-        audit = bench_audit(["gemm", "atax"], jobs=args.jobs)
-    else:
-        scale = bench_replay_scale(n=100, s=1024)
-        versus = bench_simulator_vs_game(n=20, s_values=[8, 18, 64])
-        audit = bench_audit(["gemm", "atax", "jacobi1d"], jobs=args.jobs)
+    # (note --trace wraps the measurements in an ambient tracer, which
+    # makes the traced-vs-untraced A/B a ~1.0x no-op: leave it off when
+    # gating on trace_overhead_ratio)
+    with maybe_traced(args, "bench.tightness"):
+        outofcore = None if args.skip_outofcore else bench_outofcore()
+        if args.subset:
+            scale = bench_replay_scale(n=50, s=256, rounds=2)
+            versus = bench_simulator_vs_game(n=12, s_values=[8, 18])
+            audit = bench_audit(["gemm", "atax"], jobs=args.jobs)
+        else:
+            scale = bench_replay_scale(n=100, s=1024)
+            versus = bench_simulator_vs_game(n=20, s_values=[8, 18, 64])
+            audit = bench_audit(["gemm", "atax", "jacobi1d"], jobs=args.jobs)
 
     belady_cpu = scale["policies"]["belady"]["cpu_seconds"]
     acceptance = {
@@ -359,6 +398,16 @@ def main(argv: list[str] | None = None) -> int:
         # the >= 5x gate applies to full runs only
         "replay_speedup_ok": args.subset
         or scale["speedup_vs_python_baseline"] >= MIN_REPLAY_SPEEDUP,
+        "trace_overhead_ratio": scale["trace_overhead_ratio"],
+        "trace_overhead_max": TRACE_OVERHEAD_MAX,
+        "trace_overhead_ok": (
+            scale["trace_overhead_ratio"] <= TRACE_OVERHEAD_MAX
+            or (
+                scale["traced_belady_cpu_seconds"]
+                - scale["policies"]["belady"]["cpu_seconds"]
+            )
+            <= TRACE_OVERHEAD_SLACK_SECONDS
+        ),
         "audit_gaps_finite": audit["summary"]["finite_gaps"],
     }
     failed = not (
@@ -370,6 +419,7 @@ def main(argv: list[str] | None = None) -> int:
         and acceptance["bit_identical_to_game"]
         and acceptance["speedup_ok"]
         and acceptance["replay_speedup_ok"]
+        and acceptance["trace_overhead_ok"]
         and acceptance["audit_gaps_finite"]
     )
     payload = {
@@ -395,7 +445,8 @@ def main(argv: list[str] | None = None) -> int:
         f"replay {scale['positions']} vertices in {belady_cpu:.2f}s CPU "
         f"({scale['policies']['belady']['accesses_per_cpu_second']:.0f} acc/s, "
         f"{scale['replay_backend']} backend, "
-        f"{scale['speedup_vs_python_baseline']:.1f}x vs python baseline); "
+        f"{scale['speedup_vs_python_baseline']:.1f}x vs python baseline, "
+        f"traced {scale['trace_overhead_ratio']:.2f}x); "
         f"vs game: identical={versus['identical']} "
         f"speedup={versus['speedup']:.1f}x; "
         f"audit finite gaps={audit['summary']['finite_gaps']}"

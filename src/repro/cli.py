@@ -11,6 +11,10 @@ Usage examples::
     soap-analyze tightness gemm atax --s 8,18      # schedule-replay gap audit
     soap-analyze tightness --markdown TIGHTNESS.md # full corpus, written out
 
+    soap-analyze tightness gemm --trace t.jsonl    # record a span trace
+    soap-analyze trace convert t.jsonl             # -> Perfetto-loadable JSON
+    soap-analyze trace validate t.jsonl            # schema/stitching check
+
     soap-analyze serve --port 8731 --workers 4     # long-lived analysis daemon
     soap-analyze submit gemm                       # analyze via the daemon
     soap-analyze submit --source kernel.py         # source file via the daemon
@@ -34,6 +38,7 @@ import argparse
 import json
 import sys
 import time
+from contextlib import contextmanager
 from pathlib import Path
 
 
@@ -71,6 +76,11 @@ def main(argv: list[str] | None = None) -> int:
             "--solver", choices=backends, default="exact", metavar="BACKEND",
             help="problem (8) solver backend: one of "
             f"{', '.join(backends)} (default: exact)",
+        )
+        p.add_argument(
+            "--trace", type=Path, default=None, metavar="FILE",
+            help="write a JSONL span trace of the run to FILE "
+            "(convert with `trace convert`)",
         )
 
     def add_service_flags(p) -> None:
@@ -139,6 +149,21 @@ def main(argv: list[str] | None = None) -> int:
 
     p_list = sub.add_parser("list", help="list registered kernels")
 
+    p_trace = sub.add_parser("trace", help="inspect/convert JSONL span traces")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_tconv = trace_sub.add_parser(
+        "convert", help="convert a JSONL trace to Chrome/Perfetto JSON"
+    )
+    p_tconv.add_argument("input", type=Path, help="JSONL trace (from --trace)")
+    p_tconv.add_argument(
+        "-o", "--output", type=Path, default=None, metavar="FILE",
+        help="output path (default: INPUT with a .perfetto.json suffix)",
+    )
+    p_tval = trace_sub.add_parser(
+        "validate", help="check a JSONL trace for schema/stitching errors"
+    )
+    p_tval.add_argument("input", type=Path, help="JSONL trace (from --trace)")
+
     p_serve = sub.add_parser("serve", help="run the analysis daemon")
     add_service_flags(p_serve)
     p_serve.add_argument(
@@ -196,6 +221,7 @@ def main(argv: list[str] | None = None) -> int:
         "validate": _cmd_validate,
         "tightness": _cmd_tightness,
         "list": _cmd_list,
+        "trace": _cmd_trace,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "status": _cmd_status,
@@ -241,6 +267,20 @@ def _cache_dir(args) -> str | None:
     return str(args.cache_dir) if args.cache_dir is not None else None
 
 
+@contextmanager
+def _traced(args, name: str, **attrs):
+    """Run the block under a ``--trace FILE`` tracer (no-op without it)."""
+    path = getattr(args, "trace", None)
+    if path is None:
+        yield
+        return
+    from repro.obs import Tracer, span
+
+    with Tracer(str(path)), span(name, **attrs):
+        yield
+    print(f"trace written to {path}", file=sys.stderr)
+
+
 def _cmd_analyze(args) -> int:
     from repro.analysis import analyze_source
     from repro.reporting.serialize import program_bound_report
@@ -250,17 +290,18 @@ def _cmd_analyze(args) -> int:
     if language is None:
         language = "c" if args.path.suffix in (".c", ".h") else "python"
     source = args.path.read_text()
-    result = analyze_source(
-        source,
-        name=args.path.stem,
-        language=language,
-        policy=args.policy,
-        max_subgraph_size=args.max_subgraph_size,
-        allow_pinning=args.allow_pinning,
-        cache_dir=_cache_dir(args),
-        jobs=args.jobs,
-        solver=args.solver,
-    )
+    with _traced(args, "cli.analyze", program=args.path.stem):
+        result = analyze_source(
+            source,
+            name=args.path.stem,
+            language=language,
+            policy=args.policy,
+            max_subgraph_size=args.max_subgraph_size,
+            allow_pinning=args.allow_pinning,
+            cache_dir=_cache_dir(args),
+            jobs=args.jobs,
+            solver=args.solver,
+        )
     if args.json:
         print(json.dumps(
             program_bound_report(result, name=args.path.stem, language=language),
@@ -285,9 +326,10 @@ def _cmd_kernel(args) -> int:
     from repro.reporting.serialize import kernel_report
     from repro.symbolic.printing import bound_str
 
-    result = analyze_kernel(
-        args.name, cache_dir=_cache_dir(args), jobs=args.jobs, solver=args.solver
-    )
+    with _traced(args, "cli.kernel", kernel=args.name):
+        result = analyze_kernel(
+            args.name, cache_dir=_cache_dir(args), jobs=args.jobs, solver=args.solver
+        )
     if args.json:
         print(json.dumps(kernel_report(result), indent=2))
         return 0
@@ -309,9 +351,11 @@ def _cmd_table2(args) -> int:
     from repro.reporting.table import render_table2, table2_json, table2_rows
 
     started = time.perf_counter()
-    rows = table2_rows(
-        args.category, jobs=args.jobs, cache_dir=_cache_dir(args), solver=args.solver
-    )
+    with _traced(args, "cli.table2", category=args.category or "all"):
+        rows = table2_rows(
+            args.category, jobs=args.jobs, cache_dir=_cache_dir(args),
+            solver=args.solver,
+        )
     elapsed = time.perf_counter() - started
     if args.json:
         print(json.dumps(table2_json(rows, jobs=args.jobs, elapsed=elapsed), indent=2))
@@ -378,20 +422,21 @@ def _cmd_tightness(args) -> int:
 
         for name in names:
             get_kernel(name)  # unknown kernels are an input error, not a row
-    report = audit_corpus(
-        names,
-        s_values=s_values,
-        params=_parse_params(args.params) or None,
-        jobs=args.jobs,
-        cache_dir=_cache_dir(args),
-        solver=args.solver,
-        max_vertices=(
-            args.max_vertices
-            if args.max_vertices is not None
-            else DEFAULT_MAX_VERTICES
-        ),
-        chunk_size=args.chunk_size,
-    )
+    with _traced(args, "cli.tightness", kernels=len(names) if names else "all"):
+        report = audit_corpus(
+            names,
+            s_values=s_values,
+            params=_parse_params(args.params) or None,
+            jobs=args.jobs,
+            cache_dir=_cache_dir(args),
+            solver=args.solver,
+            max_vertices=(
+                args.max_vertices
+                if args.max_vertices is not None
+                else DEFAULT_MAX_VERTICES
+            ),
+            chunk_size=args.chunk_size,
+        )
     if args.markdown is not None:
         args.markdown.write_text(tightness_markdown(report))
     if args.json:
@@ -429,6 +474,36 @@ def _cmd_list(args) -> int:
 
     for spec in all_kernels():
         print(f"{spec.name:24s} [{spec.category}] {spec.description}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import read_trace, span_tree, to_chrome_trace, validate_trace
+
+    records = read_trace(str(args.input))
+    errors = validate_trace(records)
+    if args.trace_command == "validate":
+        for message in errors:
+            print(f"  {message}", file=sys.stderr)
+        if errors:
+            print(f"{args.input}: {len(records)} spans -- INVALID")
+            return 1
+        roots = span_tree(records)
+        print(
+            f"{args.input}: {len(records)} spans, {len(roots)} roots, "
+            f"{len({r['pid'] for r in records})} processes -- ok"
+        )
+        return 0
+    if errors:
+        raise ValueError(
+            f"{args.input} is not a valid trace ({len(errors)} errors; "
+            "run `trace validate` for details)"
+        )
+    output = args.output
+    if output is None:
+        output = args.input.with_suffix(".perfetto.json")
+    output.write_text(json.dumps(to_chrome_trace(records)))
+    print(f"wrote {output} ({len(records)} spans); open at https://ui.perfetto.dev")
     return 0
 
 
@@ -522,6 +597,24 @@ def _cmd_status(args) -> int:
             f"{bucket} {count}" for bucket, count in sorted(counts.items()) if count
         )
         print(f"  solves[{backend}]: {line or 'none yet'}")
+    metrics = client.metrics()
+    cache = metrics.get("cache", {})
+    if cache:
+        hit_rate = cache.get("hit_rate")
+        rate_txt = f"{hit_rate:.0%}" if isinstance(hit_rate, float) else "n/a"
+        print(
+            f"  cache: hit rate {rate_txt} "
+            f"({cache.get('hits', 0)} hits, {cache.get('stores', 0)} stores)"
+        )
+    spans = metrics.get("spans", {})
+    counts = spans.get("counts", {})
+    if counts:
+        total = sum(counts.values())
+        top = sorted(counts.items(), key=lambda kv: kv[1], reverse=True)[:4]
+        top_txt = ", ".join(f"{name} x{count}" for name, count in top)
+        print(f"  spans: {total} finished ({top_txt})")
+    for item in spans.get("slowest", [])[:3]:
+        print(f"    slow: {item['name']} {item['wall_seconds']:.3f}s")
     return 0
 
 

@@ -20,14 +20,17 @@ from typing import Iterable, Sequence
 
 from repro.engine.cache import SolveCache
 from repro.engine.core import Engine
+from repro.obs import attach, trace_context
 
 
-def _kernel_task(task: tuple[str, str | None, str]):
+def _kernel_task(task: tuple):
     """Analyze one kernel in a worker process (top-level for pickling)."""
-    name, cache_dir, solver = task
+    name, cache_dir, solver, tctx = task
     from repro.analysis import analyze_kernel
 
-    return analyze_kernel(name, cache_dir=cache_dir, solver=solver)
+    # stitch this worker's spans under the driver's trace (no-op untraced)
+    with attach(tctx):
+        return analyze_kernel(name, cache_dir=cache_dir, solver=solver)
 
 
 def analyze_many(
@@ -79,6 +82,7 @@ def analyze_many(
 def _run_parallel(
     selected: Sequence[str], cache_dir: str, jobs: int, solver: str
 ) -> list:
-    tasks = [(name, cache_dir, solver) for name in selected]
+    tctx = trace_context()
+    tasks = [(name, cache_dir, solver, tctx) for name in selected]
     with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
         return list(pool.map(_kernel_task, tasks))

@@ -48,6 +48,8 @@ from repro.engine.signature import (
     rename_text,
 )
 from repro.ir.program import Program
+from repro.obs import MetricsRegistry, default_registry
+from repro.obs import span as obs_span
 from repro.opt.backends import DEFAULT_BACKEND, get_backend
 from repro.opt.backends.crosscheck import COVERAGE_MARKER, MISMATCH_PREFIX
 from repro.opt.rho import compare_intensity, intensity_from_chi
@@ -124,6 +126,7 @@ class Engine:
         jobs: int = 1,
         on_stage: Callable[[StageRecord], None] | None = None,
         solver: str = DEFAULT_BACKEND,
+        registry: MetricsRegistry | None = None,
     ):
         self.cache = cache if cache is not None else SolveCache()
         self.jobs = max(1, int(jobs))
@@ -133,6 +136,11 @@ class Engine:
         #: service feeds its per-stage metrics through this; must be cheap
         #: and thread-safe when the engine is shared by a worker pool)
         self.on_stage = on_stage
+        #: operational counters: every StageRecord is folded in as
+        #: ``engine_stage_seconds_total{stage=...}``; the service passes its
+        #: own registry so /metrics sees engine stages, everyone else shares
+        #: the process default
+        self.registry = registry if registry is not None else default_registry()
         # Per-backend solve-health counters (fresh solves only, not cache
         # hits), keyed backend -> {exact, fitted, negative, mismatch}.
         self._solver_stats: dict[str, dict[str, int]] = {}
@@ -172,6 +180,28 @@ class Engine:
         solver: str | None = None,
     ):
         """Run the staged pipeline; returns a :class:`ProgramBound`."""
+        with obs_span("engine.analyze", kernel=program.name):
+            return self._analyze(
+                program,
+                policy=policy,
+                max_subgraph_size=max_subgraph_size,
+                unify_same_names=unify_same_names,
+                allow_pinning=allow_pinning,
+                jobs=jobs,
+                solver=solver,
+            )
+
+    def _analyze(
+        self,
+        program: Program,
+        *,
+        policy: OverlapPolicy,
+        max_subgraph_size: int,
+        unify_same_names: bool,
+        allow_pinning: bool,
+        jobs: int | None,
+        solver: str | None,
+    ):
         from repro.sdg.bounds import ProgramBound, SubgraphAnalysis, io_footprint_floor
 
         options = EngineOptions(
@@ -184,9 +214,26 @@ class Engine:
         get_backend(options.solver)  # fail fast on unknown backends
         jobs = self.jobs if jobs is None else max(1, int(jobs))
         stages: list[StageRecord] = []
+        open_stage: list = []
+
+        def stage_begin(name: str) -> float:
+            """Open the stage's span; ``record`` closes it with the counts."""
+            ctx = obs_span(name)
+            open_stage.append((ctx, ctx.__enter__()))
+            return time.perf_counter()
 
         def record(stage: StageRecord) -> None:
             stages.append(stage)
+            if open_stage:
+                ctx, sp = open_stage.pop()
+                for key, value in stage.counts:
+                    if isinstance(value, int) and not isinstance(value, bool):
+                        sp.add(key, value)
+                ctx.__exit__(None, None, None)
+            self.registry.inc(
+                "engine_stage_seconds_total", stage.seconds, stage=stage.name
+            )
+            self.registry.inc("engine_stages_total", 1.0, stage=stage.name)
             if self.on_stage is not None:
                 self.on_stage(stage)
 
@@ -195,7 +242,7 @@ class Engine:
         solver_before = self.solver_stats_snapshot().get(options.solver, {})
 
         # ---- stage: build-sdg -------------------------------------------
-        started = time.perf_counter()
+        started = stage_begin("build-sdg")
         sdg = SDG.from_program(program)
         sharing = sdg.sharing_graph()
         record(
@@ -211,7 +258,7 @@ class Engine:
         )
 
         # ---- stage: enumerate -------------------------------------------
-        started = time.perf_counter()
+        started = stage_begin("enumerate")
         subsets = list(
             enumerate_subgraphs(sharing, max_size=options.max_subgraph_size)
         )
@@ -227,7 +274,7 @@ class Engine:
         )
 
         # ---- stage: fuse -------------------------------------------------
-        started = time.perf_counter()
+        started = stage_begin("fuse")
         fused_items: list[tuple[tuple[str, ...], FusedStatement | None, str | None]] = []
         for subset in subsets:
             try:
@@ -253,7 +300,7 @@ class Engine:
         )
 
         # ---- stage: solve ------------------------------------------------
-        started = time.perf_counter()
+        started = stage_begin("solve")
         canonicals: list[CanonicalProblem | None] = []
         for _, fused, _ in fused_items:
             if fused is None:
@@ -324,7 +371,7 @@ class Engine:
         )
 
         # ---- stage: combine ----------------------------------------------
-        started = time.perf_counter()
+        started = stage_begin("combine")
         per_array: dict[str, SubgraphAnalysis] = {}
         for analysis in analyses:
             for array in analysis.arrays:

@@ -1,0 +1,276 @@
+"""Metrics registry: counters, gauges, and bounded-reservoir histograms.
+
+One implementation of operational counters for the whole system.  The
+service's ``/metrics`` endpoint (:class:`repro.service.metrics.ServiceMetrics`)
+is a facade over one :class:`MetricsRegistry`; the engine feeds its
+per-stage timings into a registry (the service's, when run as a daemon;
+the process-default otherwise); the tracer counts every finished span and
+keeps the slowest recent ones.  Everything is label-aware in the
+Prometheus sense -- ``inc("requests_total", endpoint="POST /analyze")`` --
+and a registry renders itself either as a nested JSON snapshot or in the
+Prometheus text exposition format (``GET /metrics?format=prometheus``).
+
+Histograms are bounded reservoirs (a deque of the most recent samples): a
+daemon serving millions of requests must not keep every latency forever,
+and recent samples are the ones an operator watches.  Percentiles over the
+reservoir use the true **nearest-rank** definition -- the smallest sample
+with at least ``q`` percent of the reservoir at or below it -- not a
+``round()`` over the index, whose banker's rounding picked the lower
+sample at exact ``.5`` ranks.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+
+#: default histogram reservoir: most recent samples kept per histogram
+RESERVOIR = 4096
+
+#: how many recently finished spans the slow-log considers
+SLOW_SPAN_WINDOW = 512
+
+
+def percentile(samples: list[float], q: float) -> float | None:
+    """Nearest-rank percentile (``q`` in [0, 100]) of ``samples``.
+
+    The nearest-rank definition: sort the samples and take the one at rank
+    ``ceil(q / 100 * n)`` (1-indexed); ``q = 0`` takes the minimum and
+    ``q = 100`` the maximum.  Returns ``None`` on an empty list.
+    """
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = max(1, min(len(ordered), math.ceil(q / 100.0 * len(ordered))))
+    return ordered[rank - 1]
+
+
+def _key(name: str, labels: dict) -> tuple:
+    return (name, tuple(sorted(labels.items())))
+
+
+class MetricsRegistry:
+    """Thread-safe named counters, gauges, and histogram reservoirs."""
+
+    def __init__(self, *, reservoir: int = RESERVOIR):
+        self._lock = threading.Lock()
+        self._reservoir = reservoir
+        self._counters: dict[tuple, float] = {}
+        self._gauges: dict[tuple, float] = {}
+        self._histograms: dict[tuple, deque] = {}
+        #: (name, wall_seconds) of recently finished spans, newest last
+        self._recent_spans: deque = deque(maxlen=SLOW_SPAN_WINDOW)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, /, **labels) -> None:
+        key = _key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, /, **labels) -> None:
+        with self._lock:
+            self._gauges[_key(name, labels)] = value
+
+    def max_gauge(self, name: str, value: float, /, **labels) -> None:
+        """Set a gauge to ``max(current, value)`` -- high-water marks."""
+        key = _key(name, labels)
+        with self._lock:
+            current = self._gauges.get(key)
+            if current is None or value > current:
+                self._gauges[key] = value
+
+    def observe(self, name: str, value: float, /, **labels) -> None:
+        key = _key(name, labels)
+        with self._lock:
+            reservoir = self._histograms.get(key)
+            if reservoir is None:
+                reservoir = deque(maxlen=self._reservoir)
+                self._histograms[key] = reservoir
+            reservoir.append(value)
+        self.inc(name + "_count", 1.0, **labels)
+        self.inc(name + "_sum", value, **labels)
+
+    def observe_span(self, name: str, wall_seconds: float) -> None:
+        """Tracer hook: count a finished span and feed the slow-log."""
+        self.inc("spans_total", 1.0, name=name)
+        self.inc("span_seconds_total", wall_seconds, name=name)
+        with self._lock:
+            self._recent_spans.append((name, wall_seconds))
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def counter_value(self, name: str, /, **labels) -> float:
+        with self._lock:
+            return self._counters.get(_key(name, labels), 0.0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter over all of its label sets."""
+        with self._lock:
+            return sum(
+                value for (n, _), value in self._counters.items() if n == name
+            )
+
+    def counter_by_label(self, name: str, label: str) -> dict[str, float]:
+        """One counter pivoted by a label: ``{label_value: total}``."""
+        out: dict[str, float] = {}
+        with self._lock:
+            for (n, labels), value in self._counters.items():
+                if n != name:
+                    continue
+                for lname, lvalue in labels:
+                    if lname == label:
+                        out[lvalue] = out.get(lvalue, 0.0) + value
+        return dict(sorted(out.items()))
+
+    def gauge_value(self, name: str, /, **labels) -> float | None:
+        with self._lock:
+            return self._gauges.get(_key(name, labels))
+
+    def samples(self, name: str, /, **labels) -> list[float]:
+        with self._lock:
+            reservoir = self._histograms.get(_key(name, labels))
+            return list(reservoir) if reservoir else []
+
+    def slowest_spans(self, n: int = 5) -> list[dict]:
+        """The ``n`` slowest spans of the recent window, slowest first."""
+        with self._lock:
+            recent = list(self._recent_spans)
+        recent.sort(key=lambda item: item[1], reverse=True)
+        return [
+            {"name": name, "wall_seconds": wall} for name, wall in recent[:n]
+        ]
+
+    def span_counts(self) -> dict[str, int]:
+        """Finished spans by name, over the registry's whole lifetime."""
+        return {
+            name: int(count)
+            for name, count in self.counter_by_label("spans_total", "name").items()
+        }
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Nested JSON-safe dump of every metric (``/metrics`` building block)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = {
+                key: list(reservoir)
+                for key, reservoir in self._histograms.items()
+            }
+
+        def unfold(flat: dict) -> dict:
+            out: dict = {}
+            for (name, labels), value in sorted(flat.items()):
+                if labels:
+                    label_txt = ",".join(f"{k}={v}" for k, v in labels)
+                    out.setdefault(name, {})[label_txt] = value
+                else:
+                    out[name] = value
+            return out
+
+        return {
+            "counters": unfold(counters),
+            "gauges": unfold(gauges),
+            "histograms": {
+                name + (("{" + ",".join(f"{k}={v}" for k, v in labels) + "}")
+                        if labels else ""): {
+                    "samples": len(values),
+                    "p50": percentile(values, 50),
+                    "p99": percentile(values, 99),
+                }
+                for (name, labels), values in sorted(histograms.items())
+            },
+            "spans": {
+                "counts": self.span_counts(),
+                "slowest": self.slowest_spans(),
+            },
+        }
+
+    def prometheus(self, *, prefix: str = "repro_") -> str:
+        """Prometheus text exposition (format version 0.0.4) of the registry.
+
+        Counters render as ``<prefix><name>``; gauges likewise; histograms
+        as summaries -- ``_count`` / ``_sum`` counters (already maintained
+        by :meth:`observe`) plus ``{quantile=...}`` sample lines over the
+        reservoir.  Metric names are sanitized to the Prometheus grammar,
+        label values escaped per the spec.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = {
+                key: list(reservoir)
+                for key, reservoir in self._histograms.items()
+            }
+        lines: list[str] = []
+        seen_types: set[str] = set()
+
+        def emit(kind: str, name: str, labels: tuple, value: float) -> None:
+            metric = _prom_name(prefix + name)
+            if metric not in seen_types:
+                seen_types.add(metric)
+                lines.append(f"# TYPE {metric} {kind}")
+            lines.append(f"{metric}{_prom_labels(labels)} {_prom_value(value)}")
+
+        for (name, labels), value in sorted(counters.items()):
+            emit("counter", name, labels, value)
+        for (name, labels), value in sorted(gauges.items()):
+            emit("gauge", name, labels, value)
+        for (name, labels), values in sorted(histograms.items()):
+            for q in (0.5, 0.9, 0.99):
+                emit(
+                    "summary",
+                    name,
+                    labels + (("quantile", str(q)),),
+                    percentile(values, q * 100) or 0.0,
+                )
+        return "\n".join(lines) + "\n"
+
+
+def _prom_name(name: str) -> str:
+    out = [
+        ch if ch.isalnum() or ch in "_:" else "_"
+        for ch in name
+    ]
+    if out and out[0].isdigit():
+        out.insert(0, "_")
+    return "".join(out) or "_"
+
+
+def _prom_labels(labels: tuple) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for name, value in labels:
+        escaped = (
+            str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
+        parts.append(f'{_prom_name(name)}="{escaped}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _prom_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+#: process-default registry: CLI runs and the engine (when not handed a
+#: service-owned registry) record here
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    return _DEFAULT

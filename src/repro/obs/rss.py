@@ -1,0 +1,49 @@
+"""Peak-RSS sampling with normalized units.
+
+``getrusage(...).ru_maxrss`` is the only portable way to read a process's
+peak resident set, but its unit is platform-dependent: Linux reports
+**KiB**, macOS reports **bytes** (and some BSDs pages).  Before this helper
+existed, every call site carried its own ``* 1024`` guess, so peak-RSS
+numbers -- and the CI 2x RSS regression gate built on them -- silently
+changed meaning across platforms.  All RSS observations (benchmark
+payloads, span peak-RSS deltas) go through :func:`peak_rss_bytes` /
+:func:`children_peak_rss_bytes` so they agree on bytes everywhere.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _scale() -> int:
+    """Bytes per ``ru_maxrss`` unit on this platform."""
+    return 1 if sys.platform == "darwin" else 1024
+
+
+def peak_rss_bytes() -> int:
+    """Lifetime peak resident set of this process, in bytes.
+
+    Monotone non-decreasing: useful as a high-water mark, or differenced
+    around a region to see whether that region *raised* the peak (a zero
+    delta means it ran within memory already touched).  Returns 0 on
+    platforms without ``resource`` (Windows).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * _scale()
+
+
+def children_peak_rss_bytes() -> int:
+    """Peak resident set over all waited-for children, in bytes.
+
+    The sweep drivers use this next to :func:`peak_rss_bytes`: a process
+    pool's replay memory lands in the children, invisible to
+    ``RUSAGE_SELF``.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    return resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * _scale()

@@ -1,0 +1,388 @@
+"""Hierarchical tracing spans with cross-process stitching.
+
+A *span* is a named, timed region of work: wall time, CPU time
+(``time.thread_time``), the peak-RSS high-water delta across the region,
+arbitrary counters (``sp.add("loads", n)``) and attributes
+(``span("solve", kernel="gemm")``).  Spans nest through a thread-local
+stack, so instrumented layers compose without threading span objects
+through call signatures; when no tracer is active every ``span(...)``
+returns a shared null object and costs two attribute lookups.
+
+A :class:`Tracer` collects finished spans.  With a ``path`` it appends one
+JSON line per span (a single ``os.write`` each, so concurrent writers --
+forked sweep workers appending to the same file -- never interleave
+partial lines).  Every finish is also counted into a
+:class:`~repro.obs.metrics.MetricsRegistry`, which is how ``repro status``
+knows span counts and slowest-recent spans even for untraced service jobs
+(the service activates a path-less tracer around every job).
+
+Cross-process propagation: :func:`trace_context` captures the active
+trace as a picklable :class:`TraceContext` (trace id + parent span id +
+sink path); pool workers wrap their task in :func:`attach`, which opens
+the same JSONL file in append mode and parents their spans under the
+driver's span.  Forked children never silently inherit the driver's
+active tracer -- an ``os.register_at_fork`` hook resets the ambient state,
+so a worker traces only what it explicitly attaches.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .metrics import MetricsRegistry, default_registry
+from .rss import peak_rss_bytes
+
+_STATE = threading.local()
+
+
+def _reset_state() -> None:
+    _STATE.tracer = None
+    _STATE.stack = []
+
+
+# A forked worker starts with the driver's thread-local state (fork copies
+# the calling thread); tracing there must be an explicit attach(), not an
+# accident of inheritance.
+os.register_at_fork(after_in_child=_reset_state)
+
+
+def _tracer():
+    return getattr(_STATE, "tracer", None)
+
+
+def _stack() -> list:
+    stack = getattr(_STATE, "stack", None)
+    if stack is None:
+        stack = []
+        _STATE.stack = stack
+    return stack
+
+
+def new_id() -> str:
+    """64-bit random hex id -- no cross-process coordination needed."""
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Picklable handle for stitching worker spans under a driver span."""
+
+    trace_id: str
+    parent_span_id: str | None
+    path: str | None
+
+
+class Span:
+    """One open region.  Created by :func:`span`; finished on ``__exit__``."""
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "attrs", "counters",
+        "_t0", "_cpu0", "_rss0", "_start_epoch",
+    )
+
+    def __init__(self, name: str, parent_id: str | None, attrs: dict):
+        self.name = name
+        self.span_id = new_id()
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.counters: dict[str, float] = {}
+        self._start_epoch = time.time()
+        self._t0 = time.perf_counter()
+        self._cpu0 = time.thread_time()
+        self._rss0 = peak_rss_bytes()
+
+    def add(self, key: str, n: float = 1) -> None:
+        """Accumulate a work counter on this span (loads, evictions, ...)."""
+        self.counters[key] = self.counters.get(key, 0) + n
+
+    def note(self, **attrs) -> None:
+        """Attach attributes discovered mid-span."""
+        self.attrs.update(attrs)
+
+    def _finish(self) -> dict:
+        return {
+            "trace": None,  # filled by the tracer
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self._start_epoch,
+            "wall": time.perf_counter() - self._t0,
+            "cpu": time.thread_time() - self._cpu0,
+            "rss_peak_delta": peak_rss_bytes() - self._rss0,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "attrs": self.attrs,
+            "counters": self.counters,
+        }
+
+
+class _NullSpan:
+    """Shared no-op stand-in when no tracer is active."""
+
+    __slots__ = ()
+    span_id = None
+    parent_id = None
+    name = ""
+
+    def add(self, key: str, n: float = 1) -> None:
+        pass
+
+    def note(self, **attrs) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Span sink: JSONL file (optional), registry counts, in-memory keep.
+
+    ``path`` -- JSONL sink; truncated unless ``append=True`` (workers
+    attaching to a driver's file append).  ``keep_spans`` retains finished
+    records in ``self.spans`` (the service embeds them in job results).
+    ``registry`` defaults to the process-wide one.
+    """
+
+    def __init__(
+        self,
+        path: str | None = None,
+        *,
+        trace_id: str | None = None,
+        append: bool = False,
+        keep_spans: bool = False,
+        registry: MetricsRegistry | None = None,
+    ):
+        self.trace_id = trace_id or new_id()
+        self.path = path
+        self.registry = registry if registry is not None else default_registry()
+        self.spans: list[dict] | None = [] if keep_spans else None
+        self._lock = threading.Lock()
+        if path is not None:
+            # Always O_APPEND: every writer (driver and forked workers)
+            # must land at end-of-file, never at a private offset.
+            flags = os.O_WRONLY | os.O_CREAT | os.O_APPEND | (
+                0 if append else os.O_TRUNC
+            )
+            self._fd = os.open(path, flags, 0o644)
+        else:
+            self._fd = None
+
+    def emit(self, record: dict) -> None:
+        record["trace"] = self.trace_id
+        self.registry.observe_span(record["name"], record["wall"])
+        if self._fd is not None:
+            line = json.dumps(record, separators=(",", ":"), default=str)
+            os.write(self._fd, (line + "\n").encode())
+        if self.spans is not None:
+            with self._lock:
+                self.spans.append(record)
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    # `with Tracer(path) as tracer:` activates for this thread and closes
+    # the sink on the way out.
+    def __enter__(self) -> "Tracer":
+        self._activation = tracing(self)
+        self._activation.__enter__()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._activation.__exit__(*exc)
+        self.close()
+
+
+@dataclass
+class _Activation:
+    tracer: Tracer
+    parent_id: str | None
+    _prev: tuple = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __enter__(self):
+        self._prev = (_tracer(), list(_stack()))
+        _STATE.tracer = self.tracer
+        _STATE.stack = [_RootMarker(self.parent_id)] if self.parent_id else []
+        return self.tracer
+
+    def __exit__(self, *exc):
+        _STATE.tracer, _STATE.stack = self._prev
+
+
+class _RootMarker:
+    """Stack sentinel carrying a remote parent id (cross-process stitch)."""
+
+    __slots__ = ("span_id",)
+
+    def __init__(self, span_id: str):
+        self.span_id = span_id
+
+
+def tracing(tracer: Tracer, parent_id: str | None = None):
+    """Activate ``tracer`` for the current thread for the ``with`` body."""
+    return _Activation(tracer, parent_id)
+
+
+def current_tracer() -> Tracer | None:
+    return _tracer()
+
+
+def current_span():
+    """Innermost open span of this thread, or the shared null span."""
+    stack = _stack()
+    for entry in reversed(stack):
+        if isinstance(entry, Span):
+            return entry
+    return NULL_SPAN
+
+
+class _SpanContext:
+    """Context manager *and* decorator returned by :func:`span`."""
+
+    def __init__(self, name: str, attrs: dict):
+        self._name = name
+        self._attrs = attrs
+        self._span = None
+
+    def __enter__(self):
+        tracer = _tracer()
+        if tracer is None:
+            return NULL_SPAN
+        stack = _stack()
+        parent = stack[-1].span_id if stack else None
+        self._span = Span(self._name, parent, dict(self._attrs))
+        stack.append(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb):
+        sp = self._span
+        if sp is None:
+            return False
+        self._span = None
+        stack = _stack()
+        if stack and stack[-1] is sp:
+            stack.pop()
+        else:
+            # Unbalanced exit: an exception propagated through children
+            # that never closed.  Drop them -- a leaked entry would
+            # misparent every later span on this thread.
+            try:
+                del stack[stack.index(sp):]
+            except ValueError:
+                pass
+        if exc_type is not None:
+            sp.attrs["error"] = exc_type.__name__
+        record = sp._finish()
+        tracer = _tracer()
+        if tracer is not None:
+            tracer.emit(record)
+        return False
+
+    def __call__(self, fn):
+        name = self._name
+        attrs = self._attrs
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with span(name, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+def span(name: str, **attrs) -> _SpanContext:
+    """Open a span: ``with span("solve", kernel="gemm") as sp: ...``
+
+    Also usable as a decorator: ``@span("stage")``.  When no tracer is
+    active the body sees the shared null span and nothing is recorded.
+    """
+    return _SpanContext(name, attrs)
+
+
+def trace_context() -> TraceContext | None:
+    """Capture the active trace for shipping to a worker process.
+
+    Returns ``None`` when not tracing -- workers then skip :func:`attach`
+    cheaply.  The captured parent is the innermost open span, so worker
+    spans stitch under the driver span that launched them.
+    """
+    tracer = _tracer()
+    if tracer is None:
+        return None
+    stack = _stack()
+    parent = stack[-1].span_id if stack else None
+    return TraceContext(tracer.trace_id, parent, tracer.path)
+
+
+class _Attach:
+    def __init__(self, ctx: TraceContext | None):
+        self._ctx = ctx
+        self._tracer = None
+        self._activation = None
+
+    def __enter__(self):
+        ctx = self._ctx
+        if ctx is None or ctx.path is None:
+            return None
+        self._tracer = Tracer(ctx.path, trace_id=ctx.trace_id, append=True)
+        self._activation = tracing(self._tracer, parent_id=ctx.parent_span_id)
+        self._activation.__enter__()
+        return self._tracer
+
+    def __exit__(self, *exc):
+        if self._activation is not None:
+            self._activation.__exit__(*exc)
+            self._tracer.close()
+        return False
+
+
+def attach(ctx: TraceContext | None) -> _Attach:
+    """Worker-side: adopt a driver's :class:`TraceContext` for the body.
+
+    No-op when ``ctx`` is ``None`` (driver not tracing) or has no sink
+    path, so call sites need no conditionals.
+    """
+    return _Attach(ctx)
+
+
+# ----------------------------------------------------------------------
+# reading traces back
+# ----------------------------------------------------------------------
+
+
+def read_trace(path: str) -> list[dict]:
+    """Parse a JSONL trace file into span records (blank lines skipped)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def span_tree(records: list[dict]) -> list[dict]:
+    """Nest flat records into trees: each node gains a ``children`` list.
+
+    Roots (no parent, or parent not present in ``records``) come back
+    sorted by start time; children likewise.
+    """
+    nodes = {rec["span"]: dict(rec, children=[]) for rec in records}
+    roots = []
+    for rec in records:
+        node = nodes[rec["span"]]
+        parent = nodes.get(rec.get("parent"))
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node["children"].sort(key=lambda child: child["start"])
+    roots.sort(key=lambda node: node["start"])
+    return roots

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.obs import span as obs_span
 from repro.opt.kkt import SOLVER_REVISION, ChiSolution
 from repro.opt.problem import ProblemIR
 from repro.util.errors import SolverError
@@ -62,15 +63,21 @@ class SolverBackend:
         problems by exponent structure so scipy warm starts chain).
         """
         results: list[ChiSolution | SolverError] = []
-        for problem in problems:
-            try:
-                results.append(
-                    self.solve(
-                        problem, allow_pinning=allow_pinning, allow_caps=allow_caps
+        with obs_span(
+            "solver.solve-batch", backend=self.name, problems=len(problems)
+        ) as sp:
+            for problem in problems:
+                try:
+                    results.append(
+                        self.solve(
+                            problem, allow_pinning=allow_pinning, allow_caps=allow_caps
+                        )
                     )
-                )
-            except SolverError as err:
-                results.append(err)
+                except SolverError as err:
+                    results.append(err)
+            failed = sum(1 for r in results if isinstance(r, SolverError))
+            sp.add("solved", len(results) - failed)
+            sp.add("failed", failed)
         return results
 
 

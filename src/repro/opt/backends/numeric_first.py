@@ -39,6 +39,7 @@ from fractions import Fraction
 import numpy as np
 import sympy as sp
 
+from repro.obs import span as obs_span
 from repro.opt.backends import SolverBackend, register_backend
 from repro.opt.kkt import (
     _NUMERIC_PARAM,
@@ -153,15 +154,28 @@ class NumericFirstBackend(SolverBackend):
             range(len(problems)), key=lambda i: repr(problems[i].structure_key())
         )
         results: list[ChiSolution | SolverError] = [None] * len(problems)  # type: ignore[list-item]
-        for index in order:
-            try:
-                results[index] = self.solve(
-                    problems[index],
-                    allow_pinning=allow_pinning,
-                    allow_caps=allow_caps,
-                )
-            except SolverError as err:
-                results[index] = err
+        with obs_span(
+            "solver.solve-batch", backend=self.name, problems=len(problems)
+        ) as span:
+            for index in order:
+                try:
+                    results[index] = self.solve(
+                        problems[index],
+                        allow_pinning=allow_pinning,
+                        allow_caps=allow_caps,
+                    )
+                except SolverError as err:
+                    results[index] = err
+            failed = sum(1 for r in results if isinstance(r, SolverError))
+            fallbacks = sum(
+                1
+                for r in results
+                if isinstance(r, ChiSolution)
+                and any(n.startswith("numeric-first: fell back") for n in r.notes)
+            )
+            span.add("solved", len(results) - failed)
+            span.add("failed", failed)
+            span.add("fallbacks", fallbacks)
         return results
 
 

@@ -99,7 +99,7 @@ typedef struct {
     unsigned char *blue;
     i64 *dying;
     i64 dying_len, dying_cap;
-    i64 loads, stores, evictions, red;
+    i64 loads, stores, evictions, compactions, red;
 } ctx_t;
 
 /* Shared eviction core: mirror of simulator.make_room.  The callers take
@@ -246,14 +246,19 @@ int replay_slab(void *ptr, i64 slab_positions,
             }
             c->heap.len = w;
             hheapify(&c->heap);
+            c->compactions++;
         }
     }
     return 0;
 }
 
+/* out: loads, stores, evictions, heap compactions.  Cheap enough to call
+ * after every slab -- the traced replay path reads per-slab deltas from
+ * here so spans carry real work counters. */
 void replay_counts(void *ptr, i64 *out) {
     ctx_t *c = (ctx_t *)ptr;
     out[0] = c->loads; out[1] = c->stores; out[2] = c->evictions;
+    out[3] = c->compactions;
 }
 
 /* One-shot wrapper over the slab machinery (kept for direct callers).

@@ -40,6 +40,8 @@ from itertools import islice
 
 import numpy as np
 
+from repro.obs import NULL_SPAN
+from repro.obs import span as obs_span
 from repro.schedule.stream import (
     AUTO_CHUNK_ACCESSES,
     DEFAULT_CHUNK_POSITIONS,
@@ -66,6 +68,8 @@ class SimulationResult:
     n_positions: int
     n_accesses: int
     evictions: int
+    #: stale-snapshot heap compactions performed during the replay
+    compactions: int = 0
 
     @property
     def cost(self) -> int:
@@ -96,12 +100,19 @@ def simulate_io(
     if policy not in ("belady", "lru"):
         raise PebblingError(f"unknown eviction policy {policy!r}")
     belady = policy == "belady"
-    result = _native_replay(
-        stream, s, belady=belady, slab_positions=slab_positions
-    )
-    if result is not None:
+    with obs_span("replay", policy=policy, s=int(s)) as sp:
+        result = _native_replay(
+            stream, s, belady=belady, slab_positions=slab_positions
+        )
+        native = result is not None
+        if result is None:
+            result = _replay(stream, s, belady=belady)
+        sp.note(native=native, n_accesses=result.n_accesses)
+        sp.add("loads", result.loads)
+        sp.add("stores", result.stores)
+        sp.add("evictions", result.evictions)
+        sp.add("compactions", result.compactions)
         return result
-    return _replay(stream, s, belady=belady)
 
 
 def _native_replay(
@@ -145,49 +156,64 @@ def _native_replay(
         return None  # allocation failure: fall back to the Python loop
     try:
         err_id = (ctypes.c_longlong * 1)(-1)
+        out = (ctypes.c_longlong * 4)(0, 0, 0, 0)
+        prev_counts = (0, 0, 0, 0)
         offsets = stream.parent_offsets
         for lo in range(0, n, slab) if n else ():
             hi = min(lo + slab, n)
             a_lo = int(offsets[lo])
             a_hi = int(offsets[hi])
-            slab_off = np.asarray(offsets[lo:hi + 1], dtype=np.int64) - a_lo
-            parents = np.ascontiguousarray(
-                stream.parent_ids[a_lo:a_hi], dtype=np.int64
-            )
-            computed = np.ascontiguousarray(
-                stream.computed_ids[lo:hi], dtype=np.int64
-            )
-            store_at = np.ascontiguousarray(
-                stream.store_at_compute[lo:hi], dtype=np.uint8
-            )
-            akeys, ckeys = _policy_keys_slab(
-                stream, next_after, first_use, lo, hi, a_lo, a_hi,
-                parents, computed, belady=belady,
-            )
-            slab_off = np.ascontiguousarray(slab_off)
-            rc = lib.replay_slab(
-                ctx,
-                hi - lo,
-                slab_off.ctypes.data_as(i64p),
-                parents.ctypes.data_as(i64p),
-                computed.ctypes.data_as(i64p),
-                store_at.ctypes.data_as(u8p),
-                akeys.ctypes.data_as(i64p),
-                ckeys.ctypes.data_as(i64p),
-                err_id,
-            )
-            if rc == -1:
-                raise PebblingError(f"S={s} too small for the working set")
-            if rc == -2:
-                raise PebblingError(
-                    f"value id={int(err_id[0])} needed but neither red nor "
-                    "blue (order recomputes a discarded value?)"
+            # NULL_SPAN when untraced: the per-slab counter readback below
+            # is skipped and the slab loop stays free of tracing overhead
+            with obs_span("replay.slab", lo=lo, hi=hi) as slab_span:
+                slab_off = np.asarray(offsets[lo:hi + 1], dtype=np.int64) - a_lo
+                parents = np.ascontiguousarray(
+                    stream.parent_ids[a_lo:a_hi], dtype=np.int64
                 )
-            if rc != 0:  # allocation failure: fall back to the Python loop
-                return None
-        out = (ctypes.c_longlong * 3)(0, 0, 0)
+                computed = np.ascontiguousarray(
+                    stream.computed_ids[lo:hi], dtype=np.int64
+                )
+                store_at = np.ascontiguousarray(
+                    stream.store_at_compute[lo:hi], dtype=np.uint8
+                )
+                akeys, ckeys = _policy_keys_slab(
+                    stream, next_after, first_use, lo, hi, a_lo, a_hi,
+                    parents, computed, belady=belady,
+                )
+                slab_off = np.ascontiguousarray(slab_off)
+                rc = lib.replay_slab(
+                    ctx,
+                    hi - lo,
+                    slab_off.ctypes.data_as(i64p),
+                    parents.ctypes.data_as(i64p),
+                    computed.ctypes.data_as(i64p),
+                    store_at.ctypes.data_as(u8p),
+                    akeys.ctypes.data_as(i64p),
+                    ckeys.ctypes.data_as(i64p),
+                    err_id,
+                )
+                if rc == -1:
+                    raise PebblingError(f"S={s} too small for the working set")
+                if rc == -2:
+                    raise PebblingError(
+                        f"value id={int(err_id[0])} needed but neither red "
+                        "nor blue (order recomputes a discarded value?)"
+                    )
+                if rc != 0:  # allocation failure: fall back to Python loop
+                    return None
+                if slab_span is not NULL_SPAN:
+                    lib.replay_counts(ctx, out)
+                    now = (int(out[0]), int(out[1]), int(out[2]), int(out[3]))
+                    slab_span.add("accesses", a_hi - a_lo)
+                    slab_span.add("loads", now[0] - prev_counts[0])
+                    slab_span.add("stores", now[1] - prev_counts[1])
+                    slab_span.add("evictions", now[2] - prev_counts[2])
+                    slab_span.add("compactions", now[3] - prev_counts[3])
+                    prev_counts = now
         lib.replay_counts(ctx, out)
-        loads, stores, evictions = int(out[0]), int(out[1]), int(out[2])
+        loads, stores, evictions, compactions = (
+            int(out[0]), int(out[1]), int(out[2]), int(out[3])
+        )
     finally:
         lib.replay_free(ctx)
     return SimulationResult(
@@ -198,6 +224,7 @@ def _native_replay(
         n_positions=n,
         n_accesses=stream.n_accesses,
         evictions=evictions,
+        compactions=compactions,
     )
 
 
@@ -307,7 +334,7 @@ def _replay(stream: AccessStream, s: int, *, belady: bool) -> SimulationResult:
 
     current_key = [_NOT_RESIDENT] * m
     blue = bytearray(stream.starts_blue.tobytes())
-    loads = stores = evictions = 0
+    loads = stores = evictions = compactions = 0
     red_count = 0
     heap: list[int] = []
     #: Belady only: resident ids whose next use is infinity, as a max-id
@@ -432,6 +459,7 @@ def _replay(stream: AccessStream, s: int, *, belady: bool) -> SimulationResult:
             else:
                 heap[:] = [e for e in heap if current_key[e % m] == e]
             heapify(heap)
+            compactions += 1
 
     return SimulationResult(
         policy="belady" if belady else "lru",
@@ -441,4 +469,5 @@ def _replay(stream: AccessStream, s: int, *, belady: bool) -> SimulationResult:
         n_positions=n_positions,
         n_accesses=stream.n_accesses,
         evictions=evictions,
+        compactions=compactions,
     )

@@ -53,6 +53,7 @@ import networkx as nx
 import numpy as np
 
 from repro.ir.program import Program
+from repro.obs import span as obs_span
 from repro.pebbling.greedy import default_order, stream_vertex_ids
 from repro.util.errors import PebblingError, SoapError
 
@@ -167,12 +168,17 @@ class AccessStream:
                     and self.n_accesses > AUTO_CHUNK_ACCESSES
                 ):
                     chunk_positions = DEFAULT_CHUNK_POSITIONS
-            if chunk_positions is None:
-                self._next_use_pair = self._next_use_monolithic()
-            else:
-                self._next_use_pair = self._next_use_chunked(
-                    max(1, int(chunk_positions))
-                )
+            with obs_span(
+                "next-use",
+                chunked=chunk_positions is not None,
+            ) as sp:
+                sp.add("accesses", self.n_accesses)
+                if chunk_positions is None:
+                    self._next_use_pair = self._next_use_monolithic()
+                else:
+                    self._next_use_pair = self._next_use_chunked(
+                        max(1, int(chunk_positions))
+                    )
         return self._next_use_pair
 
     def _next_use_monolithic(self) -> tuple[np.ndarray, np.ndarray]:
@@ -278,6 +284,7 @@ class AccessStream:
         ]
 
 
+@obs_span("stream.build", builder="graph")
 def stream_from_graph(
     graph: nx.DiGraph, order: Sequence[Hashable] | None = None
 ) -> AccessStream:
@@ -552,18 +559,25 @@ def single_statement_stream(
         or bool(memmap_dir)
         or n_grid > AUTO_CHUNK_POSITIONS
     )
-    if wants_chunked and n_grid > 0:
-        chunk = (
-            int(chunk_positions)
-            if chunk_positions is not None
-            else DEFAULT_CHUNK_POSITIONS
-        )
-        stream = _chunked_stream(
-            program, st, params, variables, extents, tiles, chunk, memmap_dir
-        )
-        if stream is not None:
-            return stream
-    return _monolithic_stream(program, st, params, variables, extents, tiles)
+    with obs_span("stream.build", builder="ir", kernel=program.name) as sp:
+        stream = None
+        if wants_chunked and n_grid > 0:
+            chunk = (
+                int(chunk_positions)
+                if chunk_positions is not None
+                else DEFAULT_CHUNK_POSITIONS
+            )
+            stream = _chunked_stream(
+                program, st, params, variables, extents, tiles, chunk, memmap_dir
+            )
+        if stream is None:
+            stream = _monolithic_stream(
+                program, st, params, variables, extents, tiles
+            )
+        sp.note(chunked=stream.chunk_positions is not None)
+        sp.add("positions", stream.n_positions)
+        sp.add("accesses", stream.n_accesses)
+        return stream
 
 
 def _monolithic_stream(

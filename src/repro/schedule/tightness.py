@@ -39,6 +39,8 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.cdag.build import build_cdag
+from repro.obs import attach, trace_context
+from repro.obs import span as obs_span
 from repro.pebbling.validate import evaluate_bound
 from repro.schedule import shared_streams
 from repro.schedule.derive import blocked_order, derive_schedule
@@ -293,7 +295,7 @@ def _kernel_context(
 
 
 def _audit_point(task: tuple) -> tuple[bool, TightnessRow | None]:
-    """One (kernel, params, S) audit point -- the process-pool unit of work.
+    """One (kernel, params, S) audit point -- the serial sweep's unit of work.
 
     Returns ``(dedupable, row)``: rows that went through feasibility
     clamping carry ``dedupable=True`` so the driver can collapse requested
@@ -301,6 +303,13 @@ def _audit_point(task: tuple) -> tuple[bool, TightnessRow | None]:
     A ``None`` row is a duplicate clamped size already audited by this
     worker in this sweep, skipped before any replay work.
     """
+    with obs_span(
+        "tightness.point", kernel=task[0], s_requested=int(task[2])
+    ):
+        return _audit_point_body(task)
+
+
+def _audit_point_body(task: tuple) -> tuple[bool, TightnessRow | None]:
     (name, params, s_requested, max_vertices, bound, program_bound, token,
      chunk_size) = task
     ctx = _kernel_context(name, params, max_vertices)
@@ -497,47 +506,53 @@ def audit_corpus(
     chunk_size = _checked_chunk_size(chunk_size)
     s_values = tuple(int(s) for s in s_values)
     selected = list(names) if names is not None else kernel_names()
-    results = analyze_many(
-        selected, jobs=jobs, cache_dir=cache_dir, engine=engine, solver=solver
-    )
-    token = next(_SWEEP_TOKENS)
-    kernel_specs: list[tuple] = []
-    tasks: list[tuple] = []
-    for name, result in zip(selected, results):
-        overrides: dict[str, int] = dict(params or {})
-        if params_overrides and name in params_overrides:
-            overrides.update(params_overrides[name])
-        merged = _merged_params(name, _built_program(name), overrides)
-        kernel_specs.append((name, merged, result.bound, result.program_bound))
-        tasks.extend(
-            (name, merged, s, int(max_vertices),
-             result.bound, result.program_bound, token, chunk_size)
-            for s in s_values
+    with obs_span("tightness.audit", jobs=jobs) as sweep_span:
+        sweep_span.add("kernels", len(selected))
+        results = analyze_many(
+            selected, jobs=jobs, cache_dir=cache_dir, engine=engine,
+            solver=solver,
         )
+        token = next(_SWEEP_TOKENS)
+        kernel_specs: list[tuple] = []
+        tasks: list[tuple] = []
+        for name, result in zip(selected, results):
+            overrides: dict[str, int] = dict(params or {})
+            if params_overrides and name in params_overrides:
+                overrides.update(params_overrides[name])
+            merged = _merged_params(name, _built_program(name), overrides)
+            kernel_specs.append(
+                (name, merged, result.bound, result.program_bound)
+            )
+            tasks.extend(
+                (name, merged, s, int(max_vertices),
+                 result.bound, result.program_bound, token, chunk_size)
+                for s in s_values
+            )
 
-    per_kernel = max(1, len(s_values))
-    if jobs > 1 and len(tasks) > 1:
-        outcomes = _shared_sweep(
-            kernel_specs,
+        per_kernel = max(1, len(s_values))
+        if jobs > 1 and len(tasks) > 1:
+            outcomes = _shared_sweep(
+                kernel_specs,
+                s_values=s_values,
+                jobs=jobs,
+                max_vertices=int(max_vertices),
+                chunk_size=chunk_size,
+            )
+        else:
+            try:
+                outcomes = [_audit_point(task) for task in tasks]
+            finally:
+                _reset_context()
+
+        rows: list[TightnessRow] = []
+        for start in range(0, len(outcomes), per_kernel):
+            rows.extend(_collapse_clamped(outcomes[start:start + per_kernel]))
+        sweep_span.add("rows", len(rows))
+        return TightnessReport(
+            rows=rows,
             s_values=s_values,
-            jobs=jobs,
-            max_vertices=int(max_vertices),
-            chunk_size=chunk_size,
+            elapsed_seconds=time.perf_counter() - started,
         )
-    else:
-        try:
-            outcomes = [_audit_point(task) for task in tasks]
-        finally:
-            _reset_context()
-
-    rows: list[TightnessRow] = []
-    for start in range(0, len(outcomes), per_kernel):
-        rows.extend(_collapse_clamped(outcomes[start:start + per_kernel]))
-    return TightnessReport(
-        rows=rows,
-        s_values=s_values,
-        elapsed_seconds=time.perf_counter() - started,
-    )
 
 
 # ---------------------------------------------------------------------------
@@ -583,7 +598,16 @@ def _prepare_kernel(task: tuple) -> _PreparedKernel:
     identical to the serial sweep's.  Streams and their next-use arrays are
     built here -- once, total -- and published; phase B only ever attaches.
     """
-    name, params, s_values, max_vertices, bound, program_bound = task
+    name, params, s_values, max_vertices, bound, program_bound, tctx = task
+    with attach(tctx), obs_span("tightness.prepare", kernel=name):
+        return _prepare_kernel_body(
+            name, params, s_values, max_vertices, bound, program_bound
+        )
+
+
+def _prepare_kernel_body(
+    name, params, s_values, max_vertices, bound, program_bound
+) -> _PreparedKernel:
     ctx = _kernel_context(name, params, max_vertices)
     prep = _PreparedKernel(
         name=name, category=ctx.category, params=dict(params)
@@ -669,19 +693,22 @@ def _replay_shared(task: tuple) -> tuple:
     No stream construction happens here, by design -- the function only
     knows segment refs, so a worker cannot rebuild even by accident.
     """
-    schedule_ref, baseline_ref, s, chunk_size = task
-    try:
-        stream = shared_streams.attach_cached(schedule_ref)
-        baseline = shared_streams.attach_cached(baseline_ref)
-        schedule_cost = simulate_io(
-            stream, s, slab_positions=chunk_size
-        ).cost
-        program_order_cost = simulate_io(
-            baseline, s, slab_positions=chunk_size
-        ).cost
-    except SoapError as err:
-        return ("error", str(err))
-    return ("ok", schedule_cost, program_order_cost)
+    schedule_ref, baseline_ref, s, chunk_size, kernel, tctx = task
+    with attach(tctx), obs_span(
+        "tightness.replay-point", kernel=kernel, s=int(s)
+    ):
+        try:
+            stream = shared_streams.attach_cached(schedule_ref)
+            baseline = shared_streams.attach_cached(baseline_ref)
+            schedule_cost = simulate_io(
+                stream, s, slab_positions=chunk_size
+            ).cost
+            program_order_cost = simulate_io(
+                baseline, s, slab_positions=chunk_size
+            ).cost
+        except SoapError as err:
+            return ("error", str(err))
+        return ("ok", schedule_cost, program_order_cost)
 
 
 def _shared_sweep(
@@ -717,8 +744,9 @@ def _shared_sweep(
     # be able to spawn a worker per sweep point on a large corpus
     n_points = len(kernel_specs) * max(1, len(s_values))
     workers = max(1, min(int(jobs), n_points, os.cpu_count() or 1))
+    tctx = trace_context()  # workers stitch under the driver's sweep span
     prep_tasks = [
-        (name, params, s_values, max_vertices, bound, program_bound)
+        (name, params, s_values, max_vertices, bound, program_bound, tctx)
         for name, params, bound, program_bound in kernel_specs
     ]
     refs: list = []
@@ -735,7 +763,7 @@ def _shared_sweep(
                     if point.kind == "replay":
                         replay_tasks.append(
                             (point.schedule_ref, point.baseline_ref,
-                             point.s, chunk_size)
+                             point.s, chunk_size, prep.name, tctx)
                         )
                         slots.append((ki, pi))
             replays = (

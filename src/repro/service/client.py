@@ -130,6 +130,10 @@ class ServiceClient:
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
 
+    def metrics_prometheus(self) -> str:
+        """``GET /metrics?format=prometheus``: raw text exposition."""
+        return self._request("GET", "/metrics?format=prometheus", raw=True)
+
     def kernel(
         self,
         name: str,
@@ -137,10 +141,13 @@ class ServiceClient:
         priority: str = "normal",
         wait: bool = True,
         timeout: float | None = None,
+        trace: bool = False,
     ) -> JobRecord:
         body = {"name": name, "priority": priority, "wait": wait}
         if timeout is not None:
             body["timeout"] = timeout
+        if trace:
+            body["trace"] = True
         return JobRecord.from_payload(self._request("POST", "/kernel", body))
 
     def analyze(
@@ -154,6 +161,7 @@ class ServiceClient:
         allow_pinning: bool = False,
         priority: str = "normal",
         wait: bool = True,
+        trace: bool = False,
     ) -> JobRecord:
         body = {
             "source": source,
@@ -166,6 +174,8 @@ class ServiceClient:
         }
         if max_subgraph_size is not None:
             body["max_subgraph_size"] = max_subgraph_size
+        if trace:
+            body["trace"] = True
         return JobRecord.from_payload(self._request("POST", "/analyze", body))
 
     def tightness(
@@ -179,16 +189,20 @@ class ServiceClient:
         timeout: float | None = None,
         jobs: int = 1,
         chunk_size: int | None = None,
+        trace: bool = False,
     ) -> JobRecord:
         """``POST /tightness``: queue (or block on) a tightness audit.
 
         ``jobs`` parallelizes the daemon-side replay sweep over a process
         pool; ``chunk_size`` bounds daemon-side replay memory.  The payload
-        is identical whatever either value.
+        is identical whatever either value.  ``trace=True`` embeds the
+        job's stitched span tree in the result.
         """
         body: dict = {"priority": priority, "wait": wait, "jobs": jobs}
         if chunk_size is not None:
             body["chunk_size"] = chunk_size
+        if trace:
+            body["trace"] = True
         if kernels is not None:
             body["kernels"] = kernels
         if s_values is not None:
@@ -238,7 +252,9 @@ class ServiceClient:
     # transport
     # ------------------------------------------------------------------
 
-    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+    def _request(
+        self, method: str, path: str, body: dict | None = None, *, raw: bool = False
+    ):
         encoded = json.dumps(body).encode("utf-8") if body is not None else None
         headers = {"Content-Type": "application/json"} if encoded else {}
         for attempt in (0, 1):
@@ -246,7 +262,8 @@ class ServiceClient:
             try:
                 connection.request(method, path, body=encoded, headers=headers)
                 response = connection.getresponse()
-                payload = json.loads(response.read() or b"{}")
+                data = response.read()
+                payload = data.decode("utf-8") if raw else json.loads(data or b"{}")
             except (http.client.HTTPException, ConnectionError, OSError):
                 # stale keep-alive connection: reconnect once, then give up
                 self.close()
@@ -255,7 +272,10 @@ class ServiceClient:
                 continue
             if response.status >= 400:
                 # 422 job records still parse; surface them as exceptions
-                raise ServiceError(response.status, payload)
+                raise ServiceError(
+                    response.status,
+                    payload if isinstance(payload, dict) else {"error": payload},
+                )
             return payload
         raise AssertionError("unreachable")
 

@@ -23,12 +23,16 @@ Everything here is transport-free; the HTTP frontend lives in
 from __future__ import annotations
 
 import asyncio
+import os
+import tempfile
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.engine import Engine, SolveCache, program_fingerprint
+from repro.obs import Tracer, read_trace, span_tree
+from repro.obs import span as obs_span
 from repro.service.jobs import (
     DEFAULT_PRIORITY,
     DONE,
@@ -63,13 +67,15 @@ class AnalysisService:
     def __init__(self, config: ServiceConfig | None = None):
         self.config = config or ServiceConfig()
         self.metrics = ServiceMetrics()
+        # The engine shares the service's metrics registry, so its stage
+        # counters (and every span finished under a job) land in /metrics.
         self.engine = Engine(
             cache=SolveCache(
                 self.config.cache_dir,
                 max_memory_entries=self.config.max_cache_entries,
             ),
-            on_stage=self.metrics.observe_stage,
             solver=self.config.solver,
+            registry=self.metrics.registry,
         )
         self._jobs: dict[str, Job] = {}
         self._inflight: dict[str, Job] = {}
@@ -115,7 +121,13 @@ class AnalysisService:
     # submission (event-loop side)
     # ------------------------------------------------------------------
 
-    def submit_kernel(self, name: str, *, priority: str = DEFAULT_PRIORITY) -> Job:
+    def submit_kernel(
+        self,
+        name: str,
+        *,
+        priority: str = DEFAULT_PRIORITY,
+        trace: bool = False,
+    ) -> Job:
         """Queue a registered-kernel analysis; unknown names raise KeyError."""
         from repro.analysis import analyze_kernel
         from repro.kernels import get_kernel
@@ -133,6 +145,7 @@ class AnalysisService:
             priority=priority,
             request={"kernel": name},
             work=work,
+            trace=trace,
         )
 
     async def submit_source(
@@ -145,6 +158,7 @@ class AnalysisService:
         max_subgraph_size: int | None = None,
         allow_pinning: bool = False,
         priority: str = DEFAULT_PRIORITY,
+        trace: bool = False,
     ) -> Job:
         """Queue a source analysis; parse errors raise before a job exists.
 
@@ -197,6 +211,7 @@ class AnalysisService:
             priority=priority,
             request={"program": name, "language": language, "policy": policy},
             work=work,
+            trace=trace,
         )
 
     def submit_batch(
@@ -214,6 +229,7 @@ class AnalysisService:
         priority: str = "low",
         jobs: int = 1,
         chunk_size: int | None = None,
+        trace: bool = False,
     ) -> Job:
         """Queue a schedule-replay tightness audit over ``kernels``.
 
@@ -285,10 +301,51 @@ class AnalysisService:
                 "chunk_size": slab,
             },
             work=work,
+            trace=trace,
         )
 
-    def _submit(self, *, kind, key, priority, request, work) -> Job:
+    def _instrumented(self, kind: str, work, trace: bool):
+        """Wrap a job's work callable with span accounting.
+
+        Every job runs under a tracer bound to the service registry, so
+        ``repro status`` / ``/metrics`` count spans even for untraced jobs.
+        A *traced* job additionally sinks spans to a temporary JSONL file
+        (forked sweep workers append to it) and embeds the stitched span
+        tree in its result payload under ``"trace"``.
+        """
+        registry = self.metrics.registry
+
+        if not trace:
+            def run() -> dict:
+                with Tracer(registry=registry), obs_span("job", kind=kind):
+                    return work()
+
+            return run
+
+        def run_traced() -> dict:
+            fd, path = tempfile.mkstemp(prefix="soap-trace-", suffix=".jsonl")
+            os.close(fd)
+            try:
+                tracer = Tracer(path, registry=registry)
+                with tracer, obs_span("job", kind=kind):
+                    result = work()
+                records = read_trace(path)
+            finally:
+                os.unlink(path)
+            return dict(
+                result,
+                trace={"trace_id": tracer.trace_id, "spans": span_tree(records)},
+            )
+
+        return run_traced
+
+    def _submit(self, *, kind, key, priority, request, work, trace=False) -> Job:
         rank = priority_rank(priority)  # validate before touching any state
+        if trace:
+            # a traced result carries extra payload, so it must never be
+            # handed to a waiter that asked for the untraced shape
+            key += ":traced"
+        work = self._instrumented(kind, work, trace)
         if self.config.coalesce:
             existing = self._inflight.get(key)
             if existing is not None and existing.state in (QUEUED, RUNNING):

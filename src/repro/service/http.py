@@ -9,18 +9,22 @@ method    path                body / behaviour
 ========  ==================  ====================================================
 POST      ``/analyze``        ``{"source": ..., "language"?, "name"?, "policy"?,
                               "max_subgraph_size"?, "allow_pinning"?,
-                              "priority"?, "wait"?}``
-POST      ``/kernel``         ``{"name": ..., "priority"?, "wait"?}``
+                              "priority"?, "wait"?, "trace"?}``
+POST      ``/kernel``         ``{"name": ..., "priority"?, "wait"?, "trace"?}``
 POST      ``/batch``          ``{"kernels": [...], "priority"?, "wait"?}``
 POST      ``/tightness``      ``{"kernels"?, "s_values"?, "params"?, "jobs"?,
-                              "chunk_size"?, "priority"?, "wait"?}`` --
-                              schedule-replay tightness audit (default: full
+                              "chunk_size"?, "priority"?, "wait"?, "trace"?}``
+                              -- schedule-replay tightness audit (default: full
                               corpus; ``jobs`` parallelizes the replay sweep,
                               ``chunk_size`` bounds replay memory)
 GET       ``/jobs/<id>``      poll one job record
-GET       ``/metrics``        queue depth, coalesce rate, stage timings, cache
+GET       ``/metrics``        queue depth, coalesce rate, stage timings, cache;
+                              ``?format=prometheus`` for text exposition
 GET       ``/healthz``        liveness + version
 ========  ==================  ====================================================
+
+``"trace": true`` runs the job under a span tracer and embeds the stitched
+span tree in the result payload (``result["trace"]``).
 
 ``wait`` defaults to true on ``/analyze``/``/kernel`` (the response carries
 the finished job record, result included) and false on ``/batch`` (the
@@ -147,11 +151,17 @@ class ServiceServer:
         return method.upper(), path, headers, body
 
     async def _write_response(self, writer, status, payload, keep_alive) -> None:
-        body = json.dumps(payload, indent=1).encode("utf-8")
+        if isinstance(payload, str):
+            # pre-rendered text body (Prometheus exposition format)
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload, indent=1).encode("utf-8")
+            content_type = "application/json"
         reason = {200: "OK", 202: "Accepted"}.get(status, "Error")
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
@@ -164,24 +174,26 @@ class ServiceServer:
     # ------------------------------------------------------------------
 
     async def _dispatch(self, method: str, path: str, body: bytes):
-        bare = path.split("?")[0]
+        bare, _, query = path.partition("?")
         # normalize per-job paths so the endpoint counter stays bounded
         label = "/jobs/<id>" if bare.startswith("/jobs/") else bare
         self.service.metrics.observe_request(f"{method} {label}")
         try:
-            if method == "GET" and path == "/healthz":
+            if method == "GET" and bare == "/healthz":
                 return 200, self.service.healthz()
-            if method == "GET" and path == "/metrics":
+            if method == "GET" and bare == "/metrics":
+                if _query_params(query).get("format") == "prometheus":
+                    return 200, self.service.metrics.prometheus()
                 return 200, self.service.metrics_snapshot()
-            if method == "GET" and path.startswith("/jobs/"):
-                return self._job_record(path[len("/jobs/"):])
-            if method == "POST" and path == "/analyze":
+            if method == "GET" and bare.startswith("/jobs/"):
+                return self._job_record(bare[len("/jobs/"):])
+            if method == "POST" and bare == "/analyze":
                 return await self._post_analyze(_json_body(body))
-            if method == "POST" and path == "/kernel":
+            if method == "POST" and bare == "/kernel":
                 return await self._post_kernel(_json_body(body))
-            if method == "POST" and path == "/batch":
+            if method == "POST" and bare == "/batch":
                 return await self._post_batch(_json_body(body))
-            if method == "POST" and path == "/tightness":
+            if method == "POST" and bare == "/tightness":
                 return await self._post_tightness(_json_body(body))
             return 404, {"error": f"no route for {method} {path}"}
         except _HttpError as err:
@@ -202,7 +214,9 @@ class ServiceServer:
     async def _post_kernel(self, body: dict):
         name = _required(body, "name")
         job = self.service.submit_kernel(
-            name, priority=body.get("priority", DEFAULT_PRIORITY)
+            name,
+            priority=body.get("priority", DEFAULT_PRIORITY),
+            trace=bool(body.get("trace", False)),
         )
         return await self._respond(job, body)
 
@@ -216,6 +230,7 @@ class ServiceServer:
             max_subgraph_size=body.get("max_subgraph_size"),
             allow_pinning=bool(body.get("allow_pinning", False)),
             priority=body.get("priority", DEFAULT_PRIORITY),
+            trace=bool(body.get("trace", False)),
         )
         return await self._respond(job, body)
 
@@ -266,6 +281,7 @@ class ServiceServer:
             priority=body.get("priority", "low"),
             jobs=jobs,
             chunk_size=chunk_size,
+            trace=bool(body.get("trace", False)),
         )
         # An audit can run for minutes: poll ``/jobs/<id>`` unless the
         # caller explicitly asks to block.
@@ -276,6 +292,16 @@ class ServiceServer:
             await self.service.wait(job, timeout=_wait_timeout(body))
             return (200 if job.finished_ok else 422), job.record()
         return 202, job.record(include_result=False)
+
+
+def _query_params(query: str) -> dict[str, str]:
+    """``a=b&c=d`` -> dict; bare keys map to ``""`` (no urldecoding needed)."""
+    params: dict[str, str] = {}
+    for part in query.split("&"):
+        if part:
+            name, _, value = part.partition("=")
+            params[name] = value
+    return params
 
 
 def _json_body(body: bytes) -> dict:

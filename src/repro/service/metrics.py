@@ -1,8 +1,11 @@
 """Service-wide counters: queue, coalescing, per-stage timings, latencies.
 
-One :class:`ServiceMetrics` instance is shared by the event loop (submission
-path) and the worker threads (engine ``on_stage`` hook), so every mutation
-takes the internal lock.  ``snapshot`` renders the ``/metrics`` payload.
+:class:`ServiceMetrics` is a facade over one
+:class:`~repro.obs.metrics.MetricsRegistry` -- the same implementation that
+backs span accounting and engine stage timings.  The service hands its
+registry to the shared :class:`~repro.engine.Engine` (``registry=``), so
+engine stage counters land next to the service's own queue/latency metrics
+and one ``GET /metrics`` (JSON or Prometheus text) sees everything.
 
 Latency percentiles are computed over a bounded reservoir of the most recent
 job wall times -- a daemon serving millions of requests must not keep every
@@ -11,77 +14,63 @@ sample forever, and recent latencies are the ones an operator watches.
 
 from __future__ import annotations
 
-import threading
 import time
-from collections import deque
 
 from repro.engine.diagnostics import StageRecord
+from repro.obs.metrics import MetricsRegistry, percentile
 
-_RESERVOIR = 4096
-
-
-def percentile(samples: list[float], q: float) -> float | None:
-    """Nearest-rank percentile (``q`` in [0, 100]) of ``samples``."""
-    if not samples:
-        return None
-    ordered = sorted(samples)
-    rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
-    return ordered[rank]
+__all__ = ["ServiceMetrics", "percentile"]
 
 
 class ServiceMetrics:
-    """Thread-safe counters behind ``/metrics``."""
+    """Thread-safe counters behind ``/metrics`` (registry facade).
 
-    def __init__(self):
-        self._lock = threading.Lock()
+    Each service instance owns a private registry (not the process default)
+    so concurrent services -- and tests -- never see each other's counts.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.started_at = time.time()
         self._started_clock = time.monotonic()
-        self.requests: dict[str, int] = {}  # endpoint -> hits
-        self.jobs_submitted = 0
-        self.jobs_completed = 0
-        self.jobs_failed = 0
-        self.coalesced = 0
-        self.queue_depth_peak = 0
-        self._stage_seconds: dict[str, float] = {}
-        self._stage_calls: dict[str, int] = {}
-        self._latencies: deque[float] = deque(maxlen=_RESERVOIR)
-        self._queue_latencies: deque[float] = deque(maxlen=_RESERVOIR)
 
     # ------------------------------------------------------------------
     # observation hooks
     # ------------------------------------------------------------------
 
     def observe_request(self, endpoint: str) -> None:
-        with self._lock:
-            self.requests[endpoint] = self.requests.get(endpoint, 0) + 1
+        self.registry.inc("service_requests_total", 1.0, endpoint=endpoint)
 
     def observe_submitted(self, queue_depth: int) -> None:
-        with self._lock:
-            self.jobs_submitted += 1
-            self.queue_depth_peak = max(self.queue_depth_peak, queue_depth)
+        self.registry.inc("service_jobs_submitted_total")
+        self.registry.max_gauge("service_queue_depth_peak", float(queue_depth))
 
     def observe_coalesced(self) -> None:
-        with self._lock:
-            self.coalesced += 1
+        self.registry.inc("service_jobs_coalesced_total")
 
     def observe_stage(self, stage: StageRecord) -> None:
-        """Engine job hook: accumulate per-stage wall time across all jobs."""
-        with self._lock:
-            self._stage_seconds[stage.name] = (
-                self._stage_seconds.get(stage.name, 0.0) + stage.seconds
-            )
-            self._stage_calls[stage.name] = self._stage_calls.get(stage.name, 0) + 1
+        """Accumulate one engine stage into the registry.
+
+        Only for engines that do *not* share this registry -- an engine
+        constructed with ``registry=metrics.registry`` records its stages
+        itself, and wiring its ``on_stage`` here too would double-count.
+        """
+        self.registry.inc(
+            "engine_stage_seconds_total", stage.seconds, stage=stage.name
+        )
+        self.registry.inc("engine_stages_total", 1.0, stage=stage.name)
 
     def observe_finished(self, job) -> None:
-        with self._lock:
-            if job.finished_ok:
-                self.jobs_completed += 1
-            else:
-                self.jobs_failed += 1
-            if job.run_seconds is not None:
-                self._latencies.append(job.run_seconds)
-            if job.queue_seconds is not None:
-                self._queue_latencies.append(job.queue_seconds)
+        if job.finished_ok:
+            self.registry.inc("service_jobs_completed_total")
+        else:
+            self.registry.inc("service_jobs_failed_total")
+        if job.run_seconds is not None:
+            self.registry.observe("service_run_seconds", job.run_seconds)
+        if job.queue_seconds is not None:
+            self.registry.observe(
+                "service_queue_wait_seconds", job.queue_seconds
+            )
 
     # ------------------------------------------------------------------
     # rendering
@@ -90,8 +79,14 @@ class ServiceMetrics:
     @property
     def coalesce_rate(self) -> float:
         """Fraction of accepted analysis requests served by an in-flight job."""
-        total = self.jobs_submitted + self.coalesced
-        return self.coalesced / total if total else 0.0
+        coalesced = self.registry.counter_value("service_jobs_coalesced_total")
+        submitted = self.registry.counter_value("service_jobs_submitted_total")
+        total = submitted + coalesced
+        return coalesced / total if total else 0.0
+
+    def prometheus(self) -> str:
+        """Prometheus text exposition of the whole registry."""
+        return self.registry.prometheus()
 
     def snapshot(
         self,
@@ -102,42 +97,55 @@ class ServiceMetrics:
         workers: int,
         solver: dict | None = None,
     ) -> dict:
-        with self._lock:
-            run_samples = list(self._latencies)
-            queue_samples = list(self._queue_latencies)
-            return {
-                "uptime_seconds": time.monotonic() - self._started_clock,
-                "workers": workers,
-                "requests": dict(sorted(self.requests.items())),
-                "queue": {
-                    "depth": queue_depth,
-                    "depth_peak": self.queue_depth_peak,
-                    "wait_seconds_p50": percentile(queue_samples, 50),
-                    "wait_seconds_p99": percentile(queue_samples, 99),
-                },
-                "jobs": {
-                    "submitted": self.jobs_submitted,
-                    "completed": self.jobs_completed,
-                    "failed": self.jobs_failed,
-                    **jobs,
-                },
-                "coalescing": {
-                    "coalesced_total": self.coalesced,
-                    "coalesce_rate": self.coalesce_rate,
-                },
-                "latency": {
-                    "samples": len(run_samples),
-                    "run_seconds_p50": percentile(run_samples, 50),
-                    "run_seconds_p90": percentile(run_samples, 90),
-                    "run_seconds_p99": percentile(run_samples, 99),
-                },
-                "stages": {
-                    name: {
-                        "seconds_total": seconds,
-                        "calls": self._stage_calls.get(name, 0),
-                    }
-                    for name, seconds in sorted(self._stage_seconds.items())
-                },
-                "cache": cache,
-                "solver": solver or {},
-            }
+        reg = self.registry
+        run_samples = reg.samples("service_run_seconds")
+        queue_samples = reg.samples("service_queue_wait_seconds")
+        stage_seconds = reg.counter_by_label("engine_stage_seconds_total", "stage")
+        stage_calls = reg.counter_by_label("engine_stages_total", "stage")
+        return {
+            "uptime_seconds": time.monotonic() - self._started_clock,
+            "workers": workers,
+            "requests": {
+                endpoint: int(hits)
+                for endpoint, hits in reg.counter_by_label(
+                    "service_requests_total", "endpoint"
+                ).items()
+            },
+            "queue": {
+                "depth": queue_depth,
+                "depth_peak": int(reg.gauge_value("service_queue_depth_peak") or 0),
+                "wait_seconds_p50": percentile(queue_samples, 50),
+                "wait_seconds_p99": percentile(queue_samples, 99),
+            },
+            "jobs": {
+                "submitted": int(reg.counter_value("service_jobs_submitted_total")),
+                "completed": int(reg.counter_value("service_jobs_completed_total")),
+                "failed": int(reg.counter_value("service_jobs_failed_total")),
+                **jobs,
+            },
+            "coalescing": {
+                "coalesced_total": int(
+                    reg.counter_value("service_jobs_coalesced_total")
+                ),
+                "coalesce_rate": self.coalesce_rate,
+            },
+            "latency": {
+                "samples": len(run_samples),
+                "run_seconds_p50": percentile(run_samples, 50),
+                "run_seconds_p90": percentile(run_samples, 90),
+                "run_seconds_p99": percentile(run_samples, 99),
+            },
+            "stages": {
+                name: {
+                    "seconds_total": seconds,
+                    "calls": int(stage_calls.get(name, 0)),
+                }
+                for name, seconds in stage_seconds.items()
+            },
+            "spans": {
+                "counts": reg.span_counts(),
+                "slowest": reg.slowest_spans(),
+            },
+            "cache": cache,
+            "solver": solver or {},
+        }

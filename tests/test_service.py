@@ -236,6 +236,88 @@ class TestEndpoints:
         assert "hit_rate" in metrics["cache"]
         assert metrics["latency"]["samples"] >= 1
 
+    def test_metrics_span_counts(self, client):
+        """Every job runs under a registry tracer, even untraced ones."""
+        client.kernel("gemm")
+        spans = client.metrics()["spans"]
+        assert spans["counts"].get("job", 0) >= 1
+        assert spans["counts"].get("engine.analyze", 0) >= 1
+        assert spans["slowest"]
+
+    def test_metrics_prometheus_format(self, client):
+        client.kernel("gemm")
+        text = client.metrics_prometheus()
+        lines = text.strip().splitlines()
+        assert "# TYPE repro_service_jobs_submitted_total counter" in lines
+        assert any(
+            line.startswith("repro_engine_stage_seconds_total{stage=")
+            for line in lines
+        )
+        import re
+
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9][0-9eE.+-]*$"
+        )
+        for line in lines:
+            assert line.startswith("#") or sample.match(line), line
+
+
+class TestTracedJobs:
+    def test_kernel_trace_embeds_span_tree(self, client):
+        record = client.kernel("atax", trace=True)
+        assert record.ok
+        trace = record.result["trace"]
+        assert trace["trace_id"]
+        (root,) = trace["spans"]
+        assert root["name"] == "job"
+        names = set()
+
+        def collect(node):
+            names.add(node["name"])
+            for child in node["children"]:
+                collect(child)
+
+        collect(root)
+        assert {"engine.analyze", "build-sdg", "solve", "combine"} <= names
+
+    def test_untraced_result_has_no_trace_key(self, client):
+        record = client.kernel("atax")
+        assert record.ok
+        assert "trace" not in record.result
+
+    def test_traced_and_untraced_do_not_coalesce(self):
+        with ServiceThread(ServiceConfig(workers=1)) as thread:
+            with ServiceClient(port=thread.port) as c:
+                plain = c.kernel("doitgen", wait=False)
+                traced = c.kernel("doitgen", wait=False, trace=True)
+                assert plain.id != traced.id
+                assert c.wait_for(plain.id, timeout=300).ok
+                done = c.wait_for(traced.id, timeout=300)
+                assert done.ok and "trace" in done.result
+
+    def test_analyze_trace_flag(self, client):
+        record = client.analyze(GEMM_SRC, name="traced-gemm", trace=True)
+        assert record.ok
+        assert record.result["trace"]["spans"]
+
+    def test_tightness_trace_stitches_sweep_spans(self, client):
+        record = client.tightness(
+            ["atax"], s_values=[8], wait=True, trace=True
+        )
+        assert record.ok
+        names = set()
+
+        def collect(node):
+            names.add(node["name"])
+            for child in node["children"]:
+                collect(child)
+
+        for root in record.result["trace"]["spans"]:
+            collect(root)
+        assert {
+            "job", "tightness.audit", "stream.build", "next-use", "replay"
+        } <= names
+
 
 class TestCoalescing:
     def test_concurrent_duplicates_share_one_job(self):
