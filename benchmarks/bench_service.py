@@ -1,41 +1,53 @@
-"""Analysis-service load test: concurrent suite replay against the daemon.
+"""Analysis-fleet load test: client x worker sweep against the sharded daemon.
 
-Spins up the daemon in-process and replays the Table 2 kernel suite from N
-concurrent clients, three times:
+Spins up the daemon in-process with a forked worker fleet and replays the
+Table 2 kernel suite against it:
 
-* **cold**  -- fresh daemon, coalescing on: every client asks for the same
-  kernels at the same time, so duplicate in-flight requests coalesce onto
-  one computation and the solve cache fills as the suite streams through;
-* **warm**  -- same daemon, second replay: every problem (8) instance is
-  memoized, so requests are served from cache (must be >= 2x faster than
-  cold);
-* **cold-nocoalesce** -- fresh daemon with coalescing disabled: duplicates
-  are deduplicated only by the (slower) solve-cache path, isolating what
-  coalescing itself buys.
+* **worker sweep** -- for each fleet size, a fresh daemon replays the suite
+  cold (empty shared store; duplicate in-flight requests coalesce, claims
+  dedupe across workers) and then warm at each client count in the client
+  sweep (every problem (8) is in the sqlite store and every report in the
+  artifact cache);
+* **cold-nocoalesce** -- front-end coalescing disabled: duplicates are
+  deduplicated only by the cross-process claims table, isolating what
+  in-process coalescing itself buys;
+* **reference** -- a fixed small config (SUBSET kernels, 8 clients, the
+  largest fleet) whose warm p99 is the regression gate CI compares against
+  the committed ``BENCH_service.json``.
 
-Each phase records throughput and client-observed latency percentiles; the
-payload lands in ``BENCH_service.json``.  Every response is checked
-bit-identical to a direct in-process ``analyze_kernel`` call.
+Each phase records throughput and client-observed p50/p90/p99; the payload
+lands in ``BENCH_service.json``.  Responses are checked bit-identical to a
+direct in-process ``analyze_kernel`` call.
+
+Scaling caveat: cold-suite scaling across fleet sizes only manifests with
+enough cores (the payload records ``cpu_count``; the >= 2x gate applies
+when at least 4 cores back a >= 4-worker fleet).
 
 Run under pytest (``pytest benchmarks/bench_service.py``) for a
 representative subset, or as a script for the full 38-kernel suite::
 
-    PYTHONPATH=src python benchmarks/bench_service.py --clients 8 -o BENCH_service.json
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --clients 8,64,256 --workers 1,4 -o BENCH_service.json
 """
 
+import os
 import sys
 import threading
 import time
 
 from _harness import finish, make_parser, run_once
 from repro.service import ServiceClient, ServiceConfig, ServiceThread
-from repro.service.metrics import percentile
+from repro.obs.metrics import percentile
 
-#: fast, structurally diverse subset for the pytest target
+#: fast, structurally diverse subset for the pytest target and the CI gate
 SUBSET = ["gemm", "2mm", "atax", "bicg", "mvt", "jacobi1d", "jacobi2d", "trisolv"]
 
 WARM_SPEEDUP_FLOOR = 2.0
-DEFAULT_CLIENTS = 8
+#: committed warm p99 of the pre-fleet single-process daemon (full suite,
+#: 8 clients): the sharded daemon at 64 clients must beat it outright
+SINGLE_PROCESS_WARM_P99 = 1.5385402340007204
+DEFAULT_CLIENTS = (8, 64, 256)
+DEFAULT_WORKERS = (1, 4)
 
 
 def _replay(port: int, names: list[str], clients: int) -> dict:
@@ -67,6 +79,7 @@ def _replay(port: int, names: list[str], clients: int) -> dict:
     elapsed = time.perf_counter() - started
     flat = [sample for per_client in latencies for sample in per_client]
     return {
+        "clients": clients,
         "seconds": elapsed,
         "requests": len(flat),
         "errors": errors,
@@ -96,80 +109,225 @@ def _identity_check(port: int, names: list[str]) -> list[str]:
     return mismatches
 
 
-def run_suite(names=None, *, clients=DEFAULT_CLIENTS, workers=2) -> dict:
-    """Measure the three phases; returns the BENCH_service.json payload."""
-    from repro.kernels import kernel_names
-
-    names = list(names) if names is not None else kernel_names()
+def _fleet_phase(names, *, workers, clients_sweep) -> dict:
+    """One fleet size: fresh daemon, cold replay, warm replay per client count."""
+    base_clients = clients_sweep[0]
     with ServiceThread(ServiceConfig(workers=workers)) as daemon:
-        cold = _replay(daemon.port, names, clients)
-        warm = _replay(daemon.port, names, clients)
+        cold = _replay(daemon.port, names, base_clients)
+        with ServiceClient(port=daemon.port) as client:
+            # comparable to the nocoalesce phase: same request count
+            cold_jobs_submitted = client.metrics()["jobs"]["submitted"]
+        warm = {
+            str(clients): _replay(daemon.port, names, clients)
+            for clients in clients_sweep
+        }
         identity_mismatches = _identity_check(daemon.port, names)
         with ServiceClient(port=daemon.port) as client:
             metrics = client.metrics()
-    with ServiceThread(ServiceConfig(workers=workers, coalesce=False)) as daemon:
-        nocoalesce = _replay(daemon.port, names, clients)
-        with ServiceClient(port=daemon.port) as client:
-            nocoalesce_metrics = client.metrics()
-
     return {
-        "suite": "table2-service",
-        "kernels": names,
-        "clients": clients,
         "workers": workers,
         "cold": cold,
+        "cold_jobs_submitted": cold_jobs_submitted,
         "warm": warm,
-        "cold_nocoalesce": nocoalesce,
-        "warm_speedup": (
-            cold["seconds"] / warm["seconds"] if warm["seconds"] else None
-        ),
-        "coalescing": metrics["coalescing"],
-        "coalescing_disabled_jobs": nocoalesce_metrics["jobs"]["submitted"],
-        "coalescing_enabled_jobs": metrics["jobs"]["submitted"],
-        "cache": metrics["cache"],
         "identity_mismatches": identity_mismatches,
+        "coalescing": metrics["coalescing"],
+        "jobs_submitted": metrics["jobs"]["submitted"],
+        "cache": metrics["cache"],
+        "store": metrics["store"],
+        "report_cache": metrics["report_cache"],
     }
 
 
+def _reference_phase(workers: int) -> dict:
+    """The CI regression anchor: SUBSET kernels, 8 clients, fixed fleet."""
+    with ServiceThread(ServiceConfig(workers=workers)) as daemon:
+        cold = _replay(daemon.port, SUBSET, 8)
+        warm = _replay(daemon.port, SUBSET, 8)
+    return {
+        "kernels": "subset",
+        "workers": workers,
+        "clients": 8,
+        "cold": cold,
+        "warm": warm,
+    }
+
+
+def run_suite(
+    names=None,
+    *,
+    clients_sweep=DEFAULT_CLIENTS,
+    workers_sweep=DEFAULT_WORKERS,
+) -> dict:
+    """Measure the full sweep; returns the BENCH_service.json payload."""
+    from repro.kernels import kernel_names
+
+    names = list(names) if names is not None else kernel_names()
+    clients_sweep = sorted(set(int(c) for c in clients_sweep))
+    workers_sweep = sorted(set(int(w) for w in workers_sweep))
+    cpu_count = os.cpu_count() or 1
+
+    fleets = [
+        _fleet_phase(names, workers=workers, clients_sweep=clients_sweep)
+        for workers in workers_sweep
+    ]
+    top = fleets[-1]
+
+    with ServiceThread(
+        ServiceConfig(workers=workers_sweep[-1], coalesce=False)
+    ) as daemon:
+        nocoalesce = _replay(daemon.port, names, clients_sweep[0])
+        with ServiceClient(port=daemon.port) as client:
+            nocoalesce_jobs = client.metrics()["jobs"]["submitted"]
+
+    reference = _reference_phase(workers_sweep[-1])
+
+    # cold-suite scaling across fleet sizes (only meaningful with cores to
+    # back the workers: 1-core boxes timeshare the fleet)
+    scaling = None
+    if len(fleets) > 1:
+        smallest, largest = fleets[0], fleets[-1]
+        scaling = {
+            "workers_low": smallest["workers"],
+            "workers_high": largest["workers"],
+            "cold_seconds_low": smallest["cold"]["seconds"],
+            "cold_seconds_high": largest["cold"]["seconds"],
+            "speedup": (
+                smallest["cold"]["seconds"] / largest["cold"]["seconds"]
+                if largest["cold"]["seconds"]
+                else None
+            ),
+            "gated": cpu_count >= 4 and largest["workers"] >= 4,
+        }
+
+    warm_top = top["warm"][str(max(clients_sweep))]
+    cold_top = top["cold"]
+    return {
+        "suite": "table2-service-fleet",
+        "kernels": names,
+        "cpu_count": cpu_count,
+        "clients_sweep": clients_sweep,
+        "workers_sweep": workers_sweep,
+        "fleets": fleets,
+        "cold_nocoalesce": nocoalesce,
+        "coalescing_disabled_jobs": nocoalesce_jobs,
+        "coalescing_enabled_jobs": top["cold_jobs_submitted"],
+        "scaling": scaling,
+        "reference": reference,
+        "warm_speedup": (
+            cold_top["seconds"] / top["warm"][str(clients_sweep[0])]["seconds"]
+            if top["warm"][str(clients_sweep[0])]["seconds"]
+            else None
+        ),
+        "warm_p99_at_max_clients": warm_top["latency_seconds"]["p99"],
+        "single_process_warm_p99_baseline": SINGLE_PROCESS_WARM_P99,
+        "identity_mismatches": [
+            mismatch for fleet in fleets for mismatch in fleet["identity_mismatches"]
+        ],
+    }
+
+
+def _gate(payload: dict, *, full_suite: bool) -> list[str]:
+    """Acceptance predicates; returns failure descriptions."""
+    failures = []
+    top = payload["fleets"][-1]
+    if payload["identity_mismatches"]:
+        failures.append(f"identity mismatches: {payload['identity_mismatches']}")
+    for fleet in payload["fleets"]:
+        for phase in [fleet["cold"], *fleet["warm"].values()]:
+            if phase["errors"]:
+                failures.append(f"replay errors: {phase['errors'][:3]}")
+    if payload["warm_speedup"] is None or (
+        payload["warm_speedup"] < WARM_SPEEDUP_FLOOR
+    ):
+        failures.append(
+            f"warm speedup {payload['warm_speedup']} < {WARM_SPEEDUP_FLOOR}"
+        )
+    if top["coalescing"]["coalesce_rate"] <= 0:
+        failures.append("no request coalescing observed")
+    if payload["coalescing_enabled_jobs"] >= payload["coalescing_disabled_jobs"]:
+        failures.append("coalescing did not reduce job count")
+    store = top["store"]
+    if store.get("stores", 0) != store.get("entries", 0):
+        failures.append(
+            f"solve-once violated: {store.get('stores')} stores for "
+            f"{store.get('entries')} store entries"
+        )
+    scaling = payload["scaling"]
+    if scaling is not None and scaling["gated"]:
+        if scaling["speedup"] is None or scaling["speedup"] < 2.0:
+            failures.append(
+                f"cold scaling {scaling['speedup']} < 2.0 across "
+                f"{scaling['workers_low']} -> {scaling['workers_high']} workers"
+            )
+    if (
+        full_suite
+        and max(payload["clients_sweep"]) >= 64
+        and top["workers"] >= 4
+        and payload["warm_p99_at_max_clients"] >= SINGLE_PROCESS_WARM_P99
+    ):
+        failures.append(
+            f"warm p99 {payload['warm_p99_at_max_clients']:.4f}s not better "
+            f"than the single-process baseline {SINGLE_PROCESS_WARM_P99:.4f}s"
+        )
+    return failures
+
+
 def test_service_load(benchmark):
-    """>= 8 concurrent clients; coalesce rate > 0; warm >= 2x; bit-identical."""
+    """Fleet sweep on the subset: coalesce rate > 0, warm >= 2x, solve-once,
+    bit-identical to direct analysis."""
     payload = run_once(
-        benchmark, run_suite, names=SUBSET, clients=DEFAULT_CLIENTS, workers=2
+        benchmark,
+        run_suite,
+        names=SUBSET,
+        clients_sweep=(8, 16),
+        workers_sweep=(1, 2),
     )
-    assert payload["cold"]["errors"] == []
-    assert payload["warm"]["errors"] == []
-    assert payload["identity_mismatches"] == []
-    assert payload["coalescing"]["coalesce_rate"] > 0
-    assert payload["warm_speedup"] >= WARM_SPEEDUP_FLOOR, payload
-    # coalescing collapses duplicate in-flight work into fewer jobs
-    assert payload["coalescing_enabled_jobs"] < payload["coalescing_disabled_jobs"]
+    failures = _gate(payload, full_suite=False)
+    assert failures == [], failures
 
 
 def main(argv=None) -> int:
     parser = make_parser(__doc__.splitlines()[0], "BENCH_service.json")
-    parser.add_argument("--clients", type=int, default=DEFAULT_CLIENTS)
-    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--clients", default=None, metavar="N[,N...]",
+        help="client-count sweep (default: 8,64,256; subset default: 8,16)",
+    )
+    parser.add_argument(
+        "--workers", default=None, metavar="N[,N...]",
+        help="fleet-size sweep (default: 1,4; subset default: 1,2)",
+    )
     args = parser.parse_args(argv)
+    clients_sweep = (
+        tuple(int(c) for c in args.clients.split(","))
+        if args.clients
+        else ((8, 16) if args.subset else DEFAULT_CLIENTS)
+    )
+    workers_sweep = (
+        tuple(int(w) for w in args.workers.split(","))
+        if args.workers
+        else ((1, 2) if args.subset else DEFAULT_WORKERS)
+    )
     payload = run_suite(
         SUBSET if args.subset else None,
-        clients=args.clients,
-        workers=args.workers,
+        clients_sweep=clients_sweep,
+        workers_sweep=workers_sweep,
     )
-    cold, warm = payload["cold"], payload["warm"]
+    failures = _gate(payload, full_suite=not args.subset)
+    top = payload["fleets"][-1]
+    cold = top["cold"]
+    warm = top["warm"][str(payload["clients_sweep"][0])]
     summary = (
-        f"cold {cold['seconds']:.2f}s ({cold['throughput_rps']:.1f} req/s, "
-        f"p99 {cold['latency_seconds']['p99']:.3f}s)  "
-        f"warm {warm['seconds']:.2f}s ({warm['throughput_rps']:.1f} req/s, "
-        f"{payload['warm_speedup']:.1f}x)  "
-        f"coalesce rate {payload['coalescing']['coalesce_rate']:.2f}"
+        f"[{top['workers']}w] cold {cold['seconds']:.2f}s "
+        f"(p99 {cold['latency_seconds']['p99']:.3f}s)  "
+        f"warm {warm['seconds']:.2f}s ({payload['warm_speedup']:.1f}x)  "
+        f"warm p99@{max(payload['clients_sweep'])}c "
+        f"{payload['warm_p99_at_max_clients']:.3f}s  "
+        f"coalesce rate {top['coalescing']['coalesce_rate']:.2f}  "
+        f"cpus {payload['cpu_count']}"
     )
-    failed = bool(
-        payload["identity_mismatches"]
-        or cold["errors"]
-        or warm["errors"]
-        or payload["warm_speedup"] < WARM_SPEEDUP_FLOOR
-    )
-    return finish(payload, args.output, summary, failed=failed)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return finish(payload, args.output, summary, failed=bool(failures))
 
 
 if __name__ == "__main__":

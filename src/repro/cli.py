@@ -186,6 +186,11 @@ def main(argv: list[str] | None = None) -> int:
         "--solver", choices=backends, default="exact", metavar="BACKEND",
         help="problem (8) solver backend the daemon's engine uses",
     )
+    p_serve.add_argument(
+        "--warm", action="store_true",
+        help="pre-solve the registered kernel corpus at boot "
+        "(low priority; requests served while warming)",
+    )
 
     p_submit = sub.add_parser("submit", help="submit an analysis to a running daemon")
     p_submit.add_argument(
@@ -522,6 +527,7 @@ def _cmd_serve(args) -> int:
         max_cache_entries=args.max_cache_entries,
         coalesce=not args.no_coalesce,
         solver=args.solver,
+        warm=args.warm,
     )
     print(
         f"soap-analyze {__version__} serving on http://{args.host}:{args.port} "
@@ -590,8 +596,44 @@ def _cmd_status(args) -> int:
         f"daemon at {args.host}:{args.port}: {health.status} "
         f"(v{health.version}, {health.workers} workers, "
         f"solver {health.solver}, queue depth {health.queue_depth}, "
-        f"up {health.uptime_seconds:.0f}s)"
+        f"active {health.active_jobs}, up {health.uptime_seconds:.0f}s)"
     )
+    if health.draining:
+        print("  draining: yes (new submissions refused with 503)")
+    for proc in health.worker_processes:
+        state = "alive" if proc.get("alive") else "DEAD"
+        busy = "busy" if proc.get("busy") else "idle"
+        print(
+            f"  worker[{proc.get('index')}]: {state} pid {proc.get('pid')} "
+            f"({busy}, {proc.get('jobs', 0)} jobs, "
+            f"{proc.get('restarts', 0)} restarts)"
+        )
+    store = health.store
+    if store:
+        totals = {
+            key: value for key, value in store.items()
+            if key not in ("path", "entries", "reports")
+        }
+        print(
+            f"  store: {store.get('entries', 0)} solves, "
+            f"{store.get('reports', 0)} reports "
+            f"({totals.get('hits', 0)} hits, {totals.get('stores', 0)} stores, "
+            f"{totals.get('coalesced', 0)} coalesced, "
+            f"{totals.get('reclaims', 0)} reclaimed)"
+        )
+    warm = health.warm
+    if warm:
+        phase = "warming" if warm.get("active") else "warm"
+        print(
+            f"  corpus: {phase} "
+            f"({warm.get('completed', 0)}/{warm.get('kernels', 0)} kernels"
+            + (
+                f", {warm['seconds']:.1f}s"
+                if isinstance(warm.get("seconds"), (int, float))
+                else ""
+            )
+            + ")"
+        )
     for backend, counts in sorted(health.solver_stats.items()):
         line = ", ".join(
             f"{bucket} {count}" for bucket, count in sorted(counts.items()) if count

@@ -25,11 +25,21 @@ from repro.obs import attach, trace_context
 
 def _kernel_task(task: tuple):
     """Analyze one kernel in a worker process (top-level for pickling)."""
-    name, cache_dir, solver, tctx = task
+    name, cache_dir, store_path, solver, tctx = task
     from repro.analysis import analyze_kernel
 
     # stitch this worker's spans under the driver's trace (no-op untraced)
     with attach(tctx):
+        if store_path is not None:
+            # fleet mode: share solves through the sqlite store (claims
+            # make concurrent workers solve each signature exactly once)
+            from repro.engine.store import SharedSolveStore
+
+            engine = Engine(
+                cache=SolveCache(store=SharedSolveStore(store_path)),
+                solver=solver,
+            )
+            return analyze_kernel(name, engine=engine)
         return analyze_kernel(name, cache_dir=cache_dir, solver=solver)
 
 
@@ -63,26 +73,34 @@ def analyze_many(
                 cache=SolveCache(cache_dir), solver=solver or "exact"
             )
         return [analyze_kernel(name, engine=engine) for name in selected]
+    store_path: str | None = None
     if engine is not None:
         # Worker processes cannot share the engine's in-memory tier; they can
-        # share its disk tier (None when the engine's cache is memory-only).
+        # share its disk tier (None when the engine's cache is memory-only)
+        # or, for fleet engines, the sqlite solve store.
         disk = engine.cache.cache_dir
         cache_dir = str(disk) if disk is not None else None
+        if engine.cache.store is not None:
+            store_path = str(engine.cache.store.path)
         solver = engine.solver
     solver = solver or "exact"
-    if cache_dir is not None:
-        return _run_parallel(selected, cache_dir, jobs, solver)
+    if cache_dir is not None or store_path is not None:
+        return _run_parallel(selected, cache_dir, store_path, jobs, solver)
     # No persistent store requested: share solves through a batch-lifetime
     # temp directory, else every worker would re-solve the suite's repeated
     # problem shapes from scratch.
     with tempfile.TemporaryDirectory(prefix="soap-engine-cache-") as tmp:
-        return _run_parallel(selected, tmp, jobs, solver)
+        return _run_parallel(selected, tmp, None, jobs, solver)
 
 
 def _run_parallel(
-    selected: Sequence[str], cache_dir: str, jobs: int, solver: str
+    selected: Sequence[str],
+    cache_dir: str | None,
+    store_path: str | None,
+    jobs: int,
+    solver: str,
 ) -> list:
     tctx = trace_context()
-    tasks = [(name, cache_dir, solver, tctx) for name in selected]
+    tasks = [(name, cache_dir, store_path, solver, tctx) for name in selected]
     with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
         return list(pool.map(_kernel_task, tasks))

@@ -86,20 +86,31 @@ class CacheStats:
 
 
 class SolveCache:
-    """Signature-keyed store of :class:`SolveOutcome` values."""
+    """Signature-keyed store of :class:`SolveOutcome` values.
+
+    Tier 2 is either a directory of JSON files (``cache_dir``) or a
+    :class:`~repro.engine.store.SharedSolveStore` (``store``) -- the
+    fleet-shared sqlite database used by the analysis service.  The two are
+    mutually exclusive; a store hit counts as a ``disk_hit`` so diagnostics
+    keep one shape either way.
+    """
 
     def __init__(
         self,
         cache_dir: str | os.PathLike | None = None,
         *,
         max_memory_entries: int | None = None,
+        store=None,
     ):
         if max_memory_entries is not None and max_memory_entries < 1:
             raise ValueError("max_memory_entries must be >= 1 (or None)")
+        if cache_dir is not None and store is not None:
+            raise ValueError("cache_dir and store are mutually exclusive tiers")
         self._memory: OrderedDict[str, SolveOutcome] = OrderedDict()
         self._max_entries = max_memory_entries
         self._lock = threading.RLock()
         self._dir: Path | None = Path(cache_dir) if cache_dir is not None else None
+        self.store = store
         if self._dir is not None:
             try:
                 self._dir.mkdir(parents=True, exist_ok=True)
@@ -130,6 +141,12 @@ class SolveCache:
                     self._insert(signature, outcome)
                     self.stats.disk_hits += 1
                     return outcome
+            if self.store is not None:
+                outcome = self.store.get(signature)
+                if outcome is not None:
+                    self._insert(signature, outcome)
+                    self.stats.disk_hits += 1
+                    return outcome
             self.stats.misses += 1
             return None
 
@@ -139,6 +156,18 @@ class SolveCache:
             self.stats.stores += 1
             if self._dir is not None:
                 self._store_disk(signature, outcome)
+            if self.store is not None:
+                self.store.put(signature, outcome)
+
+    def memorize(self, signature: str, outcome: SolveOutcome) -> None:
+        """Adopt another process's solve into the memory tier only.
+
+        No ``stores`` count and no tier-2 write: the result already lives in
+        the shared store, and the fleet invariant *fresh solves == store
+        writes == store entries* must keep holding.
+        """
+        with self._lock:
+            self._insert(signature, outcome)
 
     def stats_snapshot(self) -> CacheStats:
         """Consistent copy of the counters (the live object keeps mutating)."""
@@ -187,7 +216,7 @@ class SolveCache:
             tmp.unlink(missing_ok=True)
 
 
-def _encode(outcome: SolveOutcome) -> dict:
+def encode_outcome(outcome: SolveOutcome) -> dict:
     if outcome.solution is None:
         # Failures depend on what the solver *can* do, so they carry the
         # solver revision; solutions are verified facts and never go stale.
@@ -210,7 +239,7 @@ def _encode(outcome: SolveOutcome) -> dict:
     }
 
 
-def _decode(payload: dict) -> SolveOutcome | None:
+def decode_outcome(payload: dict) -> SolveOutcome | None:
     if payload["status"] == "error":
         if payload.get("solver_revision") != SOLVER_REVISION:
             return None  # stale failure: a newer solver may succeed
@@ -227,3 +256,8 @@ def _decode(payload: dict) -> SolveOutcome | None:
             notes=tuple(payload["notes"]),
         )
     )
+
+
+# historical private names (tests and older callers import these)
+_encode = encode_outcome
+_decode = decode_outcome

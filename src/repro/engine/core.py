@@ -455,32 +455,75 @@ class Engine:
             else:
                 pending[signature] = canonical
 
-        fresh: list[tuple[str, SolveOutcome]] = []
-        if jobs > 1 and len(pending) > 1:
-            tasks = [
-                (signature, canonical, allow_pinning, solver)
-                for signature, canonical in pending.items()
-            ]
-            with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-                fresh = list(pool.map(_solve_signature, tasks))
-        elif pending:
-            # In-process: let the backend see the whole batch at once (the
-            # numeric-first backend chains warm starts across it).
-            signatures = list(pending)
-            results = backend.solve_batch(
-                [pending[s].problem for s in signatures],
-                allow_pinning=allow_pinning,
-                allow_caps=allow_pinning,
-            )
-            for signature, result in zip(signatures, results):
-                if isinstance(result, SolverError):
-                    fresh.append((signature, SolveOutcome(error=str(result))))
+        # Fleet mode: a shared store turns "missing" into a three-way race.
+        # Claim what we can (we solve those), adopt what another process
+        # already finished, and park the rest -- they are being solved
+        # elsewhere right now, and we block on the claim after our own batch.
+        store = self.cache.store
+        waiting: dict[str, CanonicalProblem] = {}
+        if store is not None and pending:
+            claimed: dict[str, CanonicalProblem] = {}
+            for signature, canonical in pending.items():
+                status, shared = store.try_claim(f"{signature}-{tag}")
+                if status == "solved":
+                    self.cache.memorize(f"{signature}-{tag}", shared)
+                    outcomes[signature] = shared
+                elif status == "acquired":
+                    claimed[signature] = canonical
                 else:
-                    fresh.append((signature, SolveOutcome(solution=result)))
+                    waiting[signature] = canonical
+            pending = claimed
+
+        fresh: list[tuple[str, SolveOutcome]] = []
+        try:
+            if jobs > 1 and len(pending) > 1:
+                tasks = [
+                    (signature, canonical, allow_pinning, solver)
+                    for signature, canonical in pending.items()
+                ]
+                with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+                    fresh = list(pool.map(_solve_signature, tasks))
+            elif pending:
+                # In-process: let the backend see the whole batch at once (the
+                # numeric-first backend chains warm starts across it).
+                signatures = list(pending)
+                results = backend.solve_batch(
+                    [pending[s].problem for s in signatures],
+                    allow_pinning=allow_pinning,
+                    allow_caps=allow_pinning,
+                )
+                for signature, result in zip(signatures, results):
+                    if isinstance(result, SolverError):
+                        fresh.append((signature, SolveOutcome(error=str(result))))
+                    else:
+                        fresh.append((signature, SolveOutcome(solution=result)))
+        except BaseException:
+            if store is not None:
+                for signature in pending:  # don't wedge the fleet on our crash
+                    store.release(f"{signature}-{tag}")
+            raise
         for signature, outcome in fresh:
             self.cache.put(f"{signature}-{tag}", outcome)
             outcomes[signature] = outcome
         self._count_solves(solver, [outcome for _, outcome in fresh])
+
+        if store is not None and waiting:
+            # Block on the other processes' claims.  If a claim's lease
+            # expires (its holder died), wait_for hands the claim to us and
+            # we solve solo -- those count as fresh solves here.
+            reclaimed: list[SolveOutcome] = []
+            for signature, canonical in waiting.items():
+                def _solo(signature=signature, canonical=canonical):
+                    return _solve_signature(
+                        (signature, canonical, allow_pinning, solver)
+                    )[1]
+
+                outcome, how = store.wait_for(f"{signature}-{tag}", solve=_solo)
+                if how == "solved":
+                    reclaimed.append(outcome)
+                self.cache.memorize(f"{signature}-{tag}", outcome)
+                outcomes[signature] = outcome
+            self._count_solves(solver, reclaimed)
         return outcomes
 
 

@@ -1,0 +1,380 @@
+"""Shared persistent solve store: one sqlite database behind a worker fleet.
+
+:class:`SharedSolveStore` is the fleet-shape replacement for the per-process
+JSON disk cache tier: every analysis worker process opens the same sqlite
+file (WAL mode, so N readers and one writer coexist without blocking each
+other), keyed by the engine's canonical problem identity
+``<signature>-<backend>-r<SOLVER_REVISION>``.  Three guarantees:
+
+* **solve-once across the fleet** -- a ``claims`` protocol layered on the
+  same table: a worker that misses atomically *claims* the key before
+  solving, and any other worker arriving at the same signature blocks on
+  the claim instead of duplicating the solve (cross-process request
+  coalescing at the solver level);
+* **crash safety** -- claims carry a lease; a claim whose holder died is
+  reclaimed by the next arrival once the lease expires, so a crashed
+  worker can delay a solve but never wedge it;
+* **fork safety** -- sqlite connections must not cross ``fork()``, so the
+  store hands out one connection per (process, thread) and re-opens
+  transparently when the pid changes (the tightness sweep forks workers
+  that inherit the engine's store handle).
+
+Values round-trip through the same :func:`sympy.srepr` JSON encoding as the
+old disk tier, so results served from the store are bit-identical to fresh
+solves -- whichever worker solved them.  A second ``reports`` table stores
+finished analysis artifacts (the DaCe/PyOP2 compiled-artifact pattern):
+warm kernel requests are served straight from the store without re-running
+the analysis pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.engine.cache import (
+    _SCHEMA as _PAYLOAD_SCHEMA,
+)
+from repro.engine.cache import (
+    SolveOutcome,
+    decode_outcome,
+    encode_outcome,
+)
+
+_SCHEMA = 1
+
+#: how long a claim protects an in-flight solve before others may reclaim it
+DEFAULT_LEASE_SECONDS = 300.0
+#: how often a coalesced waiter re-checks the claim it is blocked on
+DEFAULT_POLL_SECONDS = 0.02
+#: sqlite busy handler budget (writer contention between workers)
+_BUSY_TIMEOUT_SECONDS = 10.0
+
+
+@dataclass
+class StoreStats:
+    """Per-process counters of one store handle (deltas ship to /metrics)."""
+
+    hits: int = 0  #: get/claim found a finished solve
+    misses: int = 0  #: get found nothing usable
+    stores: int = 0  #: finished solves written
+    claims: int = 0  #: claims acquired (fresh solves started here)
+    reclaims: int = 0  #: claims taken over after a holder's lease expired
+    waits: int = 0  #: wait episodes on another process's claim
+    coalesced: int = 0  #: waits resolved by the other process's result
+    report_hits: int = 0
+    report_misses: int = 0
+    report_stores: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(vars(self))
+
+
+class SharedSolveStore:
+    """Sqlite-backed solve/artifact store shared by a fleet of processes."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        poll_seconds: float = DEFAULT_POLL_SECONDS,
+    ):
+        if lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")
+        if poll_seconds <= 0:
+            raise ValueError("poll_seconds must be positive")
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.lease_seconds = float(lease_seconds)
+        self.poll_seconds = float(poll_seconds)
+        #: claim ownership token: unique per store handle, survives nothing
+        self.owner = f"{os.getpid()}:{uuid.uuid4().hex[:8]}"
+        self.stats = StoreStats()
+        self._stats_lock = threading.Lock()
+        self._local = threading.local()
+        self._conn()  # create the schema eagerly; surface bad paths here
+
+    # ------------------------------------------------------------------
+    # connections (per process+thread; reopened across fork)
+    # ------------------------------------------------------------------
+
+    def _conn(self) -> sqlite3.Connection:
+        local = self._local
+        if getattr(local, "conn", None) is None or local.pid != os.getpid():
+            conn = sqlite3.connect(
+                str(self.path),
+                timeout=_BUSY_TIMEOUT_SECONDS,
+                isolation_level=None,  # autocommit; claims use BEGIN IMMEDIATE
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS solves ("
+                " key TEXT PRIMARY KEY,"
+                " state TEXT NOT NULL,"  # 'claimed' | 'done'
+                " payload TEXT,"
+                " owner TEXT,"
+                " lease_until REAL,"
+                " created REAL NOT NULL,"
+                " solved REAL)"
+            )
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS reports ("
+                " key TEXT PRIMARY KEY,"
+                " payload TEXT NOT NULL,"
+                " created REAL NOT NULL)"
+            )
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
+            )
+            conn.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES ('schema', ?)",
+                (str(_SCHEMA),),
+            )
+            local.conn = conn
+            local.pid = os.getpid()
+            # a fresh handle in a fresh process must re-announce ownership,
+            # or a forked child would release the parent's claims
+            if local.pid != int(self.owner.split(":", 1)[0]):
+                self.owner = f"{os.getpid()}:{uuid.uuid4().hex[:8]}"
+        return local.conn
+
+    def close(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            try:
+                conn.close()
+            except sqlite3.Error:
+                pass
+            self._local.conn = None
+
+    def _count(self, field: str, n: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self.stats, field, getattr(self.stats, field) + n)
+
+    def stats_snapshot(self) -> StoreStats:
+        with self._stats_lock:
+            return StoreStats(**vars(self.stats))
+
+    # ------------------------------------------------------------------
+    # solve tier
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> SolveOutcome | None:
+        row = self._conn().execute(
+            "SELECT state, payload FROM solves WHERE key = ?", (key,)
+        ).fetchone()
+        outcome = None
+        if row is not None and row[0] == "done":
+            outcome = _decode(row[1])
+        self._count("hits" if outcome is not None else "misses")
+        return outcome
+
+    def put(self, key: str, outcome: SolveOutcome) -> None:
+        """Record a finished solve; releases any claim on ``key``."""
+        now = time.time()
+        self._conn().execute(
+            "INSERT INTO solves (key, state, payload, created, solved)"
+            " VALUES (?, 'done', ?, ?, ?)"
+            " ON CONFLICT(key) DO UPDATE SET state='done',"
+            "  payload=excluded.payload, solved=excluded.solved,"
+            "  owner=NULL, lease_until=NULL",
+            (key, json.dumps(encode_outcome(outcome)), now, now),
+        )
+        self._count("stores")
+
+    # ------------------------------------------------------------------
+    # claims: cross-process solve-once
+    # ------------------------------------------------------------------
+
+    def try_claim(self, key: str) -> tuple[str, SolveOutcome | None]:
+        """Atomically resolve who owns the solve of ``key`` right now.
+
+        Returns one of
+
+        * ``("solved", outcome)`` -- another process already finished it;
+        * ``("acquired", None)``  -- the caller holds the claim and must
+          solve and :meth:`put` (or :meth:`release` on abort);
+        * ``("busy", None)``      -- a live claim is held elsewhere; wait.
+        """
+        conn = self._conn()
+        now = time.time()
+        lease = now + self.lease_seconds
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+        except sqlite3.OperationalError:
+            return "busy", None  # writer-lock starvation: treat as contended
+        try:
+            row = conn.execute(
+                "SELECT state, payload, lease_until FROM solves WHERE key = ?",
+                (key,),
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT INTO solves (key, state, owner, lease_until, created)"
+                    " VALUES (?, 'claimed', ?, ?, ?)",
+                    (key, self.owner, lease, now),
+                )
+                conn.execute("COMMIT")
+                self._count("claims")
+                return "acquired", None
+            state, payload, lease_until = row
+            if state == "done":
+                outcome = _decode(payload)
+                if outcome is not None:
+                    conn.execute("COMMIT")
+                    self._count("hits")
+                    return "solved", outcome
+                # stale entry (e.g. a failure from an older solver
+                # revision): take the slot over and solve fresh
+                reclaim = True
+            else:
+                if lease_until is not None and lease_until >= now:
+                    conn.execute("COMMIT")
+                    return "busy", None
+                reclaim = True  # the claim holder is gone; lease expired
+            if reclaim:
+                conn.execute(
+                    "UPDATE solves SET state='claimed', payload=NULL,"
+                    " owner=?, lease_until=? WHERE key=?",
+                    (self.owner, lease, key),
+                )
+                conn.execute("COMMIT")
+                self._count("claims")
+                if state == "claimed":
+                    self._count("reclaims")
+                return "acquired", None
+        except BaseException:
+            try:
+                conn.execute("ROLLBACK")
+            except sqlite3.Error:
+                pass
+            raise
+        raise AssertionError("unreachable")
+
+    def release(self, key: str) -> None:
+        """Drop a claim this handle holds without recording a result."""
+        self._conn().execute(
+            "DELETE FROM solves WHERE key=? AND state='claimed' AND owner=?",
+            (key, self.owner),
+        )
+
+    def wait_for(self, key: str, *, solve=None) -> tuple[SolveOutcome, str]:
+        """Block until ``key`` resolves; returns ``(outcome, how)``.
+
+        ``how`` is ``"hit"`` (already solved), ``"coalesced"`` (another
+        process's solve landed while we waited), or ``"solved"`` (the
+        previous holder's lease expired and *we* solved it via ``solve``).
+        """
+        waited = False
+        while True:
+            status, outcome = self.try_claim(key)
+            if status == "solved":
+                if waited:
+                    self._count("coalesced")
+                    return outcome, "coalesced"
+                return outcome, "hit"
+            if status == "acquired":
+                if solve is None:
+                    self.release(key)
+                    raise RuntimeError(
+                        f"claim on {key!r} expired and no solve fallback given"
+                    )
+                try:
+                    outcome = solve()
+                except BaseException:
+                    self.release(key)
+                    raise
+                self.put(key, outcome)
+                return outcome, "solved"
+            if not waited:
+                waited = True
+                self._count("waits")
+            time.sleep(self.poll_seconds)
+
+    def solve_once(self, key: str, solve) -> SolveOutcome:
+        """The full fleet protocol: claim, solve-or-wait, share the result."""
+        status, outcome = self.try_claim(key)
+        if status == "solved":
+            return outcome
+        if status == "acquired":
+            try:
+                outcome = solve()
+            except BaseException:
+                self.release(key)
+                raise
+            self.put(key, outcome)
+            return outcome
+        return self.wait_for(key, solve=solve)[0]
+
+    # ------------------------------------------------------------------
+    # report artifacts
+    # ------------------------------------------------------------------
+
+    def get_report(self, key: str) -> dict | None:
+        row = self._conn().execute(
+            "SELECT payload FROM reports WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            self._count("report_misses")
+            return None
+        try:
+            payload = json.loads(row[0])
+        except ValueError:
+            self._count("report_misses")
+            return None
+        self._count("report_hits")
+        return payload
+
+    def put_report(self, key: str, payload: dict) -> None:
+        self._conn().execute(
+            "INSERT OR REPLACE INTO reports (key, payload, created)"
+            " VALUES (?, ?, ?)",
+            (key, json.dumps(payload), time.time()),
+        )
+        self._count("report_stores")
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def entry_count(self) -> int:
+        """Finished solves in the store (claims in flight excluded)."""
+        (count,) = self._conn().execute(
+            "SELECT COUNT(*) FROM solves WHERE state='done'"
+        ).fetchone()
+        return int(count)
+
+    def claim_count(self) -> int:
+        (count,) = self._conn().execute(
+            "SELECT COUNT(*) FROM solves WHERE state='claimed'"
+        ).fetchone()
+        return int(count)
+
+    def report_count(self) -> int:
+        (count,) = self._conn().execute(
+            "SELECT COUNT(*) FROM reports"
+        ).fetchone()
+        return int(count)
+
+
+def _decode(payload: str | None) -> SolveOutcome | None:
+    if not payload:
+        return None
+    try:
+        decoded = json.loads(payload)
+    except ValueError:
+        return None
+    if not isinstance(decoded, dict) or decoded.get("schema") != _PAYLOAD_SCHEMA:
+        return None
+    try:
+        return decode_outcome(decoded)
+    except Exception:  # noqa: BLE001 - corrupt rows fall through to re-solve
+        return None

@@ -101,6 +101,25 @@ class MetricsRegistry:
         with self._lock:
             self._recent_spans.append((name, wall_seconds))
 
+    def merge_span_stats(self, stats: dict) -> None:
+        """Fold another registry's span aggregates into this one.
+
+        ``stats`` is the shape shipped across a process boundary by the
+        analysis-service workers: ``{"counts": {name: n}, "seconds":
+        {name: s}, "slowest": [{"name", "wall_seconds"}, ...]}``.  Counters
+        accumulate; the shipped slowest spans enter this registry's recent
+        window so the fleet-wide slow-log stays populated.
+        """
+        for name, count in (stats.get("counts") or {}).items():
+            self.inc("spans_total", float(count), name=name)
+        for name, seconds in (stats.get("seconds") or {}).items():
+            self.inc("span_seconds_total", float(seconds), name=name)
+        with self._lock:
+            for span in stats.get("slowest") or ():
+                self._recent_spans.append(
+                    (span["name"], float(span["wall_seconds"]))
+                )
+
     # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------

@@ -18,14 +18,16 @@ Start a daemon with ``python -m repro serve``; drive it with
 ``python -m repro submit`` / ``status`` or :class:`ServiceClient`.
 """
 
-from repro.service.core import AnalysisService, ServiceConfig
+from repro.service.core import AnalysisService, ServiceConfig, ServiceUnavailable
 from repro.service.client import JobRecord, ServiceClient, ServiceError, ServiceHealth
 from repro.service.http import ServiceServer, ServiceThread, run_server
 from repro.service.jobs import PRIORITIES, Job
+from repro.service.workers import WorkerPool
 
 __all__ = [
     "AnalysisService",
     "ServiceConfig",
+    "ServiceUnavailable",
     "ServiceServer",
     "ServiceThread",
     "run_server",
@@ -35,4 +37,5 @@ __all__ = [
     "JobRecord",
     "Job",
     "PRIORITIES",
+    "WorkerPool",
 ]

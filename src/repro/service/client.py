@@ -35,7 +35,7 @@ class ServiceError(RuntimeError):
 
 @dataclass(frozen=True)
 class ServiceHealth:
-    """``GET /healthz``."""
+    """``GET /healthz`` (a draining daemon answers 503 with this payload)."""
 
     status: str
     version: str
@@ -45,6 +45,11 @@ class ServiceHealth:
     coalescing: bool
     solver: str = "exact"
     solver_stats: dict = field(default_factory=dict)
+    active_jobs: int = 0
+    draining: bool = False
+    warm: dict | None = None
+    store: dict = field(default_factory=dict)
+    worker_processes: list = field(default_factory=list)
 
     @classmethod
     def from_payload(cls, payload: dict) -> "ServiceHealth":
@@ -57,6 +62,11 @@ class ServiceHealth:
             coalescing=payload["coalescing"],
             solver=payload.get("solver", "exact"),
             solver_stats=payload.get("solver_stats", {}),
+            active_jobs=payload.get("active_jobs", 0),
+            draining=payload.get("draining", False),
+            warm=payload.get("warm"),
+            store=payload.get("store", {}),
+            worker_processes=payload.get("worker_processes", []),
         )
 
 
@@ -106,7 +116,16 @@ class JobRecord:
 
 
 class ServiceClient:
-    """Blocking JSON-over-HTTP client; one instance per thread."""
+    """Blocking JSON-over-HTTP client; one instance per thread.
+
+    Retries are **off by default** (``retries=0``): a failed request
+    surfaces immediately.  With ``retries=N``, connection failures and 503s
+    (a draining or restarting daemon) are retried up to N times with
+    exponential backoff (``backoff * 2**attempt`` seconds), which is what
+    lets the load harness and the drain/reload tests ride out a deploy
+    without hanging.  ``timeout`` bounds each request; ``connect_timeout``
+    (default: ``timeout``) bounds connection establishment separately.
+    """
 
     def __init__(
         self,
@@ -114,10 +133,22 @@ class ServiceClient:
         port: int = DEFAULT_PORT,
         *,
         timeout: float = DEFAULT_TIMEOUT,
+        connect_timeout: float | None = None,
+        retries: int = 0,
+        backoff: float = 0.25,
     ):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff < 0:
+            raise ValueError("backoff must be >= 0")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.connect_timeout = (
+            connect_timeout if connect_timeout is not None else timeout
+        )
+        self.retries = int(retries)
+        self.backoff = float(backoff)
         self._connection: http.client.HTTPConnection | None = None
 
     # ------------------------------------------------------------------
@@ -125,7 +156,11 @@ class ServiceClient:
     # ------------------------------------------------------------------
 
     def healthz(self) -> ServiceHealth:
-        return ServiceHealth.from_payload(self._request("GET", "/healthz"))
+        # a draining daemon answers 503 with a full health payload -- that
+        # is a valid answer to "how are you", not a transport error
+        return ServiceHealth.from_payload(
+            self._request("GET", "/healthz", tolerate=(503,))
+        )
 
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
@@ -253,35 +288,66 @@ class ServiceClient:
     # ------------------------------------------------------------------
 
     def _request(
-        self, method: str, path: str, body: dict | None = None, *, raw: bool = False
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        *,
+        raw: bool = False,
+        tolerate: tuple[int, ...] = (),
     ):
         encoded = json.dumps(body).encode("utf-8") if body is not None else None
         headers = {"Content-Type": "application/json"} if encoded else {}
-        for attempt in (0, 1):
-            connection = self._connect()
+        for attempt in range(self.retries + 1):
             try:
-                connection.request(method, path, body=encoded, headers=headers)
-                response = connection.getresponse()
-                data = response.read()
-                payload = data.decode("utf-8") if raw else json.loads(data or b"{}")
+                status, payload = self._exchange(method, path, encoded, headers, raw)
             except (http.client.HTTPException, ConnectionError, OSError):
-                # stale keep-alive connection: reconnect once, then give up
-                self.close()
-                if attempt:
+                # daemon down or restarting mid-deploy
+                if attempt >= self.retries:
                     raise
+                time.sleep(self.backoff * (2 ** attempt))
                 continue
-            if response.status >= 400:
+            if status >= 400 and status not in tolerate:
+                if status == 503 and attempt < self.retries:
+                    # draining/reloading daemon: eligible for backoff-retry
+                    time.sleep(self.backoff * (2 ** attempt))
+                    continue
                 # 422 job records still parse; surface them as exceptions
                 raise ServiceError(
-                    response.status,
+                    status,
                     payload if isinstance(payload, dict) else {"error": payload},
                 )
             return payload
         raise AssertionError("unreachable")
 
+    def _exchange(self, method, path, encoded, headers, raw):
+        """One transport round-trip (plus one stale keep-alive reconnect)."""
+        for attempt in (0, 1):
+            reused = self._connection is not None
+            try:
+                connection = self._connect()
+                connection.request(method, path, body=encoded, headers=headers)
+                response = connection.getresponse()
+                data = response.read()
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # a *reused* keep-alive connection may have gone stale while
+                # idle: reconnect once; fresh-connection failures are real
+                self.close()
+                if attempt or not reused:
+                    raise
+                continue
+            payload = data.decode("utf-8") if raw else json.loads(data or b"{}")
+            return response.status, payload
+        raise AssertionError("unreachable")
+
     def _connect(self) -> http.client.HTTPConnection:
         if self._connection is None:
-            self._connection = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.connect_timeout
             )
+            connection.connect()
+            if connection.sock is not None:
+                # established: switch to the (usually longer) request timeout
+                connection.sock.settimeout(self.timeout)
+            self._connection = connection
         return self._connection

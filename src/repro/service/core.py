@@ -1,20 +1,29 @@
-"""The analysis service: priority job queue + worker pool + coalescing.
+"""The analysis service: priority queue + forked worker fleet + coalescing.
 
-:class:`AnalysisService` turns the staged engine into a long-lived daemon
-core.  It owns
+:class:`AnalysisService` is the daemon core in fleet shape.  It owns
 
-* one shared :class:`~repro.engine.Engine` (and hence one two-tier
-  :class:`~repro.engine.SolveCache`) that every job runs through, so the
-  daemon amortizes solved problem (8) instances across its whole lifetime;
+* a **worker fleet**: N forked processes (:mod:`repro.service.workers`),
+  each with a full engine, all sharing one persistent
+  :class:`~repro.engine.store.SharedSolveStore` (sqlite, WAL) keyed by the
+  canonical ``sig-backend-rSOLVER_REVISION`` problem signature -- a problem
+  solved by any worker, in any previous run, is a store hit everywhere;
 * a **priority job queue** (``high`` < ``normal`` < ``low``, FIFO within a
-  rank) drained by ``workers`` asyncio tasks that push the actual sympy work
-  onto a thread pool, keeping the HTTP event loop responsive;
-* the **request coalescing** table: jobs are keyed by canonical request
-  identity -- the kernel name for registry requests, the engine's
-  :func:`~repro.engine.program_fingerprint` (a hash over the canonical
-  problem (8) signatures) for source requests -- so identical *or
-  isomorphic* in-flight analyses attach to one computation and all waiters
-  receive the same bit-identical result payload.
+  rank) drained by one asyncio dispatcher task per worker; the sympy work
+  happens in the worker processes, so the HTTP event loop and the
+  front-end GIL stay idle;
+* two layers of **request coalescing**: in-flight jobs are keyed by
+  canonical request identity (kernel name, or the engine's
+  :func:`~repro.engine.program_fingerprint` for sources) so duplicate or
+  isomorphic submissions attach to one job -- and *across* workers the
+  store's claims table guarantees each canonical problem (8) solves once
+  fleet-wide, with a lease so a crashed worker's claim is reclaimed;
+* the **deploy verbs**: ``drain()`` stops accepting work (submissions and
+  ``/healthz`` answer 503) and completes everything already accepted;
+  ``reload()`` drains, re-forks the fleet, and resumes -- wired to
+  SIGTERM/SIGHUP by :func:`repro.service.http.run_server`;
+* optional **warm-up** (``ServiceConfig.warm``): at boot, the corpus is
+  queued at low priority so a fresh deploy fills the store before real
+  traffic lands on a cold solver.
 
 Everything here is transport-free; the HTTP frontend lives in
 :mod:`repro.service.http`.
@@ -23,16 +32,16 @@ Everything here is transport-free; the HTTP frontend lives in
 from __future__ import annotations
 
 import asyncio
-import os
+import shutil
 import tempfile
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 
-from repro.engine import Engine, SolveCache, program_fingerprint
-from repro.obs import Tracer, read_trace, span_tree
-from repro.obs import span as obs_span
+from repro.engine import program_fingerprint
+from repro.engine.cache import CacheStats
 from repro.service.jobs import (
     DEFAULT_PRIORITY,
     DONE,
@@ -43,10 +52,14 @@ from repro.service.jobs import (
     priority_rank,
 )
 from repro.service.metrics import ServiceMetrics
-from repro.util.errors import SoapError
+from repro.service.workers import WorkerPool, worker_settings
 
 #: completed/failed jobs retained for ``/jobs/<id>`` polling before eviction
 MAX_RETAINED_JOBS = 1024
+
+
+class ServiceUnavailable(RuntimeError):
+    """Raised on submission while the service drains (HTTP 503)."""
 
 
 @dataclass(frozen=True)
@@ -54,39 +67,57 @@ class ServiceConfig:
     """Daemon configuration (CLI ``serve`` flags map 1:1 onto this)."""
 
     workers: int = 2
-    cache_dir: str | None = None
-    max_cache_entries: int | None = None
+    cache_dir: str | None = None  #: shared store location (None = ephemeral)
+    max_cache_entries: int | None = None  #: per-worker memory-tier cap
     coalesce: bool = True
-    solver: str = "exact"  #: problem (8) solver backend for the shared engine
+    solver: str = "exact"  #: problem (8) solver backend for every worker
     max_retained_jobs: int = MAX_RETAINED_JOBS
+    #: corpus warm-up at boot: ``True`` queues every registered kernel,
+    #: a tuple of names queues that subset, ``False`` skips warm-up
+    warm: bool | tuple = False
+    #: claim lease: how long a worker's in-flight solve blocks the fleet
+    #: before another worker reclaims it (crash recovery)
+    claim_lease_seconds: float = 300.0
+    claim_poll_seconds: float = 0.02
+    #: cache finished report artifacts in the shared store (warm requests
+    #: skip the whole analysis pipeline, not just the solves)
+    report_cache: bool = True
 
 
 class AnalysisService:
-    """Queue, worker pool, and job table behind the HTTP API."""
+    """Queue, worker fleet, and job table behind the HTTP API."""
 
     def __init__(self, config: ServiceConfig | None = None):
         self.config = config or ServiceConfig()
         self.metrics = ServiceMetrics()
-        # The engine shares the service's metrics registry, so its stage
-        # counters (and every span finished under a job) land in /metrics.
-        self.engine = Engine(
-            cache=SolveCache(
-                self.config.cache_dir,
-                max_memory_entries=self.config.max_cache_entries,
-            ),
-            solver=self.config.solver,
-            registry=self.metrics.registry,
-        )
         self._jobs: dict[str, Job] = {}
         self._inflight: dict[str, Job] = {}
         self._retired: deque[str] = deque()
         self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
-        self._workers: list[asyncio.Task] = []
         self._seq = 0
-        # Fingerprinting (submission path) gets its own small pool so a busy
-        # worker pool cannot stall new submissions or the event loop.
+        # fleet state (populated by start())
+        self.pool: WorkerPool | None = None
+        self._dispatchers: list[asyncio.Task] = []
+        self._store = None  # front-end read handle on the shared store
+        self._store_dir: str | None = None  # owned tempdir, if ephemeral
+        self._active = 0  #: jobs currently executing on a worker
+        self._draining = False
+        self._stopped = False
+        self._warm_task: asyncio.Task | None = None
+        self._warm_state: dict | None = None
+        # fleet-wide totals folded from per-job worker stats
+        self._cache_totals = CacheStats()
+        self._store_totals: dict[str, int] = {}
+        self._solver_totals: dict[str, dict[str, int]] = {}
+        # Fingerprinting (submission path) gets its own small pool so busy
+        # workers cannot stall new submissions or the event loop; pipe I/O
+        # gets one thread per worker so dispatchers never queue on threads.
         self._prep_pool = ThreadPoolExecutor(
             max_workers=2, thread_name_prefix="soap-service-prep"
+        )
+        self._io_pool = ThreadPoolExecutor(
+            max_workers=max(1, int(self.config.workers)) + 1,
+            thread_name_prefix="soap-service-io",
         )
         self.started_at = time.time()
 
@@ -94,28 +125,132 @@ class AnalysisService:
     # lifecycle
     # ------------------------------------------------------------------
 
+    @property
+    def store_path(self) -> Path | None:
+        if self.config.cache_dir is not None:
+            return Path(self.config.cache_dir) / "solves.sqlite"
+        if self._store_dir is not None:
+            return Path(self._store_dir) / "solves.sqlite"
+        return None
+
     async def start(self) -> None:
-        if self._workers:
+        if self._dispatchers:
             raise RuntimeError("service already started")
-        for index in range(max(1, int(self.config.workers))):
-            self._workers.append(
-                asyncio.create_task(self._worker(), name=f"analysis-worker-{index}")
+        from repro.engine.store import SharedSolveStore
+
+        if self.config.cache_dir is None:
+            self._store_dir = tempfile.mkdtemp(prefix="soap-service-store-")
+        path = self.store_path
+        self._store = SharedSolveStore(
+            path,
+            lease_seconds=self.config.claim_lease_seconds,
+            poll_seconds=self.config.claim_poll_seconds,
+        )
+        # fork the fleet BEFORE any request runs; each worker opens the
+        # same store file and inherits this process's warm sympy caches
+        self.pool = WorkerPool(
+            self.config.workers,
+            worker_settings(
+                store_path=str(path),
+                solver=self.config.solver,
+                max_cache_entries=self.config.max_cache_entries,
+                lease_seconds=self.config.claim_lease_seconds,
+                poll_seconds=self.config.claim_poll_seconds,
+                report_cache=self.config.report_cache,
+            ),
+        )
+        for handle in self.pool.handles:
+            self._dispatchers.append(
+                asyncio.create_task(
+                    self._dispatch(handle), name=f"analysis-dispatch-{handle.index}"
+                )
             )
+        if self.config.warm:
+            self._warm_task = asyncio.create_task(self._warm_up())
 
     async def stop(self) -> None:
-        for task in self._workers:
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._warm_task is not None:
+            self._warm_task.cancel()
+        for task in self._dispatchers:
             task.cancel()
-        await asyncio.gather(*self._workers, return_exceptions=True)
-        self._workers.clear()
+        await asyncio.gather(*self._dispatchers, return_exceptions=True)
+        self._dispatchers.clear()
+        if self.pool is not None:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self.pool.stop)
+        if self._store is not None:
+            self._store.close()
         self._prep_pool.shutdown(wait=False)
+        self._io_pool.shutdown(wait=False)
+        if self._store_dir is not None:
+            shutil.rmtree(self._store_dir, ignore_errors=True)
+            self._store_dir = None
+
+    async def drain(self) -> None:
+        """Stop accepting work; return once all accepted jobs finished.
+
+        While draining, submissions and ``/healthz`` answer 503 -- external
+        load balancers see the deploy and stop routing here.  Already
+        accepted jobs (queued or running) complete normally.
+        """
+        self._draining = True
+        while self._queue.qsize() > 0 or self._active > 0:
+            await asyncio.sleep(0.02)
+
+    async def reload(self) -> None:
+        """Zero-downtime deploy verb: drain, re-fork the fleet, resume."""
+        await self.drain()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._io_pool, self.pool.restart_all)
+        self._draining = False
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
 
     @property
     def workers(self) -> int:
-        return len(self._workers)
+        if self.pool is not None:
+            return len(self.pool)
+        return 0
 
     @property
     def queue_depth(self) -> int:
         return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    # warm-up
+    # ------------------------------------------------------------------
+
+    async def _warm_up(self) -> None:
+        """Queue the corpus at low priority so the store fills before load."""
+        from repro.kernels import kernel_names
+
+        if self.config.warm is True:
+            names = kernel_names()
+        else:
+            names = [str(name) for name in self.config.warm]
+        self._warm_state = {
+            "active": True,
+            "kernels": len(names),
+            "completed": 0,
+            "seconds": None,
+        }
+        started = time.monotonic()
+        jobs = []
+        for name in names:
+            try:
+                jobs.append(self.submit_kernel(name, priority="low"))
+            except (KeyError, ServiceUnavailable):
+                self._warm_state["kernels"] -= 1
+        for job in jobs:
+            await self.wait(job)
+            self._warm_state["completed"] += 1
+        self._warm_state["active"] = False
+        self._warm_state["seconds"] = time.monotonic() - started
 
     # ------------------------------------------------------------------
     # submission (event-loop side)
@@ -129,22 +264,15 @@ class AnalysisService:
         trace: bool = False,
     ) -> Job:
         """Queue a registered-kernel analysis; unknown names raise KeyError."""
-        from repro.analysis import analyze_kernel
         from repro.kernels import get_kernel
-        from repro.reporting.serialize import kernel_report
 
         get_kernel(name)  # validate up front: a bad name is a 404, not a job
-        key = f"kernel:{name}"
-
-        def work() -> dict:
-            return kernel_report(analyze_kernel(name, engine=self.engine))
-
         return self._submit(
             kind="kernel",
-            key=key,
+            key=f"kernel:{name}",
             priority=priority,
             request={"kernel": name},
-            work=work,
+            descriptor={"kind": "kernel", "name": name, "trace": trace},
             trace=trace,
         )
 
@@ -168,10 +296,11 @@ class AnalysisService:
         payload verbatim -- including the original submitter's ``program``
         name field.  Fingerprinting is sympy work, so it runs on a dedicated
         prep pool: the event loop stays responsive and busy analysis workers
-        cannot delay new submissions.
+        cannot delay new submissions.  The fingerprint also keys the store's
+        report-artifact cache, so isomorphic *repeat* requests are served
+        without re-analysis even across daemon restarts.
         """
         from repro.frontend.python_frontend import parse_python
-        from repro.reporting.serialize import program_bound_report
         from repro.sdg.subgraphs import DEFAULT_MAX_SIZE
 
         if max_subgraph_size is None:
@@ -185,7 +314,7 @@ class AnalysisService:
         else:
             raise ValueError(f"unknown language {language!r}")
         loop = asyncio.get_running_loop()
-        key = "analyze:" + await loop.run_in_executor(
+        fingerprint = await loop.run_in_executor(
             self._prep_pool,
             lambda: program_fingerprint(
                 program,
@@ -195,22 +324,22 @@ class AnalysisService:
                 solver=self.config.solver,
             ),
         )
-
-        def work() -> dict:
-            result = self.engine.analyze(
-                program,
-                policy=policy,
-                max_subgraph_size=max_subgraph_size,
-                allow_pinning=allow_pinning,
-            )
-            return program_bound_report(result, name=name, language=language)
-
         return self._submit(
             kind="analyze",
-            key=key,
+            key=f"analyze:{fingerprint}",
             priority=priority,
             request={"program": name, "language": language, "policy": policy},
-            work=work,
+            descriptor={
+                "kind": "analyze",
+                "source": source,
+                "name": name,
+                "language": language,
+                "policy": policy,
+                "max_subgraph_size": max_subgraph_size,
+                "allow_pinning": allow_pinning,
+                "fingerprint": fingerprint,
+                "trace": trace,
+            },
             trace=trace,
         )
 
@@ -233,19 +362,16 @@ class AnalysisService:
     ) -> Job:
         """Queue a schedule-replay tightness audit over ``kernels``.
 
-        The audit runs through the daemon's shared engine, so the analysis
-        half reuses every cached problem (8) solve.  ``jobs > 1`` fans the
-        replay sweep out over a process pool; ``chunk_size`` bounds replay
-        memory.  Both leave the result bit-identical, so neither is part of
-        the coalescing key: the kernel selection plus the S sweep plus the
-        parameter overrides -- identical in-flight audits share one
-        computation.
+        The audit runs on one worker process, whose engine shares the fleet
+        store -- the analysis half reuses every solved problem (8) instance.
+        ``jobs > 1`` fans the replay sweep out over the worker's own process
+        pool; ``chunk_size`` bounds replay memory.  Both leave the result
+        bit-identical, so neither is part of the coalescing key.
         """
         import json as _json
 
         from repro.kernels import get_kernel, kernel_names
-        from repro.reporting.serialize import tightness_report
-        from repro.schedule.tightness import DEFAULT_S_VALUES, audit_corpus
+        from repro.schedule.tightness import DEFAULT_S_VALUES
 
         if kernels is None:
             names = kernel_names()
@@ -277,18 +403,6 @@ class AnalysisService:
         key = "tightness:" + _json.dumps(
             [sorted(names), list(sweep), sorted(overrides.items())]
         )
-
-        def work() -> dict:
-            report = audit_corpus(
-                names,
-                s_values=sweep,
-                params=overrides or None,
-                engine=self.engine,
-                jobs=pool_jobs,
-                chunk_size=slab,
-            )
-            return tightness_report(report)
-
         return self._submit(
             kind="tightness",
             key=key,
@@ -300,59 +414,33 @@ class AnalysisService:
                 "jobs": pool_jobs,
                 "chunk_size": slab,
             },
-            work=work,
+            descriptor={
+                "kind": "tightness",
+                "kernels": names,
+                "s_values": list(sweep),
+                "params": overrides,
+                "jobs": pool_jobs,
+                "chunk_size": slab,
+                "trace": trace,
+            },
             trace=trace,
         )
 
-    def _instrumented(self, kind: str, work, trace: bool):
-        """Wrap a job's work callable with span accounting.
-
-        Every job runs under a tracer bound to the service registry, so
-        ``repro status`` / ``/metrics`` count spans even for untraced jobs.
-        A *traced* job additionally sinks spans to a temporary JSONL file
-        (forked sweep workers append to it) and embeds the stitched span
-        tree in its result payload under ``"trace"``.
-        """
-        registry = self.metrics.registry
-
-        if not trace:
-            def run() -> dict:
-                with Tracer(registry=registry), obs_span("job", kind=kind):
-                    return work()
-
-            return run
-
-        def run_traced() -> dict:
-            fd, path = tempfile.mkstemp(prefix="soap-trace-", suffix=".jsonl")
-            os.close(fd)
-            try:
-                tracer = Tracer(path, registry=registry)
-                with tracer, obs_span("job", kind=kind):
-                    result = work()
-                records = read_trace(path)
-            finally:
-                os.unlink(path)
-            return dict(
-                result,
-                trace={"trace_id": tracer.trace_id, "spans": span_tree(records)},
-            )
-
-        return run_traced
-
-    def _submit(self, *, kind, key, priority, request, work, trace=False) -> Job:
+    def _submit(self, *, kind, key, priority, request, descriptor, trace=False) -> Job:
         rank = priority_rank(priority)  # validate before touching any state
+        if self._draining:
+            raise ServiceUnavailable("service is draining; not accepting work")
         if trace:
             # a traced result carries extra payload, so it must never be
             # handed to a waiter that asked for the untraced shape
             key += ":traced"
-        work = self._instrumented(kind, work, trace)
         if self.config.coalesce:
             existing = self._inflight.get(key)
             if existing is not None and existing.state in (QUEUED, RUNNING):
                 existing.attached += 1
                 if existing.state == QUEUED and rank < existing.rank:
                     # A higher-priority waiter attached: escalate the queued
-                    # job by re-pushing it at the better rank (the worker
+                    # job by re-pushing it at the better rank (the dispatcher
                     # skips the stale lower-rank entry when it surfaces).
                     existing.rank = rank
                     existing.priority = priority
@@ -366,7 +454,7 @@ class AnalysisService:
             priority=priority,
             seq=self._seq,
             request=request,
-            work=work,
+            descriptor=descriptor,
         )
         self._jobs[job.id] = job
         self._inflight[key] = job
@@ -387,37 +475,97 @@ class AnalysisService:
         return job
 
     # ------------------------------------------------------------------
-    # worker pool
+    # dispatchers (one asyncio task per worker process)
     # ------------------------------------------------------------------
 
-    async def _worker(self) -> None:
+    async def _dispatch(self, handle) -> None:
         loop = asyncio.get_running_loop()
+        registry = self.metrics.registry
+        label = str(handle.index)
         while True:
             _, _, job = await self._queue.get()
             if job.state != QUEUED:
                 # stale duplicate entry left behind by a priority escalation
                 self._queue.task_done()
                 continue
+            job.state = RUNNING
+            job.started = time.monotonic()
+            self._active += 1
+            handle.busy = True
+            registry.set_gauge("service_worker_busy", 1.0, worker=label)
             try:
-                job.state = RUNNING
-                job.started = time.monotonic()
                 try:
-                    job.result = await loop.run_in_executor(None, job.work)
+                    response = await loop.run_in_executor(
+                        self._io_pool, handle.call, job.descriptor
+                    )
+                except (EOFError, BrokenPipeError, OSError):
+                    # the worker died mid-job: fail the job, re-fork the
+                    # worker; its claims expire via the store lease
+                    response = {
+                        "ok": False,
+                        "result": None,
+                        "error": (
+                            f"analysis worker {handle.index} died while "
+                            f"running job {job.id}"
+                        ),
+                        "error_kind": "internal",
+                        "stats": None,
+                    }
+                    registry.inc("service_worker_restarts_total", worker=label)
+                    await loop.run_in_executor(self._io_pool, handle.restart)
+                self._absorb_stats(response.get("stats"))
+                if response["ok"]:
+                    job.result = response["result"]
                     job.state = DONE
-                except (SoapError, KeyError, ValueError, SyntaxError) as err:
-                    job.error = str(err) or type(err).__name__
-                    job.state = FAILED
-                except Exception as err:  # noqa: BLE001 - daemon must survive
-                    job.error = f"{type(err).__name__}: {err}"
+                else:
+                    job.error = response["error"]
                     job.state = FAILED
                 job.finished = time.monotonic()
+                handle.jobs_done += 1
+                registry.inc("service_worker_jobs_total", worker=label)
                 if self._inflight.get(job.key) is job:
                     del self._inflight[job.key]
                 self.metrics.observe_finished(job)
                 self._retire(job)
                 job.done.set()
             finally:
+                handle.busy = False
+                registry.set_gauge("service_worker_busy", 0.0, worker=label)
+                self._active -= 1
                 self._queue.task_done()
+
+    def _absorb_stats(self, stats: dict | None) -> None:
+        """Fold one job's worker-side metric deltas into the fleet totals."""
+        if not stats:
+            return
+        registry = self.metrics.registry
+        for stage, record in (stats.get("stages") or {}).items():
+            registry.inc(
+                "engine_stage_seconds_total", record["seconds"], stage=stage
+            )
+            registry.inc("engine_stages_total", record["calls"], stage=stage)
+        registry.merge_span_stats(stats.get("spans") or {})
+        for field, value in (stats.get("cache") or {}).items():
+            setattr(
+                self._cache_totals,
+                field,
+                getattr(self._cache_totals, field) + int(value),
+            )
+        for field, value in (stats.get("store") or {}).items():
+            self._store_totals[field] = self._store_totals.get(field, 0) + int(
+                value
+            )
+            registry.inc(f"service_store_{field}_total", float(value))
+        for backend, delta in (stats.get("solver") or {}).items():
+            counts = self._solver_totals.setdefault(backend, {})
+            for bucket, value in delta.items():
+                counts[bucket] = counts.get(bucket, 0) + int(value)
+        if stats.get("report_cache_hit"):
+            registry.inc("service_report_cache_hits_total")
+        if self._store is not None:
+            registry.set_gauge(
+                "service_store_entries", float(self._store.entry_count())
+            )
 
     def _retire(self, job: Job) -> None:
         """Bound the finished-job table so the daemon's memory stays flat."""
@@ -429,18 +577,36 @@ class AnalysisService:
     # introspection payloads
     # ------------------------------------------------------------------
 
+    def _store_block(self) -> dict:
+        block: dict = {
+            "path": str(self.store_path) if self.store_path else None,
+            **{name: int(value) for name, value in sorted(self._store_totals.items())},
+        }
+        if self._store is not None:
+            block["entries"] = self._store.entry_count()
+            block["reports"] = self._store.report_count()
+        return block
+
     def healthz(self) -> dict:
         from repro import __version__
 
         return {
-            "status": "ok",
+            "status": "draining" if self._draining else "ok",
             "version": __version__,
             "uptime_seconds": time.time() - self.started_at,
             "workers": self.workers,
             "queue_depth": self.queue_depth,
+            "active_jobs": self._active,
             "coalescing": self.config.coalesce,
             "solver": self.config.solver,
-            "solver_stats": self.engine.solver_stats_snapshot(),
+            "solver_stats": {
+                backend: dict(counts)
+                for backend, counts in self._solver_totals.items()
+            },
+            "draining": self._draining,
+            "warm": self._warm_state,
+            "store": self._store_block(),
+            "worker_processes": self.pool.records() if self.pool else [],
         }
 
     def metrics_snapshot(self) -> dict:
@@ -450,10 +616,15 @@ class AnalysisService:
         return self.metrics.snapshot(
             queue_depth=self.queue_depth,
             jobs={"by_state": states, "retained": len(self._jobs)},
-            cache=self.engine.cache.stats_snapshot().as_dict(),
+            cache=self._cache_totals.as_dict(),
             workers=self.workers,
             solver={
                 "backend": self.config.solver,
-                "solves": self.engine.solver_stats_snapshot(),
+                "solves": {
+                    backend: dict(counts)
+                    for backend, counts in self._solver_totals.items()
+                },
             },
+            store=self._store_block(),
+            worker_detail=self.pool.records() if self.pool else [],
         )

@@ -37,9 +37,10 @@ from __future__ import annotations
 
 import asyncio
 import json
+import signal
 import threading
 
-from repro.service.core import AnalysisService, ServiceConfig
+from repro.service.core import AnalysisService, ServiceConfig, ServiceUnavailable
 from repro.service.jobs import DEFAULT_PRIORITY, FAILED
 from repro.util.errors import SoapError
 
@@ -180,7 +181,10 @@ class ServiceServer:
         self.service.metrics.observe_request(f"{method} {label}")
         try:
             if method == "GET" and bare == "/healthz":
-                return 200, self.service.healthz()
+                payload = self.service.healthz()
+                # a draining daemon is alive but must fail load-balancer
+                # health checks so the deploy takes it out of rotation
+                return (503 if payload["status"] == "draining" else 200), payload
             if method == "GET" and bare == "/metrics":
                 if _query_params(query).get("format") == "prometheus":
                     return 200, self.service.metrics.prometheus()
@@ -198,6 +202,8 @@ class ServiceServer:
             return 404, {"error": f"no route for {method} {path}"}
         except _HttpError as err:
             return err.status, {"error": err.message}
+        except ServiceUnavailable as err:
+            return 503, {"error": str(err)}
         except KeyError as err:
             return 404, {"error": str(err).strip("'\"")}
         except (SoapError, ValueError, SyntaxError) as err:
@@ -341,28 +347,61 @@ def run_server(
     ready: "threading.Event | None" = None,
     on_start=None,
 ) -> None:
-    """Run the daemon until interrupted (the CLI ``serve`` verb)."""
+    """Run the daemon until interrupted (the CLI ``serve`` verb).
+
+    Deploy signals (when the loop runs on the main thread, i.e. the CLI
+    path): **SIGTERM** drains -- submissions and health checks answer 503,
+    accepted work completes -- then exits; **SIGHUP** drains, re-forks the
+    worker fleet, and resumes serving (zero-downtime reload).
+    """
 
     async def main() -> None:
         service = AnalysisService(config)
         await service.start()
         server = ServiceServer(service, host=host, port=port)
         await server.start()
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+        # let embedders (ServiceThread) request a clean exit of this
+        # coroutine instead of cancelling the loop's tasks from outside
+        server.request_shutdown = stopping.set
+
+        async def _terminate() -> None:
+            await service.drain()
+            stopping.set()
+
+        def _on_sigterm() -> None:
+            asyncio.ensure_future(_terminate())
+
+        def _on_sighup() -> None:
+            asyncio.ensure_future(service.reload())
+
+        try:
+            loop.add_signal_handler(signal.SIGTERM, _on_sigterm)
+            loop.add_signal_handler(signal.SIGHUP, _on_sighup)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-main-thread loop (ServiceThread) or no signal support
         if on_start is not None:
             on_start(server)
         if ready is not None:
             ready.set()
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        stop_task = asyncio.ensure_future(stopping.wait())
         try:
-            await server.serve_forever()
+            await asyncio.wait(
+                {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+            )
         except asyncio.CancelledError:
             pass
         finally:
+            serve_task.cancel()
+            stop_task.cancel()
             await server.close()
             await service.stop()
 
     try:
         asyncio.run(main())
-    except KeyboardInterrupt:
+    except (KeyboardInterrupt, asyncio.CancelledError):
         pass
 
 
@@ -412,12 +451,59 @@ class ServiceThread:
 
     def stop(self) -> None:
         if self._loop is not None and self._thread is not None:
-            self._loop.call_soon_threadsafe(
-                lambda: [task.cancel() for task in asyncio.all_tasks(self._loop)]
-            )
+            graceful = False
+            if self.server is not None:
+                # shut the fleet down cleanly first: cancelling every task
+                # outright could strand forked worker processes mid-recv
+                try:
+                    future = asyncio.run_coroutine_threadsafe(
+                        self._graceful_stop(), self._loop
+                    )
+                    future.result(timeout=20)
+                    graceful = True
+                except BaseException:  # noqa: BLE001 - CancelledError included
+                    pass
+            if not graceful:
+                try:
+                    self._loop.call_soon_threadsafe(
+                        lambda: [
+                            task.cancel() for task in asyncio.all_tasks(self._loop)
+                        ]
+                    )
+                except RuntimeError:
+                    pass  # loop already closed after the graceful stop
             self._thread.join(timeout=10)
         self._loop = None
         self._thread = None
+
+    async def _graceful_stop(self) -> None:
+        # Fleet first, listener last: closing the listener completes
+        # ``serve_forever`` and lets run_server's main() exit -- if that
+        # happened while ``service.stop()`` was still joining workers,
+        # asyncio.run's task cleanup would cancel us mid-stop.
+        await self.server.service.stop()
+        await self.server.close()
+        # main() exits through its finally (both closes are idempotent) and
+        # asyncio.run reaps whatever connection tasks remain
+        shutdown = getattr(self.server, "request_shutdown", None)
+        if shutdown is not None:
+            shutdown()
+
+    @property
+    def service(self) -> AnalysisService | None:
+        return self.server.service if self.server is not None else None
+
+    def drain(self, timeout: float = 120.0) -> None:
+        """Blocking drain from the test/controller thread."""
+        asyncio.run_coroutine_threadsafe(
+            self.server.service.drain(), self._loop
+        ).result(timeout=timeout)
+
+    def reload(self, timeout: float = 300.0) -> None:
+        """Blocking drain + fleet re-fork from the test/controller thread."""
+        asyncio.run_coroutine_threadsafe(
+            self.server.service.reload(), self._loop
+        ).result(timeout=timeout)
 
     @property
     def address(self) -> tuple[str, int]:

@@ -15,7 +15,6 @@ import asyncio
 import time
 import uuid
 from dataclasses import dataclass, field
-from typing import Callable
 
 #: priority name -> queue rank (lower runs first)
 PRIORITIES: dict[str, int] = {"high": 0, "normal": 1, "low": 2}
@@ -47,7 +46,9 @@ class Job:
     rank: int  #: numeric queue rank derived from ``priority``
     seq: int  #: submission order; tie-breaker within a rank
     request: dict  #: client-facing echo of what was asked
-    work: Callable[[], dict]  #: runs in a worker thread, returns the result
+    #: picklable work description shipped to a worker process
+    #: (``{"kind": "kernel"|"analyze"|"tightness", ...}``)
+    descriptor: dict
     state: str = QUEUED
     attached: int = 1  #: total requests served by this job (1 = no coalescing)
     result: dict | None = None
@@ -67,7 +68,7 @@ class Job:
         priority: str,
         seq: int,
         request: dict,
-        work: Callable[[], dict],
+        descriptor: dict,
     ) -> "Job":
         return cls(
             id=uuid.uuid4().hex[:12],
@@ -77,7 +78,7 @@ class Job:
             rank=priority_rank(priority),
             seq=seq,
             request=request,
-            work=work,
+            descriptor=descriptor,
         )
 
     @property

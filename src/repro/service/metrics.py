@@ -96,15 +96,22 @@ class ServiceMetrics:
         cache: dict,
         workers: int,
         solver: dict | None = None,
+        store: dict | None = None,
+        worker_detail: list | None = None,
     ) -> dict:
         reg = self.registry
         run_samples = reg.samples("service_run_seconds")
         queue_samples = reg.samples("service_queue_wait_seconds")
         stage_seconds = reg.counter_by_label("engine_stage_seconds_total", "stage")
         stage_calls = reg.counter_by_label("engine_stages_total", "stage")
+        worker_jobs = reg.counter_by_label("service_worker_jobs_total", "worker")
         return {
             "uptime_seconds": time.monotonic() - self._started_clock,
             "workers": workers,
+            "worker_processes": [
+                dict(record, jobs=int(worker_jobs.get(str(record["index"]), 0)))
+                for record in (worker_detail or [])
+            ],
             "requests": {
                 endpoint: int(hits)
                 for endpoint, hits in reg.counter_by_label(
@@ -147,5 +154,11 @@ class ServiceMetrics:
                 "slowest": reg.slowest_spans(),
             },
             "cache": cache,
+            "store": store or {},
             "solver": solver or {},
+            "report_cache": {
+                "hits": int(
+                    reg.counter_value("service_report_cache_hits_total")
+                ),
+            },
         }
