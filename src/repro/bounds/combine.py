@@ -1,0 +1,208 @@
+"""Combine layer: evaluate every applicable engine, certify the max.
+
+Each lower-bound engine certifies its own value, so their pointwise
+maximum is itself a certified lower bound -- that max is what tightness
+gaps are measured against.  :func:`evaluate_bounds` runs the engines at
+one (graph, S) point; :func:`kernel_bounds` drives a whole per-kernel
+sweep (symbolic analysis for the KKT engine, memoized CDAG construction,
+one :class:`CombinedBounds` per S) and is what ``repro bounds``, the
+``/bounds`` service endpoint, and the Table-2 diagnostics all share.
+
+The *winning* engine of a point is the first engine, in registration
+order, attaining the certified max (strict improvement claims the win, so
+the KKT engine wins exact ties).  ``bound_disagreement`` -- the relative
+spread across engine values, from
+:mod:`repro.opt.backends.crosscheck` -- is carried alongside as a
+diagnostic: a large spread means one engine is far looser than another.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.bounds.registry import (
+    BoundProblem,
+    BoundResult,
+    available_bound_engines,
+    get_bound_engine,
+)
+from repro.opt.backends.crosscheck import bound_disagreement
+
+
+@dataclass(frozen=True)
+class CombinedBounds:
+    """All engine verdicts at one (graph, S) point, plus the certified max."""
+
+    s: int
+    results: tuple[BoundResult, ...]
+    certified: float  #: max over successful engines (nan if none succeeded)
+    winning_engine: str | None
+
+    def engine_values(self) -> dict[str, float]:
+        return {result.engine: result.value for result in self.results}
+
+    @property
+    def disagreement(self) -> float:
+        return bound_disagreement(
+            [result.value for result in self.results if result.ok]
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "s": self.s,
+            "certified": self.certified,
+            "winning_engine": self.winning_engine,
+            "disagreement": self.disagreement,
+            "engines": [result.as_dict() for result in self.results],
+        }
+
+
+def evaluate_bounds(
+    *,
+    s: int,
+    graph=None,
+    symbolic_bound=None,
+    params: Mapping[str, int] | None = None,
+    kernel: str | None = None,
+    engines: Sequence[str] | None = None,
+) -> CombinedBounds:
+    """Run every applicable engine at one point; certify the max.
+
+    ``engines`` selects by name (default: all registered).  Engines whose
+    requirements are not met (no graph / no symbolic bound) are skipped
+    silently -- a differential test on raw graphs simply never sees the
+    KKT engine.
+    """
+    names = tuple(engines) if engines is not None else available_bound_engines()
+    problem = BoundProblem(
+        s=int(s),
+        graph=graph,
+        symbolic_bound=symbolic_bound,
+        params=dict(params or {}),
+        kernel=kernel,
+    )
+    results = []
+    for name in names:
+        engine = get_bound_engine(name)
+        if engine.applicable(problem):
+            results.append(engine.evaluate(problem))
+    best: BoundResult | None = None
+    for result in results:
+        if not result.ok or math.isinf(result.value):
+            continue
+        if best is None or result.value > best.value:
+            best = result
+    return CombinedBounds(
+        s=int(s),
+        results=tuple(results),
+        certified=best.value if best is not None else float("nan"),
+        winning_engine=best.engine if best is not None else None,
+    )
+
+
+@dataclass(frozen=True)
+class KernelBounds:
+    """Per-kernel bound sweep: one :class:`CombinedBounds` per S."""
+
+    kernel: str
+    category: str
+    params: dict
+    n_vertices: int
+    s_values: tuple[int, ...]
+    points: tuple[CombinedBounds, ...]
+    elapsed_seconds: float = 0.0
+
+    @property
+    def winning_engine(self) -> str | None:
+        """Winner at the largest swept S (the asymptotically telling point)."""
+        for point in reversed(self.points):
+            if point.winning_engine is not None:
+                return point.winning_engine
+        return None
+
+    @property
+    def max_disagreement(self) -> float:
+        return max((point.disagreement for point in self.points), default=0.0)
+
+    def as_dict(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "category": self.category,
+            "params": dict(self.params),
+            "n_vertices": self.n_vertices,
+            "s_values": list(self.s_values),
+            "winning_engine": self.winning_engine,
+            "max_disagreement": self.max_disagreement,
+            "points": [point.as_dict() for point in self.points],
+        }
+
+
+def kernel_bounds(
+    name: str,
+    *,
+    params: Mapping[str, int] | None = None,
+    s_values: Sequence[int] | None = None,
+    engines: Sequence[str] | None = None,
+    result=None,
+    engine=None,
+    cache_dir: str | None = None,
+    jobs: int = 1,
+    solver: str | None = None,
+    max_vertices: int | None = None,
+) -> KernelBounds:
+    """Evaluate all bound engines for one kernel across an S sweep.
+
+    Mirrors the tightness audit's parameter resolution (audit defaults +
+    caller overrides, unknown names dropped) and shares its memoized
+    CDAG, so a bounds call right after a sweep rebuilds nothing.
+    ``result`` accepts a precomputed :class:`~repro.analysis.KernelResult`.
+    """
+    from repro.analysis import analyze_kernel
+    from repro.cdag.cache import cached_cdag
+    from repro.kernels import get_kernel
+    from repro.schedule.tightness import (
+        DEFAULT_MAX_VERTICES,
+        DEFAULT_S_VALUES,
+        _built_program,
+        _merged_params,
+    )
+
+    started = time.perf_counter()
+    spec = get_kernel(name)
+    sweep = tuple(int(s) for s in (s_values or DEFAULT_S_VALUES))
+    limit = int(max_vertices) if max_vertices is not None else DEFAULT_MAX_VERTICES
+    if result is None:
+        result = analyze_kernel(
+            name, engine=engine, cache_dir=cache_dir, jobs=jobs, solver=solver
+        )
+    program = _built_program(name)
+    merged = _merged_params(name, program, params)
+    cdag = cached_cdag(name, merged, program=program)
+    if cdag.n_vertices > limit:
+        raise ValueError(
+            f"instance too large: {cdag.n_vertices} > {limit} vertices "
+            f"(raise --max-vertices or shrink --params)"
+        )
+    points = tuple(
+        evaluate_bounds(
+            s=s,
+            graph=cdag.graph,
+            symbolic_bound=result.bound,
+            params=merged,
+            kernel=name,
+            engines=engines,
+        )
+        for s in sweep
+    )
+    return KernelBounds(
+        kernel=name,
+        category=spec.category,
+        params=dict(merged),
+        n_vertices=cdag.n_vertices,
+        s_values=sweep,
+        points=points,
+        elapsed_seconds=time.perf_counter() - started,
+    )

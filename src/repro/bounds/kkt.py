@@ -1,0 +1,38 @@
+"""KKT engine: the symbolic solver's bound, evaluated at concrete (params, S).
+
+This wraps the repo's existing lower-bound pipeline (the paper's
+geometric-program / KKT solution, solved once per kernel on the symbolic
+SDG) as a registered bound engine so the combine layer can pit it against
+the concrete-graph engines.  It ``requires = "symbolic"``: on raw graphs
+with no closed-form bound attached (e.g. the random CDAGs of the
+differential test) it simply does not apply -- which is also correct,
+because the KKT expression is a leading-order bound and can exceed the
+true I/O cost at toy sizes.
+"""
+
+from __future__ import annotations
+
+from repro.bounds.registry import (
+    MODEL_PEBBLING,
+    REQUIRES_SYMBOLIC,
+    BoundEngine,
+    BoundProblem,
+    register_bound_engine,
+)
+
+
+@register_bound_engine
+class KktBound(BoundEngine):
+    """Evaluated symbolic (paper problem 8) bound."""
+
+    name = "kkt"
+    requires = REQUIRES_SYMBOLIC
+    model = MODEL_PEBBLING
+
+    def _value(self, problem: BoundProblem) -> tuple[float, tuple[str, ...]]:
+        from repro.pebbling.validate import evaluate_bound
+
+        value = evaluate_bound(
+            problem.symbolic_bound, dict(problem.params), int(problem.s)
+        )
+        return float(value), ("symbolic KKT bound evaluated at concrete S",)

@@ -1,0 +1,292 @@
+"""Spectral I/O lower bound (Jain--Zaharia style) on the concrete CDAG.
+
+Model: *store-once* schedules (every vertex computed exactly once), the
+model of Jain & Zaharia's eigenvalue bounds -- and the model in which the
+repo's derived schedules and the replay simulator operate, so certified
+values are valid denominators for tightness gaps.  The recomputing
+red-blue game is NOT covered by the structural term; below
+``MIN_STRUCTURAL_VERTICES`` the engine reports only the recomputation-safe
+input/output floor, which keeps it sound on the tiny random CDAGs of the
+differential test where the exact pebbler may recompute.
+
+Argument, per *level band* ``B`` (consecutive longest-path levels of
+computed vertices, greedily grouped up to ``BAND_CAP`` vertices):
+
+1. Chop any store-once schedule into segments of ``S`` I/O operations:
+   ``Q >= S * (h - 1)`` with ``h`` segments.  Each segment computes a part
+   ``A = W_i & B`` of the band; a segment touches at most ``2S``
+   in-boundary vertices (``<= S`` resident + ``<= S`` loaded) and at most
+   ``2S`` live-out vertices, so the undirected edge boundary of ``A``
+   inside the band is at most ``b = 4 * S * max_out_degree``.
+2. Cheeger-type inequality on the band's undirected Laplacian: any
+   ``A subset B`` with ``|A| = m`` has boundary
+   ``>= lambda2 * m * (n_B - m) / n_B``.  Combining with (1), feasible
+   part sizes satisfy ``m^2 - n_B*m + b*n_B/lambda2 >= 0``: sizes strictly
+   between the roots ``m_lo <= m_hi`` (``m_lo + m_hi = n_B``) are
+   impossible.
+3. Big parts (``m >= m_hi``) are excluded through the *input-parent*
+   argument: inputs have no parents, hence are never computed and never
+   belong to any part, so every distinct in-degree-0 parent of a vertex
+   in ``A`` is an in-boundary vertex of its segment -- at most ``2S`` of
+   them.  A part of size ``m >= m_hi`` misses at most
+   ``m_lo_int = max(1, floor(m_lo))`` band vertices, so it has at least
+   ``inputs_B - m_lo_int * max_in_degree`` distinct input parents.  When
+   that exceeds ``2S`` no big part can exist, every part has size at most
+   ``m_lo_int``, and ``h >= ceil(n_B / m_lo_int)``.
+
+``lambda2`` must never be over-estimated (a larger ``lambda2`` shrinks
+``m_lo`` and strengthens both the segment count and the exclusion test),
+and power-iteration Rayleigh quotients only *upper*-bound it.  So power
+iteration merely screens bands -- ranking them by estimated
+``n_B * lambda2`` -- and the top ``CERT_BANDS`` candidates are certified
+with a dense ``numpy.linalg.eigvalsh`` minus a conservative margin.  Band
+spectra are S-independent and cached per graph; per-S evaluation is just
+the quadratic above.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bounds.registry import (
+    MODEL_STORE_ONCE,
+    BoundEngine,
+    BoundProblem,
+    register_bound_engine,
+)
+from repro.bounds.structure import GraphFacts, graph_facts
+
+#: below this many vertices the structural term is skipped entirely --
+#: small graphs are the exact pebbler's (recomputing) territory
+MIN_STRUCTURAL_VERTICES = 64
+#: greedy level-band size target; also the dense-eigensolve ceiling
+BAND_CAP = 1024
+#: number of screened bands that get a certified dense eigensolve
+CERT_BANDS = 4
+#: power-iteration steps for the screening estimate
+SCREEN_ITERATIONS = 64
+
+_SPECTRA: "weakref.WeakKeyDictionary[object, tuple]" = weakref.WeakKeyDictionary()
+_LOCK = threading.Lock()
+
+
+@dataclass(frozen=True)
+class BandSpectrum:
+    """One level band's S-independent data."""
+
+    levels: tuple[int, int]  #: inclusive level range
+    n_vertices: int
+    n_inputs: int  #: distinct in-degree-0 parents of band vertices
+    lambda2: float | None  #: certified lambda2; None = not certified
+
+
+def _level_bands(facts: GraphFacts) -> list[list[int]]:
+    """Group computed vertices into bands of consecutive levels."""
+    by_level: dict[int, list[int]] = {}
+    for v in facts.computed:
+        by_level.setdefault(facts.level[v], []).append(v)
+    bands: list[list[int]] = []
+    current: list[int] = []
+    for lvl in sorted(by_level):
+        vertices = by_level[lvl]
+        if current and len(current) + len(vertices) > BAND_CAP:
+            bands.append(current)
+            current = []
+        current.extend(vertices)
+    if current:
+        bands.append(current)
+    return bands
+
+
+def _band_edges(facts: GraphFacts, members: list[int]) -> np.ndarray:
+    """Within-band directed edges as local-index pairs, shape (m, 2)."""
+    local = {v: i for i, v in enumerate(members)}
+    rows = [
+        (local[v], local[c])
+        for v in members
+        for c in facts.succs[v]
+        if c in local
+    ]
+    if not rows:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.asarray(rows, dtype=np.int64)
+
+
+def _screen_lambda2(n: int, edges: np.ndarray) -> float:
+    """Cheap lambda2 *estimate* (may over-shoot; ranking only)."""
+    if n < 2 or edges.shape[0] == 0:
+        return 0.0
+    deg = np.zeros(n)
+    np.add.at(deg, edges[:, 0], 1.0)
+    np.add.at(deg, edges[:, 1], 1.0)
+    shift = 2.0 * float(deg.max()) + 1.0
+
+    def laplacian(x: np.ndarray) -> np.ndarray:
+        out = deg * x
+        np.add.at(out, edges[:, 0], -x[edges[:, 1]])
+        np.add.at(out, edges[:, 1], -x[edges[:, 0]])
+        return out
+
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(n)
+    for _ in range(SCREEN_ITERATIONS):
+        x -= x.mean()  # deflate the all-ones kernel of L
+        norm = np.linalg.norm(x)
+        if norm < 1e-30:
+            return 0.0
+        x /= norm
+        x = shift * x - laplacian(x)
+    x -= x.mean()
+    norm = np.linalg.norm(x)
+    if norm < 1e-30:
+        return 0.0
+    x /= norm
+    return float(x @ laplacian(x))
+
+
+def _certified_lambda2(n: int, edges: np.ndarray) -> float:
+    """Dense eigensolve with a conservative down-shift.
+
+    Rounding the result *down* is the safe direction: a smaller lambda2
+    widens ``m_lo`` and weakens (never falsifies) the bound.
+    """
+    if n < 2 or edges.shape[0] == 0:
+        return 0.0
+    lap = np.zeros((n, n))
+    for u, v in edges:
+        lap[u, u] += 1.0
+        lap[v, v] += 1.0
+        lap[u, v] -= 1.0
+        lap[v, u] -= 1.0
+    eigenvalues = np.linalg.eigvalsh(lap)
+    max_degree = float(lap.diagonal().max())
+    margin = 1e-8 * (1.0 + 2.0 * max_degree)
+    return max(0.0, float(eigenvalues[1]) - margin)
+
+
+def _band_spectra(graph) -> tuple[BandSpectrum, ...]:
+    """Certified band data for ``graph``, computed once and cached."""
+    with _LOCK:
+        cached = _SPECTRA.get(graph)
+    if cached is not None:
+        return cached
+    facts = graph_facts(graph)
+    bands = _level_bands(facts)
+    screened = []
+    for members in bands:
+        edges = _band_edges(facts, members)
+        estimate = _screen_lambda2(len(members), edges)
+        screened.append((len(members) * estimate, members, edges))
+    screened.sort(key=lambda item: item[0], reverse=True)
+    certify = {
+        id(members)
+        for score, members, _ in screened[:CERT_BANDS]
+        if score > 0.0 and len(members) <= BAND_CAP
+    }
+    spectra = []
+    for _, members, edges in screened:
+        lambda2 = (
+            _certified_lambda2(len(members), edges)
+            if id(members) in certify
+            else None
+        )
+        inputs = {
+            p
+            for v in members
+            for p in facts.preds[v]
+            if facts.in_deg[p] == 0
+        }
+        lo = min(facts.level[v] for v in members)
+        hi = max(facts.level[v] for v in members)
+        spectra.append(
+            BandSpectrum(
+                levels=(lo, hi),
+                n_vertices=len(members),
+                n_inputs=len(inputs),
+                lambda2=lambda2,
+            )
+        )
+    result = tuple(spectra)
+    with _LOCK:
+        _SPECTRA[graph] = result
+    return result
+
+
+def _band_segments(
+    band: BandSpectrum, s: int, max_in: int, max_out: int
+) -> int:
+    """Minimum segment count forced by ``band`` at fast-memory ``s``."""
+    lam = band.lambda2
+    n = band.n_vertices
+    if lam is None or lam <= 0.0 or n < 2:
+        return 0
+    boundary = 4.0 * s * max(1, max_out)
+    discriminant = float(n) * n - 4.0 * boundary * n / lam
+    if discriminant <= 0.0:
+        return 0  # no part size is excluded
+    m_lo = (n - math.sqrt(discriminant)) / 2.0
+    m_lo_int = max(1, math.floor(m_lo))
+    # exclude parts of size >= m_hi via their distinct input parents
+    if band.n_inputs - m_lo_int * max(1, max_in) <= 2 * s:
+        return 0
+    return math.ceil(n / m_lo_int)
+
+
+@register_bound_engine
+class SpectralBound(BoundEngine):
+    """Eigenvalue (lambda2) I/O bound on level bands of the CDAG."""
+
+    name = "spectral"
+    max_vertices = 150_000
+    model = MODEL_STORE_ONCE
+
+    def _value(self, problem: BoundProblem) -> tuple[float, tuple[str, ...]]:
+        facts = graph_facts(problem.graph)
+        s = int(problem.s)
+        if s <= 0 or not facts.computed:
+            return float(facts.floor), ("no computed vertices; floor only",)
+        if facts.n_vertices < MIN_STRUCTURAL_VERTICES:
+            return float(facts.floor), (
+                f"{facts.n_vertices} vertices below the "
+                f"{MIN_STRUCTURAL_VERTICES}-vertex spectral gate; floor only",
+            )
+        if facts.n_vertices > self.max_vertices:
+            return float(facts.floor), (
+                f"structural term skipped: {facts.n_vertices} vertices "
+                f"exceed the {self.max_vertices}-vertex cap; floor only",
+            )
+        spectra = _band_spectra(problem.graph)
+        best_h = 0
+        best_band = None
+        for band in spectra:
+            h = _band_segments(
+                band, s, facts.max_in_degree, facts.max_out_degree
+            )
+            if h > best_h:
+                best_h = h
+                best_band = band
+        structural = s * (best_h - 1) if best_h > 1 else 0
+        notes = [
+            f"{len(spectra)} level bands, "
+            f"{sum(1 for b in spectra if b.lambda2 is not None)} certified"
+        ]
+        if best_band is not None and structural > 0:
+            notes.append(
+                f"band levels {best_band.levels[0]}..{best_band.levels[1]} "
+                f"({best_band.n_vertices} vertices, lambda2="
+                f"{best_band.lambda2:.4g}) forces >= {best_h} segments "
+                "(store-once model)"
+            )
+        else:
+            notes.append("no band excludes large parts; floor only")
+        if structural >= facts.floor:
+            return float(structural), tuple(notes)
+        notes.append(
+            f"floor {facts.floor} dominates spectral term {structural}"
+        )
+        return float(facts.floor), tuple(notes)

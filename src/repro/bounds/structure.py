@@ -1,0 +1,116 @@
+"""Shared structural facts about a concrete CDAG, cached per graph.
+
+Every graph engine needs the same skeleton -- topological order,
+predecessor/successor index lists, degrees, the longest-path level of each
+computed vertex, and the cold input/output floor.  Computing it once per
+graph (not once per engine per S) is what keeps a multi-engine tightness
+sweep within the benchmark gate, so the facts live in a
+:class:`weakref.WeakKeyDictionary` keyed by the ``networkx.DiGraph``
+itself (``ConcreteCDAG`` is an unhashable dataclass; its graph is the
+stable identity).
+
+The floor is the one bound every engine can always fall back to::
+
+    floor = #{v : in(v)=0, out(v)>0} + #{v : in(v)>0, out(v)=0}
+
+It is sound for the full red-blue game *with recomputation*: inputs have
+no parents so they can never be (re)computed, only loaded, and every
+child-bearing input is an ancestor of some output, so it is loaded at
+least once; every computed sink must end blue, so it is stored at least
+once.  It also never exceeds the replay simulator's cost on
+``stream_from_graph`` streams, which start blue exactly at in-degree-0
+vertices and store exactly at out-degree-0 vertices.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from dataclasses import dataclass
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class GraphFacts:
+    """S-independent skeleton of one CDAG, shared by all bound engines."""
+
+    n_vertices: int
+    #: vertex indices in topological order
+    topo: tuple[int, ...]
+    #: predecessor / successor indices per vertex
+    preds: tuple[tuple[int, ...], ...]
+    succs: tuple[tuple[int, ...], ...]
+    in_deg: tuple[int, ...]
+    out_deg: tuple[int, ...]
+    max_in_degree: int
+    max_out_degree: int
+    #: cold input/output floor (recomputation-safe)
+    floor: int
+    #: indices of computed vertices (in-degree > 0), topologically ordered
+    computed: tuple[int, ...]
+    #: longest-path level of each vertex (inputs at 0)
+    level: tuple[int, ...]
+    #: number of distinct levels holding at least one computed vertex
+    n_levels: int
+
+
+_FACTS: "weakref.WeakKeyDictionary[nx.DiGraph, GraphFacts]" = (
+    weakref.WeakKeyDictionary()
+)
+_LOCK = threading.Lock()
+
+
+def graph_facts(graph: nx.DiGraph) -> GraphFacts:
+    """Structural facts for ``graph``, computed once per graph object."""
+    with _LOCK:
+        facts = _FACTS.get(graph)
+    if facts is not None:
+        return facts
+    facts = _build_facts(graph)
+    with _LOCK:
+        _FACTS[graph] = facts
+    return facts
+
+
+def _build_facts(graph: nx.DiGraph) -> GraphFacts:
+    nodes = list(nx.topological_sort(graph))
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    preds = tuple(
+        tuple(sorted(index[p] for p in graph.predecessors(node)))
+        for node in nodes
+    )
+    succs = tuple(
+        tuple(sorted(index[s] for s in graph.successors(node)))
+        for node in nodes
+    )
+    in_deg = tuple(len(p) for p in preds)
+    out_deg = tuple(len(s) for s in succs)
+    floor = sum(1 for i in range(n) if in_deg[i] == 0 and out_deg[i] > 0)
+    floor += sum(1 for i in range(n) if in_deg[i] > 0 and out_deg[i] == 0)
+    level = [0] * n
+    for i in range(n):  # topo order: parents already leveled
+        if preds[i]:
+            level[i] = 1 + max(level[p] for p in preds[i])
+    computed = tuple(i for i in range(n) if in_deg[i] > 0)
+    n_levels = len({level[i] for i in computed})
+    return GraphFacts(
+        n_vertices=n,
+        topo=tuple(range(n)),
+        preds=preds,
+        succs=succs,
+        in_deg=in_deg,
+        out_deg=out_deg,
+        max_in_degree=max(in_deg, default=0),
+        max_out_degree=max(out_deg, default=0),
+        floor=floor,
+        computed=computed,
+        level=tuple(level),
+        n_levels=n_levels,
+    )
+
+
+def io_floor(graph: nx.DiGraph) -> int:
+    """Cold input/output floor of ``graph`` (see module docstring)."""
+    return graph_facts(graph).floor

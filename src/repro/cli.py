@@ -8,8 +8,11 @@ Usage examples::
     soap-analyze table2 --category polybench       # regenerate Table 2
     soap-analyze table2 --jobs 4 --json            # parallel, machine-readable
     soap-analyze validate gemm --params N=4 --S 8  # pebbling sandwich check
+    soap-analyze bounds cholesky                   # per-engine lower bounds
+    soap-analyze bounds gemm --engines kkt,visit   # engine subset
     soap-analyze tightness gemm atax --s 8,18      # schedule-replay gap audit
     soap-analyze tightness --markdown TIGHTNESS.md # full corpus, written out
+    soap-analyze tightness --bounds-engines kkt    # KKT-only gap denominator
 
     soap-analyze tightness gemm --trace t.jsonl    # record a span trace
     soap-analyze trace convert t.jsonl             # -> Perfetto-loadable JSON
@@ -109,12 +112,40 @@ def main(argv: list[str] | None = None) -> int:
 
     p_table = sub.add_parser("table2", help="regenerate the Table 2 comparison")
     p_table.add_argument("--category", choices=("polybench", "nn", "various"), default=None)
+    p_table.add_argument(
+        "--bounds", action="store_true",
+        help="also run the concrete-CDAG bound engines per kernel and report "
+        "winning_engine / bound_disagreement diagnostics",
+    )
     add_engine_flags(p_table)
 
     p_val = sub.add_parser("validate", help="pebbling sandwich check on a concrete instance")
     p_val.add_argument("name")
     p_val.add_argument("--params", nargs="+", default=[], metavar="NAME=VALUE")
     p_val.add_argument("--S", dest="s", type=int, default=8)
+
+    p_bounds = sub.add_parser(
+        "bounds",
+        help="evaluate every lower-bound engine on a kernel's concrete CDAG",
+    )
+    p_bounds.add_argument("name", help="registered kernel name")
+    p_bounds.add_argument(
+        "--params", nargs="+", default=[], metavar="NAME=VALUE",
+        help="parameter overrides (default: the tightness audit sizes)",
+    )
+    p_bounds.add_argument(
+        "--s", dest="s_values", default=None, metavar="S1,S2,...",
+        help="fast-memory sizes to evaluate at (default: 8,18)",
+    )
+    p_bounds.add_argument(
+        "--engines", default=None, metavar="E1,E2,...",
+        help="bound engines to run (default: all registered)",
+    )
+    p_bounds.add_argument(
+        "--max-vertices", type=int, default=None, metavar="N",
+        help="refuse instances whose CDAG exceeds N vertices",
+    )
+    add_engine_flags(p_bounds)
 
     p_tight = sub.add_parser(
         "tightness",
@@ -144,6 +175,11 @@ def main(argv: list[str] | None = None) -> int:
         "--chunk-size", type=int, default=None, metavar="N",
         help="replay/stream-build chunk: bound peak memory to O(N) positions "
         "per worker (default: automatic, whole-stream below ~8M accesses)",
+    )
+    p_tight.add_argument(
+        "--bounds-engines", default=None, metavar="E1,E2,...",
+        help="lower-bound engines behind the certified gap denominator "
+        "(default: all registered; `kkt` reproduces the KKT-only audit)",
     )
     add_engine_flags(p_tight)
 
@@ -224,6 +260,7 @@ def main(argv: list[str] | None = None) -> int:
         "kernel": _cmd_kernel,
         "table2": _cmd_table2,
         "validate": _cmd_validate,
+        "bounds": _cmd_bounds,
         "tightness": _cmd_tightness,
         "list": _cmd_list,
         "trace": _cmd_trace,
@@ -359,13 +396,20 @@ def _cmd_table2(args) -> int:
     with _traced(args, "cli.table2", category=args.category or "all"):
         rows = table2_rows(
             args.category, jobs=args.jobs, cache_dir=_cache_dir(args),
-            solver=args.solver,
+            solver=args.solver, bounds=args.bounds,
         )
     elapsed = time.perf_counter() - started
     if args.json:
         print(json.dumps(table2_json(rows, jobs=args.jobs, elapsed=elapsed), indent=2))
         return 0
     sys.stdout.write(render_table2(rows))
+    if args.bounds:
+        for r in rows:
+            if r.winning_engine is not None:
+                print(
+                    f"  {r.kernel}: certified by {r.winning_engine} "
+                    f"(engine disagreement {r.bound_disagreement:.0%})"
+                )
     exact = sum(1 for r in rows if r.ratio == "1")
     shaped = sum(1 for r in rows if r.shape_matches)
     print(f"\n{exact}/{len(rows)} exact, {shaped}/{len(rows)} shape matches")
@@ -380,6 +424,76 @@ def _parse_params(items) -> dict[str, int]:
             raise ValueError(f"bad --params entry {item!r}; expected NAME=INTEGER")
         params[key] = int(value)
     return params
+
+
+def _parse_s_values(text: str | None) -> tuple[int, ...] | None:
+    if text is None:
+        return None
+    try:
+        s_values = tuple(int(x) for x in text.split(",") if x)
+    except ValueError:
+        raise ValueError(f"bad --s value {text!r}; expected e.g. 8,18") from None
+    if not s_values:
+        raise ValueError("--s needs at least one fast-memory size")
+    return s_values
+
+
+def _parse_engines(text: str | None) -> tuple[str, ...] | None:
+    if text is None:
+        return None
+    engines = tuple(name.strip() for name in text.split(",") if name.strip())
+    if not engines:
+        raise ValueError("engine selection needs at least one engine name")
+    return engines
+
+
+def _cmd_bounds(args) -> int:
+    from repro.bounds import kernel_bounds
+    from repro.reporting.serialize import bounds_report
+
+    with _traced(args, "cli.bounds", kernel=args.name):
+        result = kernel_bounds(
+            args.name,
+            params=_parse_params(args.params) or None,
+            s_values=_parse_s_values(args.s_values),
+            engines=_parse_engines(args.engines),
+            cache_dir=_cache_dir(args),
+            jobs=args.jobs,
+            solver=args.solver,
+            max_vertices=args.max_vertices,
+        )
+    if args.json:
+        print(json.dumps(bounds_report(result), indent=2))
+        return 0
+    params_txt = ",".join(f"{k}={v}" for k, v in sorted(result.params.items()))
+    print(
+        f"kernel {result.kernel} [{result.category}] params={params_txt} "
+        f"({result.n_vertices} vertices)"
+    )
+    header = f"{'S':>6s} {'engine':10s} {'value':>12s} {'model':10s}  notes"
+    print(header)
+    print("-" * len(header))
+    for point in result.points:
+        for engine in point.results:
+            marker = "*" if engine.engine == point.winning_engine else " "
+            value = (
+                f"{engine.value:.1f}" if engine.value == engine.value else "-"
+            )
+            detail = engine.error or "; ".join(engine.notes)
+            print(
+                f"{point.s:>6d} {engine.engine:10s} {value:>11s}{marker} "
+                f"{engine.model:10s}  {detail}"
+            )
+        certified = (
+            f"{point.certified:.1f}" if point.certified == point.certified
+            else "-"
+        )
+        print(
+            f"{'':>6s} {'certified':10s} {certified:>12s} "
+            f"(winner: {point.winning_engine or 'none'}, "
+            f"disagreement {point.disagreement:.0%})"
+        )
+    return 0
 
 
 def _cmd_validate(args) -> int:
@@ -410,17 +524,7 @@ def _cmd_tightness(args) -> int:
         audit_corpus,
     )
 
-    if args.s_values is not None:
-        try:
-            s_values = tuple(int(x) for x in args.s_values.split(",") if x)
-        except ValueError:
-            raise ValueError(
-                f"bad --s value {args.s_values!r}; expected e.g. 8,18"
-            ) from None
-        if not s_values:
-            raise ValueError("--s needs at least one fast-memory size")
-    else:
-        s_values = DEFAULT_S_VALUES
+    s_values = _parse_s_values(args.s_values) or DEFAULT_S_VALUES
     names = args.kernels or None
     if names:
         from repro.kernels import get_kernel
@@ -441,6 +545,7 @@ def _cmd_tightness(args) -> int:
                 else DEFAULT_MAX_VERTICES
             ),
             chunk_size=args.chunk_size,
+            bounds_engines=_parse_engines(args.bounds_engines),
         )
     if args.markdown is not None:
         args.markdown.write_text(tightness_markdown(report))
@@ -449,7 +554,7 @@ def _cmd_tightness(args) -> int:
     else:
         header = (
             f"{'kernel':20s} {'S':>4s} {'|V|':>7s} {'bound':>10s} "
-            f"{'schedule':>9s} {'prog-order':>10s} {'gap':>7s}  class"
+            f"{'best':>9s} {'schedule':>9s} {'prog-order':>10s} {'gap':>7s}  class"
         )
         print(header)
         print("-" * len(header))
@@ -459,7 +564,8 @@ def _cmd_tightness(args) -> int:
                 continue
             print(
                 f"{r.kernel:20s} {r.s:>4d} {r.n_vertices:>7d} "
-                f"{r.bound_value:>10.1f} {r.schedule_cost:>9d} "
+                f"{r.bound_value:>10.1f} {r.winning_engine or '-':>9s} "
+                f"{r.schedule_cost:>9d} "
                 f"{r.program_order_cost:>10d} {r.gap:>6.2f}x  {r.classification}"
             )
         summary = report.summary()
@@ -639,6 +745,23 @@ def _cmd_status(args) -> int:
             f"{bucket} {count}" for bucket, count in sorted(counts.items()) if count
         )
         print(f"  solves[{backend}]: {line or 'none yet'}")
+    bounds = health.bounds
+    if bounds.get("evals"):
+        evals_txt = ", ".join(
+            f"{engine} x{count}" for engine, count in sorted(bounds["evals"].items())
+        )
+        print(f"  bound engines: {evals_txt}")
+        for kernel, record in sorted(bounds.get("kernels", {}).items()):
+            spread = record.get("disagreement")
+            spread_txt = (
+                f", disagreement {spread:.0%}"
+                if isinstance(spread, (int, float))
+                else ""
+            )
+            print(
+                f"    {kernel}: certified by "
+                f"{record.get('winning_engine') or '-'}{spread_txt}"
+            )
     metrics = client.metrics()
     cache = metrics.get("cache", {})
     if cache:

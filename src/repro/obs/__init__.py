@@ -14,6 +14,7 @@ from .spans import (
     TraceContext,
     Tracer,
     attach,
+    current_registry,
     current_span,
     current_tracer,
     new_id,
@@ -32,6 +33,7 @@ __all__ = [
     "Tracer",
     "attach",
     "children_peak_rss_bytes",
+    "current_registry",
     "current_span",
     "current_tracer",
     "default_registry",

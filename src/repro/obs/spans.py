@@ -233,6 +233,17 @@ def current_tracer() -> Tracer | None:
     return _tracer()
 
 
+def current_registry() -> MetricsRegistry:
+    """The metrics registry counters should land in *right now*.
+
+    The active tracer's registry when one is attached (service jobs run
+    under a per-job tracer, so their counters travel home in job stats),
+    the process-wide default otherwise.
+    """
+    tracer = _tracer()
+    return tracer.registry if tracer is not None else default_registry()
+
+
 def current_span():
     """Innermost open span of this thread, or the shared null span."""
     stack = _stack()

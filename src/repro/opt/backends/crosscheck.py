@@ -37,6 +37,33 @@ MISMATCH_PREFIX = "cross-check mismatch"
 COVERAGE_MARKER = "cross-check coverage"
 
 
+def bound_disagreement(values) -> float:
+    """Relative spread ``(max - min) / max`` across bound-engine values.
+
+    ``values`` is a mapping ``{engine: value}`` or an iterable of values;
+    non-finite entries are ignored.  0.0 means every engine agrees (or
+    fewer than two produced a value).  This is the concrete-CDAG analogue
+    of the leading-order rho cross-check above: engines bound the *same*
+    quantity, so a large spread is diagnostic signal -- one bound is far
+    looser than another -- surfaced per kernel in ``repro status`` and the
+    Table-2 report rather than an error (unlike rho, the engines are not
+    expected to coincide).
+    """
+    if hasattr(values, "values"):
+        values = values.values()
+    finite = [
+        float(v)
+        for v in values
+        if v == v and v not in (float("inf"), float("-inf"))
+    ]
+    if len(finite) < 2:
+        return 0.0
+    top = max(finite)
+    if top <= 0:
+        return 0.0
+    return (top - min(finite)) / top
+
+
 @register_backend
 class CrossCheckBackend(SolverBackend):
     """Run ``exact`` and ``numeric-first``; fail loudly on rho disagreement."""

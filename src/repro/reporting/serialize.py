@@ -77,6 +77,15 @@ def kernel_report(result) -> dict:
     return report
 
 
+def bounds_report(result) -> dict:
+    """Serialize a :class:`~repro.bounds.KernelBounds` (``bounds``):
+    per-engine values and the certified max at every swept S."""
+    payload = report_header("bounds")
+    payload.update(result.as_dict())
+    payload["elapsed_seconds"] = result.elapsed_seconds
+    return payload
+
+
 def tightness_report(report) -> dict:
     """Serialize a :class:`~repro.schedule.tightness.TightnessReport`
     (``tightness``): per-(kernel, S) gap rows plus the corpus summary."""

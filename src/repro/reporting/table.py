@@ -25,6 +25,10 @@ class Table2Row:
     shape_matches: bool
     improvement: str
     seconds: float = 0.0  #: engine wall time for this kernel's analysis
+    #: concrete-CDAG bound diagnostics (``bounds=True``): which engine
+    #: certifies the max, and the relative spread across engine values
+    winning_engine: str | None = None
+    bound_disagreement: float | None = None
 
 
 def table2_rows(
@@ -34,8 +38,15 @@ def table2_rows(
     jobs: int = 1,
     cache_dir: str | None = None,
     solver: str | None = None,
+    bounds: bool = False,
 ) -> list[Table2Row]:
-    """Analyze the requested kernels and build comparison rows."""
+    """Analyze the requested kernels and build comparison rows.
+
+    ``bounds=True`` additionally runs every concrete-CDAG bound engine per
+    kernel (at the audit-default instance sizes) and fills the
+    ``winning_engine`` / ``bound_disagreement`` diagnostics; kernels whose
+    concrete instances cannot be built keep ``None`` there.
+    """
     from repro.kernels import get_kernel, kernel_names
 
     selected = names if names is not None else kernel_names(category)
@@ -44,6 +55,18 @@ def table2_rows(
     for name, result in zip(selected, results):
         spec = get_kernel(name)
         diagnostics = result.diagnostics
+        winning = disagreement = None
+        if bounds:
+            from repro.bounds import kernel_bounds
+            from repro.util.errors import SoapError
+
+            try:
+                kb = kernel_bounds(name, result=result)
+            except (SoapError, ValueError):
+                pass  # e.g. concrete instance too large to materialize
+            else:
+                winning = kb.winning_engine
+                disagreement = kb.max_disagreement
         rows.append(
             Table2Row(
                 kernel=name,
@@ -54,6 +77,8 @@ def table2_rows(
                 shape_matches=result.shape_matches,
                 improvement=spec.improvement,
                 seconds=diagnostics.total_seconds if diagnostics is not None else 0.0,
+                winning_engine=winning,
+                bound_disagreement=disagreement,
             )
         )
     return rows
@@ -91,6 +116,8 @@ def table2_json(
                 "shape_matches": r.shape_matches,
                 "improvement": r.improvement,
                 "seconds": r.seconds,
+                "winning_engine": r.winning_engine,
+                "bound_disagreement": r.bound_disagreement,
             }
             for r in rows
         ],

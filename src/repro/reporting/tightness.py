@@ -1,10 +1,10 @@
 """TIGHTNESS.md generation: the lower-bound/upper-bound sandwich, measured.
 
 Renders a :class:`~repro.schedule.tightness.TightnessReport` as the
-corpus-wide attainability record: per kernel and fast-memory size, the
-evaluated lower bound, the simulated I/O of the derived blocked schedule,
-the plain program-order baseline, and the resulting gap with its
-classification.
+corpus-wide attainability record: per kernel and fast-memory size, every
+bound engine's value and the certified max, the simulated I/O of the
+derived blocked schedule, the plain program-order baseline, and the
+resulting gap with its classification.
 """
 
 from __future__ import annotations
@@ -17,9 +17,13 @@ The analysis is constructive (paper Section 4.5): substituting `X0` into
 the tile closed forms yields the loop tiling of the maximal subcomputation.
 This report replays exactly that derived tiling through the streaming I/O
 simulator (`repro.schedule`) on concrete instances and compares the
-measured (certified) I/O against the evaluated lower bound:
+measured (certified) I/O against the certified lower bound — the max over
+every registered bound engine (`repro.bounds`): the evaluated `kkt` bound
+(the paper's problem 8), the `spectral` eigenvalue bound, and the `visit`
+DAG-visit bound, the latter two computed on the concrete CDAG.  The
+**best** column marks the engine attaining the certified max on each row:
 
-    gap = simulated I/O of the derived blocked schedule / lower bound
+    gap = simulated I/O of the derived blocked schedule / certified bound
 
 * **attained** — gap <= {ATTAINED_MAX}: the constructive tiling realizes the
   bound up to small-instance constants;
@@ -43,6 +47,24 @@ def _fmt_gap(value: float) -> str:
     return f"{value:.2f}"
 
 
+def _fmt_bound(value: float | None) -> str:
+    if value is None or value != value:  # missing engine or nan
+        return "-"
+    return f"{value:.1f}"
+
+
+def _engine_columns(report: TightnessReport) -> list[str]:
+    """Engine columns present in this report, in registration order."""
+    from repro.bounds import available_bound_engines
+
+    seen: set[str] = set()
+    for row in report.rows:
+        seen.update(row.engine_bounds)
+    ordered = [name for name in available_bound_engines() if name in seen]
+    ordered.extend(sorted(seen.difference(ordered)))  # third-party engines
+    return ordered
+
+
 def tightness_markdown(report: TightnessReport) -> str:
     """Render the full TIGHTNESS.md document."""
     by_cat: dict[str, list] = {}
@@ -55,9 +77,13 @@ def tightness_markdown(report: TightnessReport) -> str:
         "nn": "## Neural networks",
         "various": "## LULESH and COSMO stencils",
     }
+    engines = _engine_columns(report)
+    engine_heads = "".join(f" {name} |" for name in engines)
     header = (
-        "| Kernel | params | S | vertices | bound | derived schedule "
-        "| prog-order | gap | class |\n|---|---|---|---|---|---|---|---|---|\n"
+        f"| Kernel | params | S | vertices |{engine_heads} bound | best "
+        "| derived schedule | prog-order | gap | class |\n"
+        + "|---|---|---|---|" + "---|" * len(engines)
+        + "---|---|---|---|---|---|\n"
     )
     for cat in ("polybench", "nn", "various"):
         rows = by_cat.get(cat)
@@ -67,14 +93,20 @@ def tightness_markdown(report: TightnessReport) -> str:
         lines = []
         for r in rows:
             if not r.ok:
+                blanks = "".join(" - |" for _ in engines)
                 lines.append(
-                    f"| {r.kernel} | `{_params_str(r.params)}` | {r.s} | - | - "
-                    f"| - | - | - | error: {r.error} |"
+                    f"| {r.kernel} | `{_params_str(r.params)}` | {r.s} | - "
+                    f"|{blanks} - | - | - | - | - | error: {r.error} |"
                 )
                 continue
+            per_engine = "".join(
+                f" {_fmt_bound(r.engine_bounds.get(name))} |"
+                for name in engines
+            )
             lines.append(
                 f"| {r.kernel} | `{_params_str(r.params)}` | {r.s} "
-                f"| {r.n_vertices} | {r.bound_value:.1f} | {r.schedule_cost} "
+                f"| {r.n_vertices} |{per_engine} {r.bound_value:.1f} "
+                f"| {r.winning_engine or '-'} | {r.schedule_cost} "
                 f"| {r.program_order_cost} | {_fmt_gap(r.gap)} "
                 f"| {r.classification} |"
             )

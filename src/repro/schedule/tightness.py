@@ -3,9 +3,11 @@
 For every kernel the analysis derives a lower bound *and* (Section 4.5) the
 tiling that should attain it.  This module closes the sandwich empirically:
 derive the blocked schedule, replay its access stream through the streaming
-I/O simulator, and compare against the evaluated bound:
+I/O simulator, and compare against the certified lower bound -- the max
+over every registered bound engine (:mod:`repro.bounds`: the evaluated
+KKT bound plus the spectral and DAG-visit engines on the concrete CDAG):
 
-    gap  =  simulated I/O (certified upper bound)  /  evaluated lower bound
+    gap  =  simulated I/O (certified upper bound)  /  certified lower bound
 
 A gap near 1 means the bound is tight *and* the constructive tiling is
 real; the per-kernel classification (``attained`` / ``near`` / ``loose``)
@@ -38,10 +40,9 @@ import threading
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-from repro.cdag.build import build_cdag
+from repro.cdag.cache import cached_cdag
 from repro.obs import attach, trace_context
 from repro.obs import span as obs_span
-from repro.pebbling.validate import evaluate_bound
 from repro.schedule import shared_streams
 from repro.schedule.derive import blocked_order, derive_schedule
 from repro.schedule.simulator import simulate_io
@@ -119,7 +120,7 @@ class TightnessRow:
     s: int  #: fast-memory size actually used (feasibility-clamped)
     s_requested: int
     n_vertices: int
-    bound_value: float
+    bound_value: float  #: certified max over all evaluated bound engines
     schedule_cost: int  #: simulated I/O of the derived blocked schedule
     program_order_cost: int  #: simulated I/O of plain program order
     gap: float  #: schedule_cost / bound_value
@@ -129,6 +130,9 @@ class TightnessRow:
     tile_sizes: dict[str, int] = field(default_factory=dict)
     notes: tuple[str, ...] = ()
     error: str | None = None
+    #: per-engine bound values behind the certified max (nan = engine failed)
+    engine_bounds: dict[str, float] = field(default_factory=dict)
+    winning_engine: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -152,6 +156,8 @@ class TightnessRow:
             "tile_sizes": dict(self.tile_sizes),
             "notes": list(self.notes),
             "error": self.error,
+            "engine_bounds": dict(self.engine_bounds),
+            "winning_engine": self.winning_engine,
         }
 
 
@@ -272,7 +278,7 @@ def _kernel_context(
     ctx = _KernelContext(category=spec.category)
     try:
         program = _built_program(name)
-        cdag = build_cdag(program, params)
+        cdag = cached_cdag(name, params, program=program)
     except SoapError as err:
         ctx.error = f"CDAG build failed: {err}"
     else:
@@ -294,6 +300,28 @@ def _kernel_context(
     return ctx
 
 
+def _certified_bounds(
+    graph, name, params, s, bound, engines
+) -> tuple[dict[str, float], float, str | None]:
+    """Every applicable bound engine at one point: values, max, winner.
+
+    The same call serves the serial and the parallel sweep so their rows
+    stay bit-identical.  The certified value is the gap denominator; the
+    raw KKT value stays visible in the per-engine dict.
+    """
+    from repro.bounds import evaluate_bounds
+
+    combined = evaluate_bounds(
+        s=s,
+        graph=graph,
+        symbolic_bound=bound,
+        params=params,
+        kernel=name,
+        engines=engines,
+    )
+    return combined.engine_values(), combined.certified, combined.winning_engine
+
+
 def _audit_point(task: tuple) -> tuple[bool, TightnessRow | None]:
     """One (kernel, params, S) audit point -- the serial sweep's unit of work.
 
@@ -311,7 +339,7 @@ def _audit_point(task: tuple) -> tuple[bool, TightnessRow | None]:
 
 def _audit_point_body(task: tuple) -> tuple[bool, TightnessRow | None]:
     (name, params, s_requested, max_vertices, bound, program_bound, token,
-     chunk_size) = task
+     chunk_size, bounds_engines) = task
     ctx = _kernel_context(name, params, max_vertices)
     if ctx.error is not None:
         return False, _error_row(
@@ -328,7 +356,9 @@ def _audit_point_body(task: tuple) -> tuple[bool, TightnessRow | None]:
     if s != s_requested:
         notes.append(f"S clamped to {s} (max in-degree {ctx.max_indegree})")
     try:
-        bound_value = evaluate_bound(bound, params, s)
+        engine_bounds, bound_value, winning_engine = _certified_bounds(
+            ctx.cdag.graph, name, params, s, bound, bounds_engines
+        )
         schedule = derive_schedule(ctx.program, program_bound, params, s)
         stream_key = (
             schedule.tiled,
@@ -375,6 +405,8 @@ def _audit_point_body(task: tuple) -> tuple[bool, TightnessRow | None]:
         tiled=schedule.tiled,
         tile_sizes=dict(schedule.tile_sizes),
         notes=tuple(notes) + schedule.notes,
+        engine_bounds=engine_bounds,
+        winning_engine=winning_engine,
     )
 
 
@@ -421,16 +453,20 @@ def audit_kernel(
     s_values: Sequence[int] = DEFAULT_S_VALUES,
     max_vertices: int = DEFAULT_MAX_VERTICES,
     chunk_size: int | None = None,
+    bounds_engines: Sequence[str] | None = None,
 ) -> list[TightnessRow]:
     """Audit one kernel: one row per fast-memory size.
 
     ``result`` takes a precomputed :class:`~repro.analysis.KernelResult`
     (the batch driver shares one engine); otherwise the kernel is analyzed
     on the spot.  ``chunk_size`` bounds the replay slab.
+    ``bounds_engines`` selects the lower-bound engines behind the
+    certified gap denominator (default: all registered).
     """
     from repro.analysis import analyze_kernel
 
     chunk_size = _checked_chunk_size(chunk_size)
+    bounds_engines = _checked_bounds_engines(bounds_engines)
     merged = _merged_params(name, _built_program(name), params)
     if result is None:
         result = analyze_kernel(name)
@@ -439,7 +475,8 @@ def audit_kernel(
         outcomes = [
             _audit_point(
                 (name, merged, int(s), int(max_vertices),
-                 result.bound, result.program_bound, token, chunk_size)
+                 result.bound, result.program_bound, token, chunk_size,
+                 bounds_engines)
             )
             for s in s_values
         ]
@@ -457,6 +494,19 @@ def _checked_chunk_size(chunk_size) -> int | None:
             f"chunk size must be a positive integer (got {chunk_size})"
         )
     return chunk_size
+
+
+def _checked_bounds_engines(engines) -> tuple[str, ...] | None:
+    """Validate an engine selection up front (typos fail the whole sweep
+    immediately, not once per point inside a worker)."""
+    if engines is None:
+        return None
+    from repro.bounds import get_bound_engine
+
+    engines = tuple(str(name) for name in engines)
+    for name in engines:
+        get_bound_engine(name)
+    return engines
 
 
 def _reset_context() -> None:
@@ -481,6 +531,7 @@ def audit_corpus(
     solver: str | None = None,
     max_vertices: int = DEFAULT_MAX_VERTICES,
     chunk_size: int | None = None,
+    bounds_engines: Sequence[str] | None = None,
 ) -> TightnessReport:
     """Audit a kernel selection (default: the full Table 2 corpus).
 
@@ -492,7 +543,9 @@ def audit_corpus(
     over one pool: kernels prepare-and-publish, then points attach-and-
     replay (see the module docstring).  ``chunk_size`` bounds the replay
     slab and next-use chunk, trading time for peak memory -- results are
-    bit-identical whatever its value.
+    bit-identical whatever its value.  ``bounds_engines`` restricts the
+    lower-bound engines behind the certified gap denominator (default:
+    all registered engines; ``("kkt",)`` reproduces the KKT-only audit).
     """
     import time
 
@@ -504,6 +557,7 @@ def audit_corpus(
     if jobs < 1:
         raise ValueError(f"jobs must be a positive integer (got {jobs})")
     chunk_size = _checked_chunk_size(chunk_size)
+    bounds_engines = _checked_bounds_engines(bounds_engines)
     s_values = tuple(int(s) for s in s_values)
     selected = list(names) if names is not None else kernel_names()
     with obs_span("tightness.audit", jobs=jobs) as sweep_span:
@@ -525,7 +579,8 @@ def audit_corpus(
             )
             tasks.extend(
                 (name, merged, s, int(max_vertices),
-                 result.bound, result.program_bound, token, chunk_size)
+                 result.bound, result.program_bound, token, chunk_size,
+                 bounds_engines)
                 for s in s_values
             )
 
@@ -537,6 +592,7 @@ def audit_corpus(
                 jobs=jobs,
                 max_vertices=int(max_vertices),
                 chunk_size=chunk_size,
+                bounds_engines=bounds_engines,
             )
         else:
             try:
@@ -575,6 +631,9 @@ class _PreparedPoint:
     schedule_notes: tuple = ()
     schedule_ref: object = None
     baseline_ref: object = None
+    #: per-engine bound values as (engine, value) pairs (picklable, ordered)
+    engine_bounds: tuple = ()
+    winning_engine: str | None = None
 
 
 @dataclass
@@ -598,15 +657,17 @@ def _prepare_kernel(task: tuple) -> _PreparedKernel:
     identical to the serial sweep's.  Streams and their next-use arrays are
     built here -- once, total -- and published; phase B only ever attaches.
     """
-    name, params, s_values, max_vertices, bound, program_bound, tctx = task
+    (name, params, s_values, max_vertices, bound, program_bound,
+     bounds_engines, tctx) = task
     with attach(tctx), obs_span("tightness.prepare", kernel=name):
         return _prepare_kernel_body(
-            name, params, s_values, max_vertices, bound, program_bound
+            name, params, s_values, max_vertices, bound, program_bound,
+            bounds_engines,
         )
 
 
 def _prepare_kernel_body(
-    name, params, s_values, max_vertices, bound, program_bound
+    name, params, s_values, max_vertices, bound, program_bound, bounds_engines
 ) -> _PreparedKernel:
     ctx = _kernel_context(name, params, max_vertices)
     prep = _PreparedKernel(
@@ -632,7 +693,9 @@ def _prepare_kernel_body(
                 f"S clamped to {s} (max in-degree {ctx.max_indegree})"
             )
         try:
-            bound_value = evaluate_bound(bound, params, s)
+            engine_bounds, bound_value, winning_engine = _certified_bounds(
+                ctx.cdag.graph, name, params, s, bound, bounds_engines
+            )
             schedule = derive_schedule(ctx.program, program_bound, params, s)
             stream_key = (
                 schedule.tiled,
@@ -682,6 +745,8 @@ def _prepare_kernel_body(
                 schedule_notes=tuple(schedule.notes),
                 schedule_ref=schedule_ref,
                 baseline_ref=baseline_ref,
+                engine_bounds=tuple(engine_bounds.items()),
+                winning_engine=winning_engine,
             )
         )
     return prep
@@ -718,6 +783,7 @@ def _shared_sweep(
     jobs: int,
     max_vertices: int,
     chunk_size: int | None,
+    bounds_engines: tuple[str, ...] | None,
 ) -> list[tuple[bool, TightnessRow | None]]:
     """The parallel sweep: prepare-and-publish, then attach-and-replay.
 
@@ -746,7 +812,8 @@ def _shared_sweep(
     workers = max(1, min(int(jobs), n_points, os.cpu_count() or 1))
     tctx = trace_context()  # workers stitch under the driver's sweep span
     prep_tasks = [
-        (name, params, s_values, max_vertices, bound, program_bound, tctx)
+        (name, params, s_values, max_vertices, bound, program_bound,
+         bounds_engines, tctx)
         for name, params, bound, program_bound in kernel_specs
     ]
     refs: list = []
@@ -849,5 +916,7 @@ def _assemble_outcomes(
                 tiled=point.tiled,
                 tile_sizes=dict(point.tile_sizes),
                 notes=tuple(notes) + point.schedule_notes,
+                engine_bounds=dict(point.engine_bounds),
+                winning_engine=point.winning_engine,
             )))
     return outcomes

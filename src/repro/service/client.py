@@ -48,6 +48,7 @@ class ServiceHealth:
     active_jobs: int = 0
     draining: bool = False
     warm: dict | None = None
+    bounds: dict = field(default_factory=dict)
     store: dict = field(default_factory=dict)
     worker_processes: list = field(default_factory=list)
 
@@ -65,6 +66,7 @@ class ServiceHealth:
             active_jobs=payload.get("active_jobs", 0),
             draining=payload.get("draining", False),
             warm=payload.get("warm"),
+            bounds=payload.get("bounds", {}),
             store=payload.get("store", {}),
             worker_processes=payload.get("worker_processes", []),
         )
@@ -247,6 +249,37 @@ class ServiceClient:
         if timeout is not None:
             body["timeout"] = timeout
         return JobRecord.from_payload(self._request("POST", "/tightness", body))
+
+    def bounds(
+        self,
+        name: str,
+        *,
+        s_values: list[int] | None = None,
+        params: dict[str, int] | None = None,
+        engines: list[str] | None = None,
+        priority: str = "normal",
+        wait: bool = True,
+        timeout: float | None = None,
+        trace: bool = False,
+    ) -> JobRecord:
+        """``POST /bounds``: every concrete-CDAG bound engine on one kernel.
+
+        The result payload is the ``bounds`` report: per-engine values and
+        the certified max at each swept ``S``.  ``engines`` restricts the
+        evaluation to named engines (default: all registered).
+        """
+        body: dict = {"name": name, "priority": priority, "wait": wait}
+        if s_values is not None:
+            body["s_values"] = s_values
+        if params is not None:
+            body["params"] = params
+        if engines is not None:
+            body["engines"] = engines
+        if timeout is not None:
+            body["timeout"] = timeout
+        if trace:
+            body["trace"] = True
+        return JobRecord.from_payload(self._request("POST", "/bounds", body))
 
     def batch(
         self, names: list[str], *, priority: str = "low", wait: bool = False

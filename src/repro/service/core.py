@@ -109,6 +109,8 @@ class AnalysisService:
         self._cache_totals = CacheStats()
         self._store_totals: dict[str, int] = {}
         self._solver_totals: dict[str, dict[str, int]] = {}
+        self._bounds_totals: dict[str, int] = {}
+        self._bounds_kernels: dict[str, dict] = {}
         # Fingerprinting (submission path) gets its own small pool so busy
         # workers cannot stall new submissions or the event loop; pipe I/O
         # gets one thread per worker so dispatchers never queue on threads.
@@ -426,6 +428,77 @@ class AnalysisService:
             trace=trace,
         )
 
+    def submit_bounds(
+        self,
+        name: str,
+        *,
+        s_values: list[int] | None = None,
+        params: dict[str, int] | None = None,
+        engines: list[str] | None = None,
+        priority: str = DEFAULT_PRIORITY,
+        trace: bool = False,
+    ) -> Job:
+        """Queue a concrete-CDAG bound evaluation (:mod:`repro.bounds`).
+
+        Coalesced by CDAG signature: two requests naming the same
+        (kernel, params) instance -- whatever the parameter order or
+        default spelling -- attach to one job, and the worker-side report
+        cache keys on the same identity, so a warm repeat is served
+        without rebuilding the graph.  Unknown kernels are a 404; unknown
+        engine names or malformed values a 400.
+        """
+        import json as _json
+
+        from repro.cdag.cache import cdag_signature
+        from repro.kernels import get_kernel
+
+        get_kernel(name)  # validate up front: a bad name is a 404, not a job
+        try:
+            sweep = None if s_values is None else [int(s) for s in s_values]
+            overrides = {str(k): int(v) for k, v in (params or {}).items()}
+        except (TypeError, ValueError):
+            raise ValueError(
+                "s_values entries and params values must be integers"
+            ) from None
+        if sweep is not None and not sweep:
+            raise ValueError("'s_values' must name at least one memory size")
+        wanted = None
+        if engines is not None:
+            from repro.bounds import get_bound_engine
+
+            wanted = [str(e) for e in engines]
+            if not wanted:
+                raise ValueError("'engines' must name at least one bound engine")
+            for engine_name in wanted:
+                try:
+                    get_bound_engine(engine_name)
+                except KeyError as err:
+                    # a bad engine name is a malformed request (400), not a
+                    # missing resource (404)
+                    raise ValueError(str(err).strip("'\"")) from None
+        identity = _json.dumps([cdag_signature(name, overrides), sweep, wanted])
+        return self._submit(
+            kind="bounds",
+            key="bounds:" + identity,
+            priority=priority,
+            request={
+                "kernel": name,
+                "s_values": sweep,
+                "params": overrides,
+                "engines": wanted,
+            },
+            descriptor={
+                "kind": "bounds",
+                "name": name,
+                "s_values": sweep,
+                "params": overrides,
+                "engines": wanted,
+                "identity": identity,
+                "trace": trace,
+            },
+            trace=trace,
+        )
+
     def _submit(self, *, kind, key, priority, request, descriptor, trace=False) -> Job:
         rank = priority_rank(priority)  # validate before touching any state
         if self._draining:
@@ -517,6 +590,8 @@ class AnalysisService:
                 if response["ok"]:
                     job.result = response["result"]
                     job.state = DONE
+                    if job.kind == "bounds":
+                        self._note_bounds(job.result)
                 else:
                     job.error = response["error"]
                     job.state = FAILED
@@ -560,12 +635,28 @@ class AnalysisService:
             counts = self._solver_totals.setdefault(backend, {})
             for bucket, value in delta.items():
                 counts[bucket] = counts.get(bucket, 0) + int(value)
+        for engine_name, value in (stats.get("bounds") or {}).items():
+            self._bounds_totals[engine_name] = self._bounds_totals.get(
+                engine_name, 0
+            ) + int(value)
+            registry.inc(
+                "service_bound_engine_evals_total", float(value), engine=engine_name
+            )
         if stats.get("report_cache_hit"):
             registry.inc("service_report_cache_hits_total")
         if self._store is not None:
             registry.set_gauge(
                 "service_store_entries", float(self._store.entry_count())
             )
+
+    def _note_bounds(self, result: dict | None) -> None:
+        """Record a finished bounds job's per-kernel certification verdict."""
+        if not isinstance(result, dict) or "kernel" not in result:
+            return
+        self._bounds_kernels[str(result["kernel"])] = {
+            "winning_engine": result.get("winning_engine"),
+            "disagreement": result.get("max_disagreement"),
+        }
 
     def _retire(self, job: Job) -> None:
         """Bound the finished-job table so the daemon's memory stays flat."""
@@ -576,6 +667,20 @@ class AnalysisService:
     # ------------------------------------------------------------------
     # introspection payloads
     # ------------------------------------------------------------------
+
+    def _bounds_block(self) -> dict:
+        """Bound-engine activity: fleet-wide eval counts per engine plus the
+        last certification verdict seen per kernel."""
+        return {
+            "evals": {
+                name: int(count)
+                for name, count in sorted(self._bounds_totals.items())
+            },
+            "kernels": {
+                name: dict(record)
+                for name, record in sorted(self._bounds_kernels.items())
+            },
+        }
 
     def _store_block(self) -> dict:
         block: dict = {
@@ -605,6 +710,7 @@ class AnalysisService:
             },
             "draining": self._draining,
             "warm": self._warm_state,
+            "bounds": self._bounds_block(),
             "store": self._store_block(),
             "worker_processes": self.pool.records() if self.pool else [],
         }
@@ -626,5 +732,6 @@ class AnalysisService:
                 },
             },
             store=self._store_block(),
+            bounds=self._bounds_block(),
             worker_detail=self.pool.records() if self.pool else [],
         )

@@ -17,6 +17,11 @@ POST      ``/tightness``      ``{"kernels"?, "s_values"?, "params"?, "jobs"?,
                               -- schedule-replay tightness audit (default: full
                               corpus; ``jobs`` parallelizes the replay sweep,
                               ``chunk_size`` bounds replay memory)
+POST      ``/bounds``         ``{"name": ..., "s_values"?, "params"?,
+                              "engines"?, "priority"?, "wait"?, "trace"?}``
+                              -- run every concrete-CDAG bound engine on one
+                              kernel and certify the max; coalesced by CDAG
+                              signature
 GET       ``/jobs/<id>``      poll one job record
 GET       ``/metrics``        queue depth, coalesce rate, stage timings, cache;
                               ``?format=prometheus`` for text exposition
@@ -199,6 +204,8 @@ class ServiceServer:
                 return await self._post_batch(_json_body(body))
             if method == "POST" and bare == "/tightness":
                 return await self._post_tightness(_json_body(body))
+            if method == "POST" and bare == "/bounds":
+                return await self._post_bounds(_json_body(body))
             return 404, {"error": f"no route for {method} {path}"}
         except _HttpError as err:
             return err.status, {"error": err.message}
@@ -292,6 +299,30 @@ class ServiceServer:
         # An audit can run for minutes: poll ``/jobs/<id>`` unless the
         # caller explicitly asks to block.
         return await self._respond(job, body, default_wait=False)
+
+    async def _post_bounds(self, body: dict):
+        name = _required(body, "name")
+        s_values = body.get("s_values")
+        if s_values is not None and not isinstance(s_values, list):
+            raise _HttpError(400, "'s_values' must be a list of integers")
+        params = body.get("params")
+        if params is not None and not isinstance(params, dict):
+            raise _HttpError(400, "'params' must be an object of NAME: int")
+        engines = body.get("engines")
+        if engines is not None and (
+            not isinstance(engines, list)
+            or not all(isinstance(e, str) for e in engines)
+        ):
+            raise _HttpError(400, "'engines' must be a list of engine names")
+        job = self.service.submit_bounds(
+            str(name),
+            s_values=s_values,
+            params=params,
+            engines=engines,
+            priority=body.get("priority", DEFAULT_PRIORITY),
+            trace=bool(body.get("trace", False)),
+        )
+        return await self._respond(job, body)
 
     async def _respond(self, job, body: dict, *, default_wait: bool = True):
         if body.get("wait", default_wait):

@@ -97,6 +97,7 @@ class ServiceMetrics:
         workers: int,
         solver: dict | None = None,
         store: dict | None = None,
+        bounds: dict | None = None,
         worker_detail: list | None = None,
     ) -> dict:
         reg = self.registry
@@ -156,6 +157,7 @@ class ServiceMetrics:
             "cache": cache,
             "store": store or {},
             "solver": solver or {},
+            "bounds": bounds or {},
             "report_cache": {
                 "hits": int(
                     reg.counter_value("service_report_cache_hits_total")

@@ -149,6 +149,30 @@ def _execute(engine, store, descriptor: dict, report_cache: bool):
             store.put_report(key, result)
         return result, False
 
+    if kind == "bounds":
+        from repro.bounds import kernel_bounds
+        from repro.reporting.serialize import bounds_report
+
+        # identity = CDAG signature + sweep + engine selection (computed by
+        # the front-end), so a warm repeat skips graph construction entirely
+        key = _report_key("bounds", descriptor["identity"], engine.solver)
+        if cacheable:
+            cached = store.get_report(key)
+            if cached is not None:
+                return cached, True
+        result = bounds_report(
+            kernel_bounds(
+                descriptor["name"],
+                params=descriptor["params"] or None,
+                s_values=descriptor["s_values"],
+                engines=descriptor["engines"],
+                engine=engine,
+            )
+        )
+        if cacheable:
+            store.put_report(key, result)
+        return result, False
+
     if kind == "tightness":
         from repro.reporting.serialize import tightness_report
         from repro.schedule.tightness import audit_corpus
@@ -241,6 +265,7 @@ def _run_job(engine, store, descriptor: dict, report_cache: bool) -> dict:
             for field in vars(store_after)
         },
         "solver": _solver_delta(solver_before, engine.solver_stats_snapshot()),
+        "bounds": registry.counter_by_label("bound_engine_evals_total", "engine"),
         "report_cache_hit": from_report_cache,
     }
     return {
