@@ -50,14 +50,33 @@ class CombinedBounds:
             [result.value for result in self.results if result.ok]
         )
 
+    @property
+    def failed_engines(self) -> tuple[str, ...]:
+        """Applicable engines that errored at this point."""
+        return tuple(r.engine for r in self.results if r.error is not None)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the certified max lost at least one applicable engine.
+
+        A degraded point is still *correct* — every surviving engine
+        certifies its value — but potentially looser than a healthy run,
+        so reports must say so rather than silently serving the weaker max.
+        """
+        return bool(self.failed_engines)
+
     def as_dict(self) -> dict:
-        return {
+        out = {
             "s": self.s,
             "certified": self.certified,
             "winning_engine": self.winning_engine,
             "disagreement": self.disagreement,
             "engines": [result.as_dict() for result in self.results],
         }
+        if self.degraded:
+            out["degraded"] = True
+            out["failed_engines"] = list(self.failed_engines)
+        return out
 
 
 def evaluate_bounds(
@@ -127,8 +146,20 @@ class KernelBounds:
     def max_disagreement(self) -> float:
         return max((point.disagreement for point in self.points), default=0.0)
 
+    @property
+    def degraded(self) -> bool:
+        return any(point.degraded for point in self.points)
+
+    @property
+    def failed_engines(self) -> tuple[str, ...]:
+        """Union of engines that failed anywhere in the sweep (sorted)."""
+        failed: set[str] = set()
+        for point in self.points:
+            failed.update(point.failed_engines)
+        return tuple(sorted(failed))
+
     def as_dict(self) -> dict:
-        return {
+        out = {
             "kernel": self.kernel,
             "category": self.category,
             "params": dict(self.params),
@@ -138,6 +169,10 @@ class KernelBounds:
             "max_disagreement": self.max_disagreement,
             "points": [point.as_dict() for point in self.points],
         }
+        if self.degraded:
+            out["degraded"] = True
+            out["failed_engines"] = list(self.failed_engines)
+        return out
 
 
 def kernel_bounds(

@@ -29,6 +29,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro import faults
 from repro.obs import current_registry
 from repro.obs import span as obs_span
 
@@ -61,14 +62,15 @@ class BoundResult:
     model: str = MODEL_PEBBLING
     notes: tuple[str, ...] = ()
     seconds: float = 0.0
-    error: str | None = None
+    error: str | None = None  #: human-readable failure message
+    error_class: str | None = None  #: exception class name (typed attribution)
 
     @property
     def ok(self) -> bool:
         return self.error is None and self.value == self.value
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "engine": self.engine,
             "value": self.value,
             "model": self.model,
@@ -76,6 +78,9 @@ class BoundResult:
             "seconds": self.seconds,
             "error": self.error,
         }
+        if self.error_class is not None:
+            out["error_class"] = self.error_class
+        return out
 
 
 class BoundEngine:
@@ -100,16 +105,25 @@ class BoundEngine:
         """Run the engine under counters + a span; failures become results."""
         current_registry().inc("bound_engine_evals_total", engine=self.name)
         started = time.perf_counter()
+        error = error_class = None
         with obs_span("bounds.engine", engine=self.name, s=int(problem.s)):
             try:
+                faults.check_deadline("bounds")
+                if faults.active():
+                    faults.inject(f"bounds.engine.{self.name}")
                 value, notes = self._value(problem)
-                error = None
+            except faults.DeadlineExceeded:
+                raise  # cancellation is the caller's, not an engine failure
             except Exception as err:  # noqa: BLE001 - one engine must not
-                # take the combine layer (or a sweep row) down with it
+                # take the combine layer (or a sweep row) down with it; the
+                # typed (class, message) record keeps the failure attributable
                 value, notes = float("nan"), ()
-                error = f"{type(err).__name__}: {err}"
+                error_class = type(err).__name__
+                error = f"{error_class}: {err}"
                 current_registry().inc(
-                    "bound_engine_errors_total", engine=self.name
+                    "bound_engine_errors_total",
+                    engine=self.name,
+                    error=error_class,
                 )
         return BoundResult(
             engine=self.name,
@@ -118,6 +132,7 @@ class BoundEngine:
             notes=notes,
             seconds=time.perf_counter() - started,
             error=error,
+            error_class=error_class,
         )
 
     def _value(self, problem: BoundProblem) -> tuple[float, tuple[str, ...]]:

@@ -227,6 +227,38 @@ def main(argv: list[str] | None = None) -> int:
         help="pre-solve the registered kernel corpus at boot "
         "(low priority; requests served while warming)",
     )
+    p_serve.add_argument(
+        "--fault-plan", default=None, metavar="PLAN",
+        help="activate a deterministic fault-injection plan (built-in name, "
+        "file path, or inline JSON); forked workers inherit it",
+    )
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="chaos suite: run kernels under seeded fault plans and verify "
+        "every answer is byte-identical to fault-free or explicitly degraded",
+    )
+    p_chaos.add_argument(
+        "--plans", default=None, metavar="P1,P2,...",
+        help="fault plans to run (built-in names or file paths; default: "
+        "worker-kill,store-corrupt,engine-fail)",
+    )
+    p_chaos.add_argument(
+        "--kernels", default=None, metavar="K1,K2,...",
+        help="kernels to drive under each plan (default: gemm,atax,mvt)",
+    )
+    p_chaos.add_argument(
+        "--workers", type=_positive_int, default=2, metavar="N",
+        help="daemon worker processes per chaos run (default: 2)",
+    )
+    p_chaos.add_argument(
+        "--json", action="store_true",
+        help="emit the full machine-readable chaos report",
+    )
+    p_chaos.add_argument(
+        "-o", "--output", type=Path, default=None, metavar="FILE",
+        help="also write the chaos report JSON to FILE",
+    )
 
     p_submit = sub.add_parser("submit", help="submit an analysis to a running daemon")
     p_submit.add_argument(
@@ -267,6 +299,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "status": _cmd_status,
+        "chaos": _cmd_chaos,
     }[args.command]
     try:
         return command(args)
@@ -624,9 +657,12 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro import __version__
+    from repro import __version__, faults
     from repro.service import ServiceConfig, run_server
 
+    if args.fault_plan:
+        faults.activate(faults.FaultPlan.load(args.fault_plan))
+        print(f"fault plan active: {args.fault_plan}", flush=True)
     config = ServiceConfig(
         workers=args.workers,
         cache_dir=_cache_dir(args),
@@ -643,6 +679,27 @@ def _cmd_serve(args) -> int:
     )
     run_server(host=args.host, port=args.port, config=config)
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.faults.chaos import DEFAULT_KERNELS, DEFAULT_PLANS, run_chaos
+
+    plans = args.plans.split(",") if args.plans else list(DEFAULT_PLANS)
+    kernels = args.kernels.split(",") if args.kernels else list(DEFAULT_KERNELS)
+    report = run_chaos(
+        kernels, plans, workers=args.workers, out=args.output
+    )
+    if args.json:
+        print(json.dumps(report, indent=1, default=str))
+    else:
+        for label, entry in report["plans"].items():
+            verdicts = ", ".join(
+                f"{kernel}={row['verdict']}"
+                for kernel, row in entry["results"].items()
+            )
+            print(f"{label} [{entry['job_kind']}]: {verdicts}")
+        print(f"chaos suite: {'OK' if report['ok'] else 'FAILED'}")
+    return 0 if report["ok"] else 1
 
 
 def _client(args):

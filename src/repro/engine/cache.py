@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import json
 import os
+import sqlite3
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -142,7 +143,13 @@ class SolveCache:
                     self.stats.disk_hits += 1
                     return outcome
             if self.store is not None:
-                outcome = self.store.get(signature)
+                try:
+                    outcome = self.store.get(signature)
+                except sqlite3.Error:
+                    # A sick store degrades to a miss: re-solving is always
+                    # correct, an error here must never fail the request.
+                    self.store.count_error()
+                    outcome = None
                 if outcome is not None:
                     self._insert(signature, outcome)
                     self.stats.disk_hits += 1
@@ -157,7 +164,10 @@ class SolveCache:
             if self._dir is not None:
                 self._store_disk(signature, outcome)
             if self.store is not None:
-                self.store.put(signature, outcome)
+                try:
+                    self.store.put(signature, outcome)
+                except sqlite3.Error:
+                    self.store.count_error()  # lost sharing, not correctness
 
     def memorize(self, signature: str, outcome: SolveOutcome) -> None:
         """Adopt another process's solve into the memory tier only.

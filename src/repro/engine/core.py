@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import sqlite3
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -39,6 +40,7 @@ from typing import Callable
 
 import sympy as sp
 
+from repro import faults
 from repro.engine.cache import CacheStats, SolveCache, SolveOutcome
 from repro.engine.diagnostics import EngineDiagnostics, StageRecord
 from repro.engine.signature import (
@@ -218,6 +220,7 @@ class Engine:
 
         def stage_begin(name: str) -> float:
             """Open the stage's span; ``record`` closes it with the counts."""
+            faults.check_deadline(name)  # cooperative cancellation point
             ctx = obs_span(name)
             open_stage.append((ctx, ctx.__enter__()))
             return time.perf_counter()
@@ -464,7 +467,13 @@ class Engine:
         if store is not None and pending:
             claimed: dict[str, CanonicalProblem] = {}
             for signature, canonical in pending.items():
-                status, shared = store.try_claim(f"{signature}-{tag}")
+                try:
+                    status, shared = store.try_claim(f"{signature}-{tag}")
+                except sqlite3.Error:
+                    # Claiming is an optimization (fleet-wide solve-once);
+                    # a sick store degrades to an unshared local solve.
+                    store.count_error()
+                    status, shared = "acquired", None
                 if status == "solved":
                     self.cache.memorize(f"{signature}-{tag}", shared)
                     outcomes[signature] = shared
@@ -473,6 +482,9 @@ class Engine:
                 else:
                     waiting[signature] = canonical
             pending = claimed
+            # Crash-fault site: dying *here*, with claims held, is the worst
+            # case the lease protocol must absorb (see chaos + lease tests).
+            faults.inject("engine.claimed")
 
         fresh: list[tuple[str, SolveOutcome]] = []
         try:

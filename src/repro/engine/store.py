@@ -46,6 +46,7 @@ from repro.engine.cache import (
     decode_outcome,
     encode_outcome,
 )
+from repro import faults
 
 _SCHEMA = 1
 
@@ -71,6 +72,8 @@ class StoreStats:
     report_hits: int = 0
     report_misses: int = 0
     report_stores: int = 0
+    quarantines: int = 0  #: corrupt db files set aside + rebuilt at boot
+    errors: int = 0  #: store operations that failed and were degraded around
 
     def as_dict(self) -> dict:
         return dict(vars(self))
@@ -99,7 +102,46 @@ class SharedSolveStore:
         self.stats = StoreStats()
         self._stats_lock = threading.Lock()
         self._local = threading.local()
+        #: verdict of the last failed integrity check (diagnostics)
+        self.last_quarantine: str | None = None
+        self._verify_or_quarantine()
         self._conn()  # create the schema eagerly; surface bad paths here
+
+    # ------------------------------------------------------------------
+    # boot integrity: quarantine-and-rebuild instead of crashing the fleet
+    # ------------------------------------------------------------------
+
+    def _verify_or_quarantine(self) -> None:
+        """Check an existing db file; set it aside and start fresh if broken.
+
+        A corrupt store must never take the fleet down — the store is a
+        cache, so the worst legal outcome of losing it is re-solving.  On a
+        failed ``PRAGMA quick_check`` the file (plus WAL/SHM sidecars) is
+        renamed to ``<name>.corrupt-<ts>`` for post-mortems and a fresh
+        schema is created by the next :meth:`_conn`.
+        """
+        faults.corrupt_file("store.open", self.path)
+        if not self.path.exists():
+            return
+        try:
+            probe = sqlite3.connect(str(self.path), timeout=_BUSY_TIMEOUT_SECONDS)
+            try:
+                (verdict,) = probe.execute("PRAGMA quick_check").fetchone()
+            finally:
+                probe.close()
+            if str(verdict).lower() == "ok":
+                return
+            reason = f"quick_check: {verdict}"
+        except sqlite3.Error as err:
+            reason = f"{type(err).__name__}: {err}"
+        stamp = time.time_ns() // 1_000_000  # ms: unique enough for sidecars
+        quarantine = f"{self.path}.corrupt-{stamp}"
+        for suffix in ("", "-wal", "-shm"):
+            source = Path(str(self.path) + suffix)
+            if source.exists():
+                source.rename(quarantine + suffix)
+        self.last_quarantine = reason
+        self._count("quarantines")
 
     # ------------------------------------------------------------------
     # connections (per process+thread; reopened across fork)
@@ -163,11 +205,16 @@ class SharedSolveStore:
         with self._stats_lock:
             return StoreStats(**vars(self.stats))
 
+    def count_error(self) -> None:
+        """Record a store operation a caller degraded around (see callers)."""
+        self._count("errors")
+
     # ------------------------------------------------------------------
     # solve tier
     # ------------------------------------------------------------------
 
     def get(self, key: str) -> SolveOutcome | None:
+        faults.inject("store.get")
         row = self._conn().execute(
             "SELECT state, payload FROM solves WHERE key = ?", (key,)
         ).fetchone()
@@ -179,6 +226,7 @@ class SharedSolveStore:
 
     def put(self, key: str, outcome: SolveOutcome) -> None:
         """Record a finished solve; releases any claim on ``key``."""
+        faults.inject("store.put")
         now = time.time()
         self._conn().execute(
             "INSERT INTO solves (key, state, payload, created, solved)"
@@ -204,6 +252,7 @@ class SharedSolveStore:
           solve and :meth:`put` (or :meth:`release` on abort);
         * ``("busy", None)``      -- a live claim is held elsewhere; wait.
         """
+        faults.inject("store.claim")
         conn = self._conn()
         now = time.time()
         lease = now + self.lease_seconds

@@ -1,0 +1,208 @@
+"""Deterministic fault injection + the resilience primitives built on it.
+
+Production code declares *injection sites* by calling :func:`inject` (or one
+of the specialised helpers below) at the point where a real-world failure
+would surface::
+
+    faults.inject("store.get")          # may raise sqlite3.OperationalError
+    if faults.active():                 # guard dynamic site-name formatting
+        faults.inject(f"bounds.engine.{self.name}")
+
+With no plan active — the production default — ``inject`` is one module
+attribute load and an ``is None`` test; :func:`active` is the same.  A plan
+is activated explicitly (:func:`activate` / :func:`plan_scope`), by the
+``--fault-plan`` CLI flag, or by the ``REPRO_FAULT_PLAN`` environment
+variable (inline JSON, a file path, or a built-in plan name), which child
+processes inherit across fork *and* re-read on interpreter start, so the
+whole service fleet runs under one plan.
+
+Actions:
+
+* ``raise`` — raise a typed exception (see ``plan.ERROR_KINDS``) so the
+  production handler for that failure class is the code under test.
+* ``kill`` — ``SIGKILL`` the current process, exactly like the OOM killer
+  or a `kill -9`, exercising worker-death recovery and claim-lease
+  reclamation.
+* ``corrupt`` — truncate/garble a file the call site designates
+  (:func:`corrupt_file`), exercising the store's quarantine-and-rebuild.
+
+Every fire increments ``fault_injections_total{site=,action=}`` in the
+default metrics registry so chaos runs can assert the plan actually fired.
+
+The :mod:`deadline <repro.faults.deadline>` sibling provides the cooperative
+cancellation half of the resilience layer and is re-exported here.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from contextlib import contextmanager
+from pathlib import Path
+
+from .deadline import (  # noqa: F401  (re-exports)
+    Deadline,
+    DeadlineExceeded,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
+from .plan import (  # noqa: F401  (re-exports)
+    BUILTIN_PLANS,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    builtin_plan,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjected",
+    "BUILTIN_PLANS",
+    "builtin_plan",
+    "ENV_VAR",
+    "activate",
+    "deactivate",
+    "active",
+    "active_plan",
+    "plan_scope",
+    "inject",
+    "triggered",
+    "corrupt_file",
+    "disarm",
+    "snapshot",
+    "Deadline",
+    "DeadlineExceeded",
+    "deadline_scope",
+    "current_deadline",
+    "check_deadline",
+]
+
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: The active plan. ``None`` in production; every injection helper starts
+#: with an ``is None`` early-out so disabled sites cost one attribute load.
+_PLAN: FaultPlan | None = None
+
+
+def activate(plan: FaultPlan) -> None:
+    global _PLAN
+    _PLAN = plan
+
+
+def deactivate() -> None:
+    global _PLAN
+    _PLAN = None
+
+
+def active() -> bool:
+    """Cheap guard for call sites that format dynamic site names."""
+    return _PLAN is not None
+
+
+def active_plan() -> FaultPlan | None:
+    return _PLAN
+
+
+@contextmanager
+def plan_scope(plan: FaultPlan | None):
+    """Activate ``plan`` for the duration of a with-block (tests, chaos)."""
+    global _PLAN
+    previous = _PLAN
+    _PLAN = plan
+    try:
+        yield plan
+    finally:
+        _PLAN = previous
+
+
+def _count(site: str, action: str) -> None:
+    from ..obs import current_registry
+
+    current_registry().inc("fault_injections_total", site=site, action=action)
+
+
+def inject(site: str) -> None:
+    """Fire ``site`` if the active plan says so.
+
+    Raises the spec's typed exception (``raise`` action) or SIGKILLs the
+    current process (``kill`` action).  ``corrupt`` specs are ignored here —
+    they only make sense through :func:`corrupt_file`.
+    """
+    plan = _PLAN
+    if plan is None:
+        return
+    spec = plan.check(site)
+    if spec is None or spec.action == "corrupt":
+        return
+    _count(site, spec.action)
+    if spec.action == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+        return  # pragma: no cover - unreachable
+    raise spec.exception()
+
+
+def triggered(site: str) -> bool:
+    """Query-style site: returns True when the site fires instead of raising.
+
+    For faults that are simulated *by the call site* (e.g. skipping a fast
+    path) rather than raised through it.
+    """
+    plan = _PLAN
+    if plan is None:
+        return False
+    spec = plan.check(site)
+    if spec is None:
+        return False
+    _count(site, spec.action)
+    return True
+
+
+def corrupt_file(site: str, path: str | Path) -> bool:
+    """Corrupt-action site: garble ``path`` in place when the site fires.
+
+    The file is truncated to a short non-empty garbage prefix — enough for
+    sqlite to fail its header check — so the caller's corruption handling
+    (integrity check + quarantine) runs against a genuinely broken file.
+    Returns True when corruption was injected.
+    """
+    plan = _PLAN
+    if plan is None:
+        return False
+    spec = plan.check(site)
+    if spec is None or spec.action != "corrupt":
+        return False
+    target = Path(path)
+    if not target.exists():
+        return False
+    target.write_bytes(b"\x00corrupted by fault plan\x00")
+    _count(site, spec.action)
+    return True
+
+
+def disarm(site: str) -> None:
+    """Silence ``site`` in this process (no-op without an active plan)."""
+    if _PLAN is not None:
+        _PLAN.disarm(site)
+
+
+def snapshot() -> dict:
+    """Diagnostics: the active plan (if any) and its per-site counters."""
+    if _PLAN is None:
+        return {"active": False}
+    return {
+        "active": True,
+        "plan": _PLAN.as_dict(),
+        "sites": _PLAN.snapshot(),
+    }
+
+
+def _bootstrap_from_env() -> None:
+    source = os.environ.get(ENV_VAR, "").strip()
+    if not source:
+        return
+    activate(FaultPlan.load(source))
+
+
+_bootstrap_from_env()

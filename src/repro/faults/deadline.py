@@ -1,0 +1,119 @@
+"""Deadline propagation: absolute deadlines with cooperative cancellation.
+
+A :class:`Deadline` is an absolute ``time.time()`` epoch, so it survives
+pickling through a worker descriptor and means the same instant in every
+process.  Work that should stop when the caller no longer cares calls
+:func:`check_deadline` at natural cancellation points — engine stage
+boundaries, between problems in a solver batch, between bound-engine
+evaluations — which raises :class:`DeadlineExceeded` once the ambient
+deadline has passed and records which stage noticed via the
+``deadline_expirations_total{stage=...}`` counter.
+
+The ambient deadline is thread-local (:func:`deadline_scope`), so a service
+worker can run each job under that job's deadline without threading an
+argument through every engine layer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from ..util.errors import SoapError
+
+__all__ = [
+    "Deadline",
+    "DeadlineExceeded",
+    "deadline_scope",
+    "current_deadline",
+    "check_deadline",
+]
+
+
+class DeadlineExceeded(SoapError):
+    """Raised at a cooperative cancellation point after the deadline passed."""
+
+    def __init__(self, message: str, *, stage: str | None = None) -> None:
+        super().__init__(message)
+        self.stage = stage
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute wall-clock deadline (``time.time()`` epoch seconds)."""
+
+    at: float
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        if seconds <= 0:
+            raise ValueError(f"deadline must be positive, got {seconds}")
+        return cls(at=time.time() + seconds)
+
+    def remaining(self) -> float:
+        """Seconds left; 0.0 once expired (safe to pass as a timeout)."""
+        return max(0.0, self.at - time.time())
+
+    @property
+    def expired(self) -> bool:
+        return time.time() >= self.at
+
+    def check(self, stage: str = "unspecified") -> None:
+        """Raise :class:`DeadlineExceeded` if this deadline has passed."""
+        overrun = time.time() - self.at
+        if overrun >= 0:
+            _count_expiration(stage)
+            raise DeadlineExceeded(
+                f"deadline exceeded by {overrun:.3f}s at stage {stage!r}",
+                stage=stage,
+            )
+
+
+_LOCAL = threading.local()
+
+
+def current_deadline() -> Deadline | None:
+    """The innermost ambient deadline for this thread, if any."""
+    stack = getattr(_LOCAL, "stack", None)
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def deadline_scope(deadline: Deadline | None):
+    """Make ``deadline`` ambient for the current thread.
+
+    ``None`` pushes nothing (callers can pass an optional deadline through
+    unconditionally).  Nested scopes stack; the innermost wins, and an inner
+    scope may be *later* than an outer one — callers who care about the
+    tightest bound should check both, but in practice jobs nest at most once.
+    """
+    if deadline is None:
+        yield None
+        return
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = _LOCAL.stack = []
+    stack.append(deadline)
+    try:
+        yield deadline
+    finally:
+        stack.pop()
+
+
+def check_deadline(stage: str = "unspecified") -> None:
+    """Cooperative cancellation point: no-op unless an ambient deadline passed."""
+    deadline = current_deadline()
+    if deadline is not None:
+        deadline.check(stage)
+
+
+def _count_expiration(stage: str) -> None:
+    # Imported lazily: obs imports nothing from faults, but keeping this out
+    # of module import avoids any cycle surprises from partial inits.  The
+    # *current* registry so expirations inside a service job travel home in
+    # that job's stats.
+    from ..obs import current_registry
+
+    current_registry().inc("deadline_expirations_total", stage=stage)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro import faults
 from repro.obs import span as obs_span
 from repro.opt.kkt import SOLVER_REVISION, ChiSolution
 from repro.opt.problem import ProblemIR
@@ -67,7 +68,9 @@ class SolverBackend:
             "solver.solve-batch", backend=self.name, problems=len(problems)
         ) as sp:
             for problem in problems:
+                faults.check_deadline("solve")
                 try:
+                    faults.inject("solver.solve")
                     results.append(
                         self.solve(
                             problem, allow_pinning=allow_pinning, allow_caps=allow_caps

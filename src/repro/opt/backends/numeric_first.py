@@ -39,6 +39,8 @@ from fractions import Fraction
 import numpy as np
 import sympy as sp
 
+from repro import faults
+from repro.obs import current_registry
 from repro.obs import span as obs_span
 from repro.opt.backends import SolverBackend, register_backend
 from repro.opt.kkt import (
@@ -119,10 +121,15 @@ class NumericFirstBackend(SolverBackend):
         self, problem: ProblemIR, *, allow_pinning: bool, allow_caps: bool
     ) -> ChiSolution:
         try:
+            # Degradation site: an injected numeric failure must land in the
+            # same exact-backend fallback as a real fast-path rejection.
+            if faults.active() and faults.triggered("solver.numeric"):
+                raise _Fallback("injected numeric-backend fault")
             return _solve_fast(
                 problem, allow_pinning=allow_pinning, allow_caps=allow_caps
             )
         except _Fallback as reason:
+            current_registry().inc("solver_fallbacks_total", backend=self.name)
             guidance = reason.guidance() if reason.guidance is not None else None
             solution = solve_chi(
                 problem.objective_posynomial(),

@@ -284,6 +284,9 @@ int replay(i64 n_positions, i64 m, i64 s, int belady,
 """
 
 _lib: ctypes.CDLL | None | bool = None  # None = not tried, False = unavailable
+#: typed record of why the native core is unavailable (None while untried
+#: or loaded): {"error_class", "message"} -- surfaced via native_status()
+_build_error: dict | None = None
 
 
 def _cache_dir() -> Path:
@@ -309,6 +312,9 @@ def _cache_candidates() -> list[Path]:
 
 
 def _build() -> ctypes.CDLL | None:
+    from repro import faults
+
+    faults.inject("native.compile")
     digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
     so_name = f"replay-{digest}.so"
     candidates = _cache_candidates()
@@ -365,13 +371,50 @@ def _load(so_path: Path) -> ctypes.CDLL:
 
 
 def native_replay_lib() -> ctypes.CDLL | None:
-    """The compiled replay core, or ``None`` when unavailable/disabled."""
-    global _lib
+    """The compiled replay core, or ``None`` when unavailable/disabled.
+
+    A failed build degrades to the (30x slower) Python core.  The failure
+    is recorded typed (:func:`native_status`) and counted once per process
+    (``native_fallbacks_total``) so the degradation is visible in metrics
+    instead of being a silent throughput cliff.
+    """
+    global _lib, _build_error
     if os.environ.get("REPRO_NO_NATIVE_REPLAY"):
         return None
     if _lib is None:
         try:
-            _lib = _build() or False
-        except Exception:
+            lib = _build()
+            if lib is None:
+                _build_error = {
+                    "error_class": "CompileFailed",
+                    "message": "cc failed or no writable cache dir",
+                }
+            _lib = lib or False
+        except Exception as err:  # noqa: BLE001 - degrade, never crash replay
+            _build_error = {
+                "error_class": type(err).__name__,
+                "message": str(err),
+            }
             _lib = False
+        if _lib is False:
+            from repro.obs import default_registry
+
+            default_registry().inc(
+                "native_fallbacks_total",
+                error=_build_error["error_class"],
+            )
     return _lib or None
+
+
+def native_status() -> dict:
+    """Diagnostics: is the native core loaded, and if not, why not."""
+    if os.environ.get("REPRO_NO_NATIVE_REPLAY"):
+        return {"available": False, "reason": "disabled (REPRO_NO_NATIVE_REPLAY)"}
+    if _lib is None:
+        return {"available": None, "reason": "not yet attempted"}
+    if _lib is False:
+        out = {"available": False}
+        if _build_error is not None:
+            out.update(_build_error)
+        return out
+    return {"available": True}

@@ -18,18 +18,31 @@ registers segments on *attach* as well as create, so any exiting worker
 could tear a live segment down); :func:`_untrack` opts every handle out,
 and the driver's explicit :func:`unlink` is the single point of cleanup.
 
+Because segments outlive processes, a driver that dies between publish and
+unlink leaks them.  Every segment is therefore named
+``reprosoap-<creator pid>-<random>``, and :func:`sweep_orphans` (run at
+service boot) unlinks any segment whose creator is no longer alive.
+
 Attached views are cached per process (:func:`attach_cached`), so a worker
 replaying many (kernel, S) points of one sweep maps each segment once.
+Swallowed cleanup errors are kept as typed records (:func:`error_records`)
+instead of vanishing, so degraded cleanup is attributable in diagnostics.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import re
+import secrets
+from collections import deque
 from dataclasses import dataclass
 from multiprocessing import shared_memory
+from pathlib import Path
 
 import numpy as np
 
+from repro import faults
 from repro.schedule.stream import AccessStream
 
 #: stream columns published to the segment, in layout order
@@ -42,6 +55,31 @@ _FIELDS = (
 )
 #: derived next-use arrays, published so workers never recompute them
 _DERIVED = ("next_after", "first_use")
+
+#: segment name prefix; encodes the creating pid for the orphan sweep
+_NAME_PREFIX = "reprosoap"
+_NAME_RE = re.compile(rf"^{_NAME_PREFIX}-(\d+)-[0-9a-f]+$")
+#: where POSIX shared memory appears as files (Linux); the orphan sweep is
+#: a no-op on platforms without it
+_SHM_DIR = Path("/dev/shm")
+
+#: recent swallowed-but-recorded errors: {"op", "error_class", "message"}
+_ERRORS: deque = deque(maxlen=64)
+
+
+def _record_error(op: str, err: BaseException) -> None:
+    _ERRORS.append(
+        {"op": op, "error_class": type(err).__name__, "message": str(err)}
+    )
+
+
+def error_records() -> list[dict]:
+    """Typed records of swallowed shared-memory errors (newest last)."""
+    return list(_ERRORS)
+
+
+def _segment_name() -> str:
+    return f"{_NAME_PREFIX}-{os.getpid()}-{secrets.token_hex(6)}"
 
 
 @dataclass(frozen=True)
@@ -73,8 +111,10 @@ def _untrack(shm: shared_memory.SharedMemory) -> None:
         from multiprocessing import resource_tracker
 
         resource_tracker.unregister(shm._name, "shared_memory")
-    except Exception:
-        pass
+    except (ImportError, AttributeError, KeyError, ValueError, OSError) as err:
+        # Losing the opt-out risks a premature teardown by whichever worker
+        # exits first -- degraded, not fatal, but it must stay attributable.
+        _record_error("untrack", err)
 
 
 def publish(stream: AccessStream, signature: str) -> SharedStreamRef:
@@ -98,7 +138,9 @@ def publish(stream: AccessStream, signature: str) -> SharedStreamRef:
         offset = -(-offset // 8) * 8  # 8-byte alignment per array
         fields.append((fname, arr.dtype.str, len(arr), offset))
         offset += arr.nbytes
-    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    shm = shared_memory.SharedMemory(
+        create=True, size=max(offset, 1), name=_segment_name()
+    )
     _untrack(shm)
     try:
         for (fname, arr), (_, dtype, length, off) in zip(arrays, fields):
@@ -127,9 +169,25 @@ def attach(ref: SharedStreamRef) -> AccessStream:
     copies, marked non-writeable) and its next-use memo is pre-populated
     from the published arrays.  The segment handle is kept alive on the
     stream itself.
+
+    Raises ``FileNotFoundError`` when the segment is gone and ``ValueError``
+    when it is smaller than the descriptor promises (a torn publish or a
+    sweep of a live segment) -- callers degrade by rebuilding the stream
+    locally (:func:`attach_or_rebuild`).
     """
+    faults.inject("shared.attach")
     shm = shared_memory.SharedMemory(name=ref.name)
     _untrack(shm)
+    needed = max(
+        (off + len_ * np.dtype(dtype).itemsize for _, dtype, len_, off in ref.fields),
+        default=0,
+    )
+    if shm.size < needed or faults.triggered("shared.attach.undersized"):
+        shm.close()
+        raise ValueError(
+            f"shared segment {ref.name} is undersized: "
+            f"{shm.size} bytes mapped, {needed} promised by the descriptor"
+        )
     views: dict[str, np.ndarray] = {}
     for fname, dtype, length, off in ref.fields:
         arr = np.ndarray(
@@ -157,6 +215,8 @@ _ATTACHED: dict[str, AccessStream] = {}
 #: how many :func:`attach_cached` calls actually mapped a segment (tests
 #: assert sweep workers attach once per stream and never rebuild)
 _ATTACH_COUNT = 0
+#: attaches that failed and fell back to a local rebuild
+_ATTACH_FALLBACKS = 0
 
 
 def attach_cached(ref: SharedStreamRef) -> AccessStream:
@@ -170,6 +230,30 @@ def attach_cached(ref: SharedStreamRef) -> AccessStream:
     return stream
 
 
+def attach_or_rebuild(ref: SharedStreamRef, rebuild) -> AccessStream:
+    """Attach ``ref``; on a missing/undersized segment rebuild locally.
+
+    ``rebuild`` is a zero-argument callable producing an equivalent
+    :class:`AccessStream` from scratch.  A lost segment costs the rebuild
+    time in one worker -- never the sweep's correctness -- and is recorded
+    both in :func:`error_records` and the fallback counter.
+    """
+    global _ATTACH_FALLBACKS
+    try:
+        return attach_cached(ref)
+    except (FileNotFoundError, ValueError, OSError) as err:
+        _record_error("attach", err)
+        _ATTACH_FALLBACKS += 1
+        stream = rebuild()
+        _ATTACHED[ref.name] = stream  # same fallback for later points
+        return stream
+
+
+def attach_fallbacks() -> int:
+    """How many attaches in this process degraded to a local rebuild."""
+    return _ATTACH_FALLBACKS
+
+
 def detach_all() -> None:
     """Drop the per-process attach cache (tests / long-lived daemons)."""
     _ATTACHED.clear()
@@ -177,12 +261,62 @@ def detach_all() -> None:
 
 def unlink(ref: SharedStreamRef) -> None:
     """Destroy a published segment (driver-side cleanup; idempotent)."""
+    _unlink_name(ref.name)
+
+
+def _unlink_name(name: str) -> bool:
     try:
-        shm = shared_memory.SharedMemory(name=ref.name)
+        shm = shared_memory.SharedMemory(name=name)
     except FileNotFoundError:
-        return
+        return False
+    except OSError as err:  # pragma: no cover - platform-specific open races
+        _record_error("unlink", err)
+        return False
     try:
         shm.close()
         shm.unlink()
     except FileNotFoundError:
-        pass
+        return False
+    except OSError as err:  # pragma: no cover - unlink race with another sweep
+        _record_error("unlink", err)
+        return False
+    return True
+
+
+def sweep_orphans() -> int:
+    """Unlink segments whose creating process is dead; returns the count.
+
+    Only segments carrying this module's name prefix are considered, and a
+    segment is an orphan only if its embedded creator pid no longer exists.
+    Safe to run concurrently with live sweeps: their creators are alive.
+    """
+    if not _SHM_DIR.is_dir():  # pragma: no cover - non-Linux platforms
+        return 0
+    removed = 0
+    try:
+        entries = list(_SHM_DIR.iterdir())
+    except OSError as err:  # pragma: no cover - /dev/shm unreadable
+        _record_error("sweep", err)
+        return 0
+    for entry in entries:
+        match = _NAME_RE.match(entry.name)
+        if match is None:
+            continue
+        pid = int(match.group(1))
+        if _pid_alive(pid):
+            continue
+        if _unlink_name(entry.name):
+            removed += 1
+    return removed
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - someone else's pid: alive
+        return True
+    return True

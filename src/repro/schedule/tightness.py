@@ -773,6 +773,14 @@ def _replay_shared(task: tuple) -> tuple:
             ).cost
         except SoapError as err:
             return ("error", str(err))
+        except (FileNotFoundError, ValueError, OSError) as err:
+            # A vanished or undersized segment (publisher died, orphan
+            # sweep raced us) degrades this point to a typed error row;
+            # it must never take the whole sweep down.
+            return (
+                "error",
+                f"shared segment unavailable ({type(err).__name__}: {err})",
+            )
         return ("ok", schedule_cost, program_order_cost)
 
 

@@ -21,6 +21,12 @@ from dataclasses import dataclass, field
 
 DEFAULT_PORT = 8731
 DEFAULT_TIMEOUT = 600.0
+#: default retry count for idempotent requests (GETs and the coalescable
+#: POST submissions -- a retried submission attaches to the in-flight job
+#: or re-derives the same bit-identical payload, so retrying is safe)
+DEFAULT_IDEMPOTENT_RETRIES = 2
+#: ceiling on honouring a server-supplied ``Retry-After`` header
+MAX_RETRY_AFTER_SECONDS = 5.0
 
 
 class ServiceError(RuntimeError):
@@ -51,6 +57,7 @@ class ServiceHealth:
     bounds: dict = field(default_factory=dict)
     store: dict = field(default_factory=dict)
     worker_processes: list = field(default_factory=list)
+    degraded: dict = field(default_factory=dict)
 
     @classmethod
     def from_payload(cls, payload: dict) -> "ServiceHealth":
@@ -69,6 +76,7 @@ class ServiceHealth:
             bounds=payload.get("bounds", {}),
             store=payload.get("store", {}),
             worker_processes=payload.get("worker_processes", []),
+            degraded=payload.get("degraded", {}),
         )
 
 
@@ -120,13 +128,25 @@ class JobRecord:
 class ServiceClient:
     """Blocking JSON-over-HTTP client; one instance per thread.
 
-    Retries are **off by default** (``retries=0``): a failed request
-    surfaces immediately.  With ``retries=N``, connection failures and 503s
-    (a draining or restarting daemon) are retried up to N times with
-    exponential backoff (``backoff * 2**attempt`` seconds), which is what
-    lets the load harness and the drain/reload tests ride out a deploy
-    without hanging.  ``timeout`` bounds each request; ``connect_timeout``
-    (default: ``timeout``) bounds connection establishment separately.
+    Retry policy is **idempotency-aware**: every request this client can
+    issue is idempotent -- GETs trivially, the POST submissions because the
+    daemon coalesces them by canonical request identity (a retried
+    submission attaches to the in-flight job or re-derives the same
+    bit-identical payload).  So by default (``retries=None``) connection
+    failures and 503s retry up to :data:`DEFAULT_IDEMPOTENT_RETRIES` times;
+    pass an explicit ``retries=N`` (0 disables) to override for every
+    request.  503 backoff honours the daemon's ``Retry-After`` header
+    (capped at :data:`MAX_RETRY_AFTER_SECONDS`), falling back to
+    exponential ``backoff * 2**attempt`` sleeps.
+
+    The retry budget is bounded by a deadline: ``retry_budget_seconds``
+    caps the total time a single logical request may spend retrying, and a
+    per-call ``deadline_seconds`` (which also ships to the daemon as the
+    job deadline) tightens it further -- a client never keeps retrying a
+    request whose job deadline has already passed.
+
+    ``timeout`` bounds each request; ``connect_timeout`` (default:
+    ``timeout``) bounds connection establishment separately.
     """
 
     def __init__(
@@ -136,21 +156,25 @@ class ServiceClient:
         *,
         timeout: float = DEFAULT_TIMEOUT,
         connect_timeout: float | None = None,
-        retries: int = 0,
+        retries: int | None = None,
         backoff: float = 0.25,
+        retry_budget_seconds: float | None = None,
     ):
-        if retries < 0:
+        if retries is not None and retries < 0:
             raise ValueError("retries must be >= 0")
         if backoff < 0:
             raise ValueError("backoff must be >= 0")
+        if retry_budget_seconds is not None and retry_budget_seconds <= 0:
+            raise ValueError("retry_budget_seconds must be positive")
         self.host = host
         self.port = port
         self.timeout = timeout
         self.connect_timeout = (
             connect_timeout if connect_timeout is not None else timeout
         )
-        self.retries = int(retries)
+        self.retries = None if retries is None else int(retries)
         self.backoff = float(backoff)
+        self.retry_budget_seconds = retry_budget_seconds
         self._connection: http.client.HTTPConnection | None = None
 
     # ------------------------------------------------------------------
@@ -179,13 +203,20 @@ class ServiceClient:
         wait: bool = True,
         timeout: float | None = None,
         trace: bool = False,
+        deadline_seconds: float | None = None,
     ) -> JobRecord:
         body = {"name": name, "priority": priority, "wait": wait}
         if timeout is not None:
             body["timeout"] = timeout
         if trace:
             body["trace"] = True
-        return JobRecord.from_payload(self._request("POST", "/kernel", body))
+        if deadline_seconds is not None:
+            body["deadline_seconds"] = deadline_seconds
+        return JobRecord.from_payload(
+            self._request(
+                "POST", "/kernel", body, budget_seconds=deadline_seconds
+            )
+        )
 
     def analyze(
         self,
@@ -199,6 +230,7 @@ class ServiceClient:
         priority: str = "normal",
         wait: bool = True,
         trace: bool = False,
+        deadline_seconds: float | None = None,
     ) -> JobRecord:
         body = {
             "source": source,
@@ -213,7 +245,13 @@ class ServiceClient:
             body["max_subgraph_size"] = max_subgraph_size
         if trace:
             body["trace"] = True
-        return JobRecord.from_payload(self._request("POST", "/analyze", body))
+        if deadline_seconds is not None:
+            body["deadline_seconds"] = deadline_seconds
+        return JobRecord.from_payload(
+            self._request(
+                "POST", "/analyze", body, budget_seconds=deadline_seconds
+            )
+        )
 
     def tightness(
         self,
@@ -227,6 +265,7 @@ class ServiceClient:
         jobs: int = 1,
         chunk_size: int | None = None,
         trace: bool = False,
+        deadline_seconds: float | None = None,
     ) -> JobRecord:
         """``POST /tightness``: queue (or block on) a tightness audit.
 
@@ -248,7 +287,13 @@ class ServiceClient:
             body["params"] = params
         if timeout is not None:
             body["timeout"] = timeout
-        return JobRecord.from_payload(self._request("POST", "/tightness", body))
+        if deadline_seconds is not None:
+            body["deadline_seconds"] = deadline_seconds
+        return JobRecord.from_payload(
+            self._request(
+                "POST", "/tightness", body, budget_seconds=deadline_seconds
+            )
+        )
 
     def bounds(
         self,
@@ -261,6 +306,7 @@ class ServiceClient:
         wait: bool = True,
         timeout: float | None = None,
         trace: bool = False,
+        deadline_seconds: float | None = None,
     ) -> JobRecord:
         """``POST /bounds``: every concrete-CDAG bound engine on one kernel.
 
@@ -279,7 +325,13 @@ class ServiceClient:
             body["timeout"] = timeout
         if trace:
             body["trace"] = True
-        return JobRecord.from_payload(self._request("POST", "/bounds", body))
+        if deadline_seconds is not None:
+            body["deadline_seconds"] = deadline_seconds
+        return JobRecord.from_payload(
+            self._request(
+                "POST", "/bounds", body, budget_seconds=deadline_seconds
+            )
+        )
 
     def batch(
         self, names: list[str], *, priority: str = "low", wait: bool = False
@@ -328,22 +380,41 @@ class ServiceClient:
         *,
         raw: bool = False,
         tolerate: tuple[int, ...] = (),
+        idempotent: bool = True,
+        budget_seconds: float | None = None,
     ):
         encoded = json.dumps(body).encode("utf-8") if body is not None else None
         headers = {"Content-Type": "application/json"} if encoded else {}
-        for attempt in range(self.retries + 1):
+        retries = self._retries_for(idempotent)
+        budget = (
+            budget_seconds if budget_seconds is not None
+            else self.retry_budget_seconds
+        )
+        give_up_at = None if budget is None else time.monotonic() + float(budget)
+        attempt = 0
+        while True:
             try:
-                status, payload = self._exchange(method, path, encoded, headers, raw)
+                status, payload, response_headers = self._exchange(
+                    method, path, encoded, headers, raw
+                )
             except (http.client.HTTPException, ConnectionError, OSError):
                 # daemon down or restarting mid-deploy
-                if attempt >= self.retries:
+                if attempt >= retries or self._expired(give_up_at):
                     raise
-                time.sleep(self.backoff * (2 ** attempt))
+                self._pause(self.backoff * (2 ** attempt), give_up_at)
+                attempt += 1
                 continue
             if status >= 400 and status not in tolerate:
-                if status == 503 and attempt < self.retries:
-                    # draining/reloading daemon: eligible for backoff-retry
-                    time.sleep(self.backoff * (2 ** attempt))
+                if (
+                    status == 503
+                    and attempt < retries
+                    and not self._expired(give_up_at)
+                ):
+                    # draining/reloading daemon: back off as instructed
+                    self._pause(
+                        self._retry_after(response_headers, attempt), give_up_at
+                    )
+                    attempt += 1
                     continue
                 # 422 job records still parse; surface them as exceptions
                 raise ServiceError(
@@ -351,7 +422,35 @@ class ServiceClient:
                     payload if isinstance(payload, dict) else {"error": payload},
                 )
             return payload
-        raise AssertionError("unreachable")
+
+    def _retries_for(self, idempotent: bool) -> int:
+        if self.retries is not None:
+            return self.retries  # explicit override applies across the board
+        return DEFAULT_IDEMPOTENT_RETRIES if idempotent else 0
+
+    def _retry_after(self, response_headers: dict, attempt: int) -> float:
+        """Server-instructed 503 back-off; exponential fallback."""
+        raw = response_headers.get("retry-after")
+        if raw is not None:
+            try:
+                seconds = float(raw)
+            except ValueError:
+                pass  # HTTP-date form: not worth parsing, use the fallback
+            else:
+                if seconds >= 0:
+                    return min(seconds, MAX_RETRY_AFTER_SECONDS)
+        return self.backoff * (2 ** attempt)
+
+    @staticmethod
+    def _expired(give_up_at: float | None) -> bool:
+        return give_up_at is not None and time.monotonic() >= give_up_at
+
+    @staticmethod
+    def _pause(seconds: float, give_up_at: float | None) -> None:
+        if give_up_at is not None:
+            seconds = min(seconds, max(0.0, give_up_at - time.monotonic()))
+        if seconds > 0:
+            time.sleep(seconds)
 
     def _exchange(self, method, path, encoded, headers, raw):
         """One transport round-trip (plus one stale keep-alive reconnect)."""
@@ -370,7 +469,10 @@ class ServiceClient:
                     raise
                 continue
             payload = data.decode("utf-8") if raw else json.loads(data or b"{}")
-            return response.status, payload
+            response_headers = {
+                name.lower(): value for name, value in response.getheaders()
+            }
+            return response.status, payload, response_headers
         raise AssertionError("unreachable")
 
     def _connect(self) -> http.client.HTTPConnection:

@@ -111,6 +111,12 @@ class AnalysisService:
         self._solver_totals: dict[str, dict[str, int]] = {}
         self._bounds_totals: dict[str, int] = {}
         self._bounds_kernels: dict[str, dict] = {}
+        # degradation ledger: everything /healthz reports under "degraded"
+        self._bounds_errors: dict[str, int] = {}
+        self._solver_fallbacks: dict[str, int] = {}
+        self._deadline_totals: dict[str, int] = {}
+        self._requeued_jobs = 0
+        self._shm_orphans_swept = 0
         # Fingerprinting (submission path) gets its own small pool so busy
         # workers cannot stall new submissions or the event loop; pipe I/O
         # gets one thread per worker so dispatchers never queue on threads.
@@ -140,14 +146,32 @@ class AnalysisService:
             raise RuntimeError("service already started")
         from repro.engine.store import SharedSolveStore
 
+        from repro.schedule import shared_streams
+
         if self.config.cache_dir is None:
             self._store_dir = tempfile.mkdtemp(prefix="soap-service-store-")
         path = self.store_path
+        # boot recovery 1: unlink shared-memory segments leaked by sweeps
+        # whose driver died (POSIX shm outlives processes)
+        self._shm_orphans_swept = shared_streams.sweep_orphans()
+        if self._shm_orphans_swept:
+            self.metrics.registry.inc(
+                "service_shm_orphans_swept_total",
+                float(self._shm_orphans_swept),
+            )
+        # boot recovery 2: a corrupt store file is quarantined and rebuilt
+        # inside the store constructor; surface the warm-boot counter here
         self._store = SharedSolveStore(
             path,
             lease_seconds=self.config.claim_lease_seconds,
             poll_seconds=self.config.claim_poll_seconds,
         )
+        boot_stats = self._store.stats_snapshot()
+        if boot_stats.quarantines:
+            self._store_totals["quarantines"] = boot_stats.quarantines
+            self.metrics.registry.inc(
+                "service_store_quarantines_total", float(boot_stats.quarantines)
+            )
         # fork the fleet BEFORE any request runs; each worker opens the
         # same store file and inherits this process's warm sympy caches
         self.pool = WorkerPool(
@@ -264,6 +288,7 @@ class AnalysisService:
         *,
         priority: str = DEFAULT_PRIORITY,
         trace: bool = False,
+        deadline_seconds: float | None = None,
     ) -> Job:
         """Queue a registered-kernel analysis; unknown names raise KeyError."""
         from repro.kernels import get_kernel
@@ -276,6 +301,7 @@ class AnalysisService:
             request={"kernel": name},
             descriptor={"kind": "kernel", "name": name, "trace": trace},
             trace=trace,
+            deadline_seconds=deadline_seconds,
         )
 
     async def submit_source(
@@ -289,6 +315,7 @@ class AnalysisService:
         allow_pinning: bool = False,
         priority: str = DEFAULT_PRIORITY,
         trace: bool = False,
+        deadline_seconds: float | None = None,
     ) -> Job:
         """Queue a source analysis; parse errors raise before a job exists.
 
@@ -343,6 +370,7 @@ class AnalysisService:
                 "trace": trace,
             },
             trace=trace,
+            deadline_seconds=deadline_seconds,
         )
 
     def submit_batch(
@@ -361,6 +389,7 @@ class AnalysisService:
         jobs: int = 1,
         chunk_size: int | None = None,
         trace: bool = False,
+        deadline_seconds: float | None = None,
     ) -> Job:
         """Queue a schedule-replay tightness audit over ``kernels``.
 
@@ -426,6 +455,7 @@ class AnalysisService:
                 "trace": trace,
             },
             trace=trace,
+            deadline_seconds=deadline_seconds,
         )
 
     def submit_bounds(
@@ -437,6 +467,7 @@ class AnalysisService:
         engines: list[str] | None = None,
         priority: str = DEFAULT_PRIORITY,
         trace: bool = False,
+        deadline_seconds: float | None = None,
     ) -> Job:
         """Queue a concrete-CDAG bound evaluation (:mod:`repro.bounds`).
 
@@ -497,10 +528,31 @@ class AnalysisService:
                 "trace": trace,
             },
             trace=trace,
+            deadline_seconds=deadline_seconds,
         )
 
-    def _submit(self, *, kind, key, priority, request, descriptor, trace=False) -> Job:
+    def _submit(
+        self,
+        *,
+        kind,
+        key,
+        priority,
+        request,
+        descriptor,
+        trace=False,
+        deadline_seconds=None,
+    ) -> Job:
         rank = priority_rank(priority)  # validate before touching any state
+        if deadline_seconds is not None:
+            seconds = float(deadline_seconds)
+            if seconds <= 0:
+                raise ValueError(
+                    f"deadline_seconds must be positive (got {deadline_seconds})"
+                )
+            # absolute epoch: comparable in the dispatcher and the worker
+            # process alike. Coalesced attachers inherit the first
+            # submitter's deadline (the job is theirs too).
+            descriptor = dict(descriptor, deadline=time.time() + seconds)
         if self._draining:
             raise ServiceUnavailable("service is draining; not accepting work")
         if trace:
@@ -567,25 +619,52 @@ class AnalysisService:
             handle.busy = True
             registry.set_gauge("service_worker_busy", 1.0, worker=label)
             try:
-                try:
-                    response = await loop.run_in_executor(
-                        self._io_pool, handle.call, job.descriptor
+                raw_deadline = job.descriptor.get("deadline")
+                if raw_deadline is not None and time.time() >= float(raw_deadline):
+                    # cooperative cancellation of queued work: a job whose
+                    # deadline lapsed in the queue never reaches a worker
+                    registry.inc("deadline_expirations_total", stage="queue")
+                    self._deadline_totals["queue"] = (
+                        self._deadline_totals.get("queue", 0) + 1
                     )
-                except (EOFError, BrokenPipeError, OSError):
-                    # the worker died mid-job: fail the job, re-fork the
-                    # worker; its claims expire via the store lease
                     response = {
                         "ok": False,
                         "result": None,
-                        "error": (
-                            f"analysis worker {handle.index} died while "
-                            f"running job {job.id}"
-                        ),
-                        "error_kind": "internal",
+                        "error": f"deadline expired while job {job.id} was queued",
+                        "error_kind": "deadline",
                         "stats": None,
                     }
-                    registry.inc("service_worker_restarts_total", worker=label)
-                    await loop.run_in_executor(self._io_pool, handle.restart)
+                else:
+                    try:
+                        response = await loop.run_in_executor(
+                            self._io_pool, handle.call, job.descriptor
+                        )
+                    except (EOFError, BrokenPipeError, OSError):
+                        # the worker died mid-job: re-fork it (its claims
+                        # expire via the store lease) and give the job one
+                        # second chance on the fresh worker before failing it
+                        registry.inc(
+                            "service_worker_restarts_total", worker=label
+                        )
+                        await loop.run_in_executor(self._io_pool, handle.restart)
+                        if job.requeues < 1:
+                            job.requeues += 1
+                            self._requeued_jobs += 1
+                            registry.inc("service_jobs_requeued_total")
+                            job.state = QUEUED
+                            job.started = None
+                            self._queue.put_nowait((job.rank, job.seq, job))
+                            continue
+                        response = {
+                            "ok": False,
+                            "result": None,
+                            "error": (
+                                f"analysis worker {handle.index} died while "
+                                f"running job {job.id} (already retried)"
+                            ),
+                            "error_kind": "internal",
+                            "stats": None,
+                        }
                 self._absorb_stats(response.get("stats"))
                 if response["ok"]:
                     job.result = response["result"]
@@ -594,6 +673,7 @@ class AnalysisService:
                         self._note_bounds(job.result)
                 else:
                     job.error = response["error"]
+                    job.error_kind = response.get("error_kind")
                     job.state = FAILED
                 job.finished = time.monotonic()
                 handle.jobs_done += 1
@@ -642,6 +722,31 @@ class AnalysisService:
             registry.inc(
                 "service_bound_engine_evals_total", float(value), engine=engine_name
             )
+        for engine_name, value in (stats.get("bounds_errors") or {}).items():
+            self._bounds_errors[engine_name] = self._bounds_errors.get(
+                engine_name, 0
+            ) + int(value)
+            registry.inc(
+                "service_bound_engine_errors_total",
+                float(value),
+                engine=engine_name,
+            )
+        for backend, value in (stats.get("solver_fallbacks") or {}).items():
+            self._solver_fallbacks[backend] = self._solver_fallbacks.get(
+                backend, 0
+            ) + int(value)
+            registry.inc(
+                "service_solver_fallbacks_total", float(value), backend=backend
+            )
+        for stage, value in (stats.get("deadlines") or {}).items():
+            self._deadline_totals[stage] = self._deadline_totals.get(
+                stage, 0
+            ) + int(value)
+            registry.inc(
+                "deadline_expirations_total", float(value), stage=stage
+            )
+        for site, value in (stats.get("faults") or {}).items():
+            registry.inc("fault_injections_total", float(value), site=site)
         if stats.get("report_cache_hit"):
             registry.inc("service_report_cache_hits_total")
         if self._store is not None:
@@ -712,7 +817,76 @@ class AnalysisService:
             "warm": self._warm_state,
             "bounds": self._bounds_block(),
             "store": self._store_block(),
+            "degraded": self._degraded_block(),
             "worker_processes": self.pool.records() if self.pool else [],
+        }
+
+    def _degraded_block(self) -> dict:
+        """Every way the fleet is (or has been) serving degraded results.
+
+        All entries are *explicit* markers: a non-empty block means some
+        responses were produced by fallbacks -- never that any response was
+        wrong.  ``healthy`` summarizes the block for load balancers.
+        """
+        from repro.schedule._native import native_status
+
+        block = {
+            "bound_engine_errors": {
+                name: int(count)
+                for name, count in sorted(self._bounds_errors.items())
+            },
+            "solver_fallbacks": {
+                name: int(count)
+                for name, count in sorted(self._solver_fallbacks.items())
+            },
+            "deadline_expirations": {
+                stage: int(count)
+                for stage, count in sorted(self._deadline_totals.items())
+            },
+            "store_quarantines": int(self._store_totals.get("quarantines", 0)),
+            "store_errors": int(self._store_totals.get("errors", 0)),
+            "requeued_jobs": int(self._requeued_jobs),
+            "shm_orphans_swept": int(self._shm_orphans_swept),
+            "native_replay": native_status(),
+        }
+        block["healthy"] = not (
+            block["bound_engine_errors"]
+            or block["store_quarantines"]
+            or block["store_errors"]
+            or block["requeued_jobs"]
+        )
+        return block
+
+    def _resilience_block(self) -> dict:
+        """Fault/recovery counters for ``/metrics`` (chaos runs assert on
+        these to prove a plan actually fired and recovery actually ran)."""
+        reg = self.metrics.registry
+        return {
+            "fault_injections": {
+                site: int(count)
+                for site, count in sorted(
+                    reg.counter_by_label("fault_injections_total", "site").items()
+                )
+            },
+            "deadline_expirations": {
+                stage: int(count)
+                for stage, count in sorted(self._deadline_totals.items())
+            },
+            "worker_restarts": int(
+                reg.counter_total("service_worker_restarts_total")
+            ),
+            "requeued_jobs": int(self._requeued_jobs),
+            "store_quarantines": int(self._store_totals.get("quarantines", 0)),
+            "store_errors": int(self._store_totals.get("errors", 0)),
+            "solver_fallbacks": {
+                name: int(count)
+                for name, count in sorted(self._solver_fallbacks.items())
+            },
+            "bound_engine_errors": {
+                name: int(count)
+                for name, count in sorted(self._bounds_errors.items())
+            },
+            "shm_orphans_swept": int(self._shm_orphans_swept),
         }
 
     def metrics_snapshot(self) -> dict:
@@ -734,4 +908,5 @@ class AnalysisService:
             store=self._store_block(),
             bounds=self._bounds_block(),
             worker_detail=self.pool.records() if self.pool else [],
+            resilience=self._resilience_block(),
         )

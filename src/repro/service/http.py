@@ -31,11 +31,18 @@ GET       ``/healthz``        liveness + version
 ``"trace": true`` runs the job under a span tracer and embeds the stitched
 span tree in the result payload (``result["trace"]``).
 
+``"deadline_seconds": N`` (any POST submission) attaches an absolute
+deadline to the job: the dispatcher drops it unstarted if it expires in the
+queue, and the worker cancels cooperatively at the next stage boundary.  A
+job that dies to its deadline answers HTTP 504 (when waited on) with the
+job record; the record's ``error_kind`` is ``"deadline"``.
+
 ``wait`` defaults to true on ``/analyze``/``/kernel`` (the response carries
 the finished job record, result included) and false on ``/batch`` (the
 response carries queued job records to poll).  Analysis failures surface as
 HTTP 422 with the job record; malformed requests as 400; unknown kernels or
-job ids as 404.
+job ids as 404.  503 responses (draining / not accepting work) carry a
+``Retry-After`` header so well-behaved clients back off instead of spinning.
 """
 
 from __future__ import annotations
@@ -52,6 +59,9 @@ from repro.util.errors import SoapError
 MAX_BODY_BYTES = 8 * 1024 * 1024
 #: server-side ceiling on how long a ``wait`` request may block
 MAX_WAIT_SECONDS = 600.0
+#: advisory back-off sent with every 503 (drain completes or capacity
+#: frees on this order; clients honour it, see ServiceClient)
+RETRY_AFTER_SECONDS = 1
 
 
 class _HttpError(Exception):
@@ -165,10 +175,14 @@ class ServiceServer:
             body = json.dumps(payload, indent=1).encode("utf-8")
             content_type = "application/json"
         reason = {200: "OK", 202: "Accepted"}.get(status, "Error")
+        retry = (
+            f"Retry-After: {RETRY_AFTER_SECONDS}\r\n" if status == 503 else ""
+        )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{retry}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         )
@@ -230,6 +244,7 @@ class ServiceServer:
             name,
             priority=body.get("priority", DEFAULT_PRIORITY),
             trace=bool(body.get("trace", False)),
+            deadline_seconds=_deadline_seconds(body),
         )
         return await self._respond(job, body)
 
@@ -244,6 +259,7 @@ class ServiceServer:
             allow_pinning=bool(body.get("allow_pinning", False)),
             priority=body.get("priority", DEFAULT_PRIORITY),
             trace=bool(body.get("trace", False)),
+            deadline_seconds=_deadline_seconds(body),
         )
         return await self._respond(job, body)
 
@@ -295,6 +311,7 @@ class ServiceServer:
             jobs=jobs,
             chunk_size=chunk_size,
             trace=bool(body.get("trace", False)),
+            deadline_seconds=_deadline_seconds(body),
         )
         # An audit can run for minutes: poll ``/jobs/<id>`` unless the
         # caller explicitly asks to block.
@@ -321,13 +338,18 @@ class ServiceServer:
             engines=engines,
             priority=body.get("priority", DEFAULT_PRIORITY),
             trace=bool(body.get("trace", False)),
+            deadline_seconds=_deadline_seconds(body),
         )
         return await self._respond(job, body)
 
     async def _respond(self, job, body: dict, *, default_wait: bool = True):
         if body.get("wait", default_wait):
             await self.service.wait(job, timeout=_wait_timeout(body))
-            return (200 if job.finished_ok else 422), job.record()
+            if job.finished_ok:
+                return 200, job.record()
+            # a job its own deadline killed is a gateway timeout, not a
+            # semantically-invalid request
+            return (504 if job.error_kind == "deadline" else 422), job.record()
         return 202, job.record(include_result=False)
 
 
@@ -363,6 +385,15 @@ def _required(body: dict, field: str):
 def _wait_timeout(body: dict) -> float:
     timeout = float(body.get("timeout", MAX_WAIT_SECONDS))
     return max(0.0, min(timeout, MAX_WAIT_SECONDS))
+
+
+def _deadline_seconds(body: dict) -> float | None:
+    raw = body.get("deadline_seconds")
+    if raw is None:
+        return None
+    if isinstance(raw, bool) or not isinstance(raw, (int, float)) or raw <= 0:
+        raise _HttpError(400, "'deadline_seconds' must be a positive number")
+    return float(raw)
 
 
 # ---------------------------------------------------------------------------

@@ -53,6 +53,9 @@ class Job:
     attached: int = 1  #: total requests served by this job (1 = no coalescing)
     result: dict | None = None
     error: str | None = None
+    #: "expected" | "internal" | "deadline" (None while unfinished / on success)
+    error_kind: str | None = None
+    requeues: int = 0  #: times this job was re-queued after a worker died
     submitted_at: float = field(default_factory=time.time)
     created: float = field(default_factory=time.monotonic)
     started: float | None = None
@@ -119,6 +122,7 @@ class Job:
             "run_seconds": self.run_seconds,
             "total_seconds": self.total_seconds,
             "error": self.error,
+            "error_kind": self.error_kind,
         }
         if include_result:
             payload["result"] = self.result

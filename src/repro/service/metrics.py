@@ -99,6 +99,7 @@ class ServiceMetrics:
         store: dict | None = None,
         bounds: dict | None = None,
         worker_detail: list | None = None,
+        resilience: dict | None = None,
     ) -> dict:
         reg = self.registry
         run_samples = reg.samples("service_run_seconds")
@@ -163,4 +164,5 @@ class ServiceMetrics:
                     reg.counter_value("service_report_cache_hits_total")
                 ),
             },
+            "resilience": resilience or {},
         }

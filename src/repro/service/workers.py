@@ -37,6 +37,7 @@ import os
 import signal
 import tempfile
 
+from repro import faults
 from repro.util.errors import SoapError
 
 #: worker stats ship at most this many slowest spans per job
@@ -206,28 +207,48 @@ def _run_job(engine, store, descriptor: dict, report_cache: bool) -> dict:
     error = None
     error_kind = None
     from_report_cache = False
+    raw_deadline = descriptor.get("deadline")
+    deadline = faults.Deadline(at=float(raw_deadline)) if raw_deadline else None
     try:
-        if not descriptor.get("trace"):
-            with Tracer(registry=registry), obs_span("job", kind=descriptor["kind"]):
-                result, from_report_cache = _execute(
-                    engine, store, descriptor, report_cache
+        # the job's deadline becomes ambient: engine stages, solver batches
+        # and bound engines all check it at their cancellation points
+        with faults.deadline_scope(deadline):
+            faults.check_deadline("job-start")  # expired while queued/piped
+            # crash-fault site: SIGKILL here models a worker dying mid-job
+            faults.inject("worker.job")
+            if not descriptor.get("trace"):
+                with Tracer(registry=registry), obs_span(
+                    "job", kind=descriptor["kind"]
+                ):
+                    result, from_report_cache = _execute(
+                        engine, store, descriptor, report_cache
+                    )
+            else:
+                # a traced job sinks spans to JSONL (forked sweep workers
+                # append to it) and embeds the stitched tree in its result
+                fd, path = tempfile.mkstemp(prefix="soap-trace-", suffix=".jsonl")
+                os.close(fd)
+                try:
+                    tracer = Tracer(path, registry=registry)
+                    with tracer, obs_span("job", kind=descriptor["kind"]):
+                        result, _ = _execute(
+                            engine, store, descriptor, report_cache
+                        )
+                    records = read_trace(path)
+                finally:
+                    os.unlink(path)
+                result = dict(
+                    result,
+                    trace={
+                        "trace_id": tracer.trace_id,
+                        "spans": span_tree(records),
+                    },
                 )
-        else:
-            # a traced job sinks spans to JSONL (forked sweep workers append
-            # to it) and embeds the stitched tree in its result payload
-            fd, path = tempfile.mkstemp(prefix="soap-trace-", suffix=".jsonl")
-            os.close(fd)
-            try:
-                tracer = Tracer(path, registry=registry)
-                with tracer, obs_span("job", kind=descriptor["kind"]):
-                    result, _ = _execute(engine, store, descriptor, report_cache)
-                records = read_trace(path)
-            finally:
-                os.unlink(path)
-            result = dict(
-                result,
-                trace={"trace_id": tracer.trace_id, "spans": span_tree(records)},
-            )
+    except faults.DeadlineExceeded as err:
+        # before SoapError: a blown deadline is cancellation (HTTP 504),
+        # not a malformed request
+        error = str(err)
+        error_kind = "deadline"
     except (SoapError, KeyError, ValueError, SyntaxError) as err:
         error = str(err) or type(err).__name__
         error_kind = "expected"
@@ -266,6 +287,16 @@ def _run_job(engine, store, descriptor: dict, report_cache: bool) -> dict:
         },
         "solver": _solver_delta(solver_before, engine.solver_stats_snapshot()),
         "bounds": registry.counter_by_label("bound_engine_evals_total", "engine"),
+        "bounds_errors": registry.counter_by_label(
+            "bound_engine_errors_total", "engine"
+        ),
+        "solver_fallbacks": registry.counter_by_label(
+            "solver_fallbacks_total", "backend"
+        ),
+        "deadlines": registry.counter_by_label(
+            "deadline_expirations_total", "stage"
+        ),
+        "faults": registry.counter_by_label("fault_injections_total", "site"),
         "report_cache_hit": from_report_cache,
     }
     return {
@@ -299,6 +330,10 @@ def _worker_main(conn, settings: dict) -> None:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except ValueError:
         pass  # forked from a non-main thread (ServiceThread embedding)
+    # replacement workers run with crash sites disarmed (the fault plan
+    # targets the original fleet; a respawn must not re-kill itself forever)
+    for site in settings.get("fault_disarm", ()):
+        faults.disarm(site)
     engine, store = _build_engine(settings)
     report_cache = settings.get("report_cache", True)
     try:
@@ -308,6 +343,12 @@ def _worker_main(conn, settings: dict) -> None:
             except (EOFError, OSError):
                 break
             if descriptor is None:
+                break
+            try:
+                # pipe-fault site: dropping the connection mid-protocol is
+                # indistinguishable from a worker crash to the front-end
+                faults.inject("worker.pipe")
+            except (EOFError, OSError):
                 break
             if descriptor.get("kind") == "ping":
                 response = {
@@ -378,8 +419,24 @@ class WorkerHandle:
         return self.conn.recv()
 
     def restart(self) -> None:
-        """Replace a dead or wedged worker with a fresh fork."""
+        """Replace a dead or wedged worker with a fresh fork.
+
+        Under an active fault plan the replacement runs with crash-type
+        sites (kill actions, the worker pipe) disarmed: injected crashes
+        target the original fleet, and a respawned worker re-inheriting the
+        parent's pristine fault counters would kill itself again on every
+        respawn -- turning one injected crash into a crash loop.
+        """
         self._close(graceful=False)
+        plan = faults.active_plan()
+        if plan is not None:
+            crash_sites = sorted(
+                spec.site
+                for spec in plan.specs.values()
+                if spec.action == "kill" or spec.site.startswith("worker.")
+            )
+            if crash_sites:
+                self.settings = dict(self.settings, fault_disarm=crash_sites)
         self.spawn()
 
     def stop(self) -> None:

@@ -58,8 +58,11 @@ class TestDrain:
                 thread.drain()
                 # tolerate=(503,) inside healthz(): the payload still parses
                 assert client.healthz().status == "draining"
-                status, _ = client._exchange("GET", "/healthz", None, {}, False)
+                status, _, headers = client._exchange(
+                    "GET", "/healthz", None, {}, False
+                )
                 assert status == 503
+                assert "retry-after" in headers
 
 
 class TestReload:
